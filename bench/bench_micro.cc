@@ -1,0 +1,204 @@
+// Micro-benchmarks (google-benchmark) of the components the paper's numbers
+// rest on: SQL parsing, LIKE matching, scan+filter execution, hash joins,
+// the Lineage overhead of provenance mode, the network protocol round trip,
+// trace serialization, and dependency inference.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "exec/executor.h"
+#include "net/protocol.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+#include "trace/inference.h"
+#include "trace/serialize.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+void BM_ParseSelect(benchmark::State& state) {
+  const std::string sql = ldv::tpch::ExperimentQueries()[7].sql;  // Q2-3 join
+  for (auto _ : state) {
+    auto stmt = ldv::sql::Parse(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_SqlLikeMatch(benchmark::State& state) {
+  std::string text = "Customer#000074321";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ldv::SqlLikeMatch(text, "%0000%"));
+    benchmark::DoNotOptimize(ldv::SqlLikeMatch(text, "%9999%"));
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_SqlLikeMatch);
+
+/// Shared tiny TPC-H instance for the execution benchmarks.
+ldv::storage::Database* BenchDb() {
+  static ldv::storage::Database* db = [] {
+    auto* instance = new ldv::storage::Database();
+    ldv::tpch::GenOptions options;
+    options.scale_factor = 0.002;
+    LDV_CHECK_OK(ldv::tpch::Generate(instance, options));
+    return instance;
+  }();
+  return db;
+}
+
+void BM_ScanFilter(benchmark::State& state) {
+  ldv::exec::Executor executor(BenchDb());
+  const std::string sql =
+      "SELECT l_quantity FROM lineitem WHERE l_suppkey BETWEEN 1 AND " +
+      std::to_string(state.range(0));
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto result = executor.Execute(sql, {});
+    LDV_CHECK(result.ok());
+    rows += static_cast<int64_t>(result->rows.size());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      BenchDb()->FindTable("lineitem")->live_row_count());
+  benchmark::DoNotOptimize(rows);
+}
+BENCHMARK(BM_ScanFilter)->Arg(10)->Arg(250);
+
+void BM_HashJoin3Way(benchmark::State& state) {
+  ldv::exec::Executor executor(BenchDb());
+  const std::string sql = ldv::tpch::ExperimentQueries()[6].sql;  // Q2-2
+  for (auto _ : state) {
+    auto result = executor.Execute(sql, {});
+    LDV_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+}
+BENCHMARK(BM_HashJoin3Way);
+
+void BM_QueryLineageOverhead(benchmark::State& state) {
+  ldv::exec::Executor executor(BenchDb());
+  const bool provenance = state.range(0) != 0;
+  std::string sql =
+      "SELECT l_quantity FROM lineitem WHERE l_suppkey BETWEEN 1 AND 100";
+  if (provenance) sql = "PROVENANCE " + sql;
+  for (auto _ : state) {
+    auto result = executor.Execute(sql, {});
+    LDV_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->prov_tuples.size());
+  }
+}
+BENCHMARK(BM_QueryLineageOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"provenance"});
+
+void BM_ReenactmentUpdate(benchmark::State& state) {
+  ldv::storage::Database db;
+  ldv::tpch::GenOptions options;
+  options.scale_factor = 0.002;
+  LDV_CHECK_OK(ldv::tpch::Generate(&db, options));
+  db.FindTable("orders")->set_provenance_tracking(true);
+  ldv::exec::Executor executor(&db);
+  const bool provenance = state.range(0) != 0;
+  int64_t key = 1;
+  for (auto _ : state) {
+    std::string sql = ldv::StrFormat(
+        "UPDATE orders SET o_comment = 'x' WHERE o_orderkey = %lld",
+        static_cast<long long>(key % 3000 + 1));
+    if (provenance) sql = "PROVENANCE " + sql;
+    auto result = executor.Execute(sql, {});
+    LDV_CHECK(result.ok());
+    ++key;
+  }
+}
+BENCHMARK(BM_ReenactmentUpdate)->Arg(0)->Arg(1)->ArgNames({"provenance"});
+
+void BM_ProtocolRoundTrip(benchmark::State& state) {
+  ldv::exec::Executor executor(BenchDb());
+  auto result = executor.Execute(
+      "SELECT l_orderkey, l_quantity, l_comment FROM lineitem "
+      "WHERE l_suppkey BETWEEN 1 AND 100",
+      {});
+  LDV_CHECK(result.ok());
+  for (auto _ : state) {
+    std::string bytes = ldv::net::EncodeResponse(ldv::Status::Ok(), *result);
+    auto decoded = ldv::net::DecodeResponse(bytes);
+    LDV_CHECK(decoded.ok());
+    benchmark::DoNotOptimize(decoded->rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(result->rows.size()));
+}
+BENCHMARK(BM_ProtocolRoundTrip);
+
+ldv::trace::TraceGraph* BenchTrace(int files) {
+  auto* g = new ldv::trace::TraceGraph();
+  ldv::Rng rng(99);
+  std::vector<ldv::trace::NodeId> file_nodes;
+  std::vector<ldv::trace::NodeId> procs;
+  for (int i = 0; i < files; ++i) {
+    file_nodes.push_back(g->GetOrAddNode(ldv::trace::NodeType::kFile,
+                                         "f" + std::to_string(i)));
+  }
+  for (int i = 0; i < files / 2; ++i) {
+    procs.push_back(g->GetOrAddNode(ldv::trace::NodeType::kProcess,
+                                    "p" + std::to_string(i)));
+  }
+  for (int i = 0; i < files * 4; ++i) {
+    auto f = file_nodes[static_cast<size_t>(rng.Uniform(0, files - 1))];
+    auto p = procs[static_cast<size_t>(rng.Uniform(0, files / 2 - 1))];
+    int64_t begin = rng.Uniform(1, 500);
+    if (rng.Bernoulli(0.5)) {
+      (void)g->MergeEdge(f, p, ldv::trace::EdgeType::kReadFrom,
+                         {begin, begin + 3});
+    } else {
+      (void)g->MergeEdge(p, f, ldv::trace::EdgeType::kHasWritten,
+                         {begin, begin + 3});
+    }
+  }
+  return g;
+}
+
+void BM_DependencyInference(benchmark::State& state) {
+  static ldv::trace::TraceGraph* graph = BenchTrace(200);
+  ldv::trace::DependencyAnalyzer analyzer(graph);
+  int64_t node = 0;
+  for (auto _ : state) {
+    auto deps = analyzer.DependenciesOf(
+        static_cast<ldv::trace::NodeId>(node % 200));
+    benchmark::DoNotOptimize(deps.size());
+    ++node;
+  }
+}
+BENCHMARK(BM_DependencyInference);
+
+void BM_TraceSerialize(benchmark::State& state) {
+  static ldv::trace::TraceGraph* graph = BenchTrace(500);
+  for (auto _ : state) {
+    std::string bytes = ldv::trace::SerializeTrace(*graph);
+    auto restored = ldv::trace::DeserializeTrace(bytes);
+    LDV_CHECK(restored.ok());
+    benchmark::DoNotOptimize(restored->num_edges());
+  }
+}
+BENCHMARK(BM_TraceSerialize);
+
+void BM_TpchGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    ldv::storage::Database db;
+    ldv::tpch::GenOptions options;
+    options.scale_factor = 0.001;
+    LDV_CHECK_OK(ldv::tpch::Generate(&db, options));
+    benchmark::DoNotOptimize(db.TotalLiveRows());
+  }
+}
+BENCHMARK(BM_TpchGenerate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// Reconstructs the paper's running examples as in-memory traces and answers
+// dependency queries over them:
+//   - Figure 2: the combined execution trace of Alice's two processes,
+//   - Figure 4 / Example 7: P_BB dependencies with temporal pruning,
+//   - Figure 6 (a,b,c): how temporal annotations change what C depends on.
+// Prints the Figure 2 trace as Graphviz DOT on request.
+//
+//   $ ./provenance_queries [--dot]
+
+#include <cstdio>
+#include <cstring>
+
+#include "trace/inference.h"
+
+using ldv::os::Interval;
+using ldv::trace::DependencyAnalyzer;
+using ldv::trace::EdgeType;
+using ldv::trace::NodeId;
+using ldv::trace::NodeType;
+using ldv::trace::TraceGraph;
+
+namespace {
+
+void Check(const char* what, bool got, bool expected) {
+  std::printf("  %-58s %-5s %s\n", what, got ? "yes" : "no",
+              got == expected ? "(as in the paper)" : "(MISMATCH!)");
+}
+
+TraceGraph Figure2() {
+  TraceGraph g;
+  NodeId file_a = g.GetOrAddNode(NodeType::kFile, "A");
+  NodeId file_b = g.GetOrAddNode(NodeType::kFile, "B");
+  NodeId file_c = g.GetOrAddNode(NodeType::kFile, "C");
+  NodeId p1 = g.GetOrAddNode(NodeType::kProcess, "P1");
+  NodeId p2 = g.GetOrAddNode(NodeType::kProcess, "P2");
+  NodeId insert1 = g.GetOrAddNode(NodeType::kInsert, "Insert1");
+  NodeId insert2 = g.GetOrAddNode(NodeType::kInsert, "Insert2");
+  NodeId query = g.GetOrAddNode(NodeType::kQuery, "Query");
+  NodeId t1 = g.GetOrAddNode(NodeType::kTuple, "t1");
+  NodeId t2 = g.GetOrAddNode(NodeType::kTuple, "t2");
+  NodeId t3 = g.GetOrAddNode(NodeType::kTuple, "t3");
+  NodeId t4 = g.GetOrAddNode(NodeType::kTuple, "t4");
+  NodeId t5 = g.GetOrAddNode(NodeType::kTuple, "t5");
+  (void)t2;
+  (void)g.AddEdge(file_a, p1, EdgeType::kReadFrom, {1, 6});
+  (void)g.AddEdge(file_b, p1, EdgeType::kReadFrom, {7, 8});
+  (void)g.AddEdge(p1, insert1, EdgeType::kRun, {5, 5});
+  (void)g.AddEdge(p1, insert2, EdgeType::kRun, {8, 8});
+  (void)g.AddEdge(insert1, t1, EdgeType::kHasReturned, {5, 5});
+  (void)g.AddEdge(insert1, t2, EdgeType::kHasReturned, {5, 5});
+  (void)g.AddEdge(insert2, t3, EdgeType::kHasReturned, {8, 8});
+  (void)g.AddEdge(t1, query, EdgeType::kHasRead, {9, 9});
+  (void)g.AddEdge(t3, query, EdgeType::kHasRead, {9, 9});
+  (void)g.AddEdge(p2, query, EdgeType::kRun, {9, 9});
+  (void)g.AddEdge(query, t4, EdgeType::kHasReturned, {9, 9});
+  (void)g.AddEdge(query, t5, EdgeType::kHasReturned, {9, 9});
+  (void)g.AddEdge(t4, p2, EdgeType::kReadFromDb, {9, 9});
+  (void)g.AddEdge(t5, p2, EdgeType::kReadFromDb, {9, 9});
+  (void)g.AddEdge(p2, file_c, EdgeType::kHasWritten, {7, 12});
+  g.AddTupleDependency(t4, t1);
+  g.AddTupleDependency(t4, t3);
+  g.AddTupleDependency(t5, t1);
+  g.AddTupleDependency(t5, t3);
+  return g;
+}
+
+TraceGraph Chain(Interval a_p1, Interval p1_b, Interval b_p2, Interval p2_c) {
+  TraceGraph g;
+  NodeId a = g.GetOrAddNode(NodeType::kFile, "A");
+  NodeId p1 = g.GetOrAddNode(NodeType::kProcess, "P1");
+  NodeId b = g.GetOrAddNode(NodeType::kFile, "B");
+  NodeId p2 = g.GetOrAddNode(NodeType::kProcess, "P2");
+  NodeId c = g.GetOrAddNode(NodeType::kFile, "C");
+  (void)g.AddEdge(a, p1, EdgeType::kReadFrom, a_p1);
+  (void)g.AddEdge(p1, b, EdgeType::kHasWritten, p1_b);
+  (void)g.AddEdge(b, p2, EdgeType::kReadFrom, b_p2);
+  (void)g.AddEdge(p2, c, EdgeType::kHasWritten, p2_c);
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool dot = argc > 1 && std::strcmp(argv[1], "--dot") == 0;
+
+  TraceGraph fig2 = Figure2();
+  if (dot) {
+    std::fputs(fig2.ToDot().c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("Figure 2 — combined execution trace (%lld nodes, %lld edges)\n",
+              static_cast<long long>(fig2.num_nodes()),
+              static_cast<long long>(fig2.num_edges()));
+  DependencyAnalyzer fig2_analyzer(&fig2);
+  NodeId c = fig2.FindNode(NodeType::kFile, "C");
+  NodeId a = fig2.FindNode(NodeType::kFile, "A");
+  NodeId b = fig2.FindNode(NodeType::kFile, "B");
+  NodeId t1 = fig2.FindNode(NodeType::kTuple, "t1");
+  NodeId t2 = fig2.FindNode(NodeType::kTuple, "t2");
+  NodeId t4 = fig2.FindNode(NodeType::kTuple, "t4");
+  Check("file C depends on file A (via t1/t3 and the query)",
+        fig2_analyzer.Depends(c, a), true);
+  Check("file C depends on tuple t1", fig2_analyzer.Depends(c, t1), true);
+  Check("file C depends on tuple t2 (never read by the query)",
+        fig2_analyzer.Depends(c, t2), false);
+  Check("t4 depends on t1 (Lineage)", fig2_analyzer.Depends(t4, t1), true);
+  Check("t4 depends on file A (cross-model)", fig2_analyzer.Depends(t4, a),
+        true);
+  Check("t4 depends on file B (B read at [7,8], t1 inserted at 5)",
+        fig2_analyzer.Depends(t4, b), true);
+
+  std::printf(
+      "\nFigure 6 — temporal pruning on the chain A->P1->B->P2->C\n");
+  {
+    TraceGraph g = Chain({2, 3}, {6, 7}, {1, 5}, {6, 6});
+    DependencyAnalyzer analyzer(&g);
+    Check("6a: C depends on A (P2 stopped reading B before P1 wrote it)",
+          analyzer.Depends(g.FindNode(NodeType::kFile, "C"),
+                           g.FindNode(NodeType::kFile, "A")),
+          false);
+    analyzer.set_use_temporal_constraints(false);
+    Check("6a without temporal reasoning (spurious dependency)",
+          analyzer.Depends(g.FindNode(NodeType::kFile, "C"),
+                           g.FindNode(NodeType::kFile, "A")),
+          true);
+  }
+  {
+    TraceGraph g = Chain({1, 1}, {4, 7}, {2, 5}, {1, 6});
+    DependencyAnalyzer analyzer(&g);
+    Check("6b: C depends on A at time 4",
+          analyzer.Depends(g.FindNode(NodeType::kFile, "C"),
+                           g.FindNode(NodeType::kFile, "A"), 4),
+          true);
+    Check("6b: ... but not at time 3",
+          analyzer.Depends(g.FindNode(NodeType::kFile, "C"),
+                           g.FindNode(NodeType::kFile, "A"), 3),
+          false);
+  }
+
+  std::printf("\nExample 7 — write-before-read has no dependency\n");
+  {
+    TraceGraph g;
+    NodeId fa = g.GetOrAddNode(NodeType::kFile, "A");
+    NodeId fb = g.GetOrAddNode(NodeType::kFile, "B");
+    NodeId fc = g.GetOrAddNode(NodeType::kFile, "C");
+    NodeId fd = g.GetOrAddNode(NodeType::kFile, "D");
+    NodeId p1 = g.GetOrAddNode(NodeType::kProcess, "P1");
+    (void)g.AddEdge(fa, p1, EdgeType::kReadFrom, {1, 5});
+    (void)g.AddEdge(fb, p1, EdgeType::kReadFrom, {7, 8});
+    (void)g.AddEdge(p1, fc, EdgeType::kHasWritten, {2, 3});
+    (void)g.AddEdge(p1, fd, EdgeType::kHasWritten, {8, 8});
+    DependencyAnalyzer analyzer(&g);
+    Check("C (written [2,3]) depends on B (read [7,8])",
+          analyzer.Depends(fc, fb), false);
+    Check("D (written [8,8]) depends on B", analyzer.Depends(fd, fb), true);
+    Check("C depends on A", analyzer.Depends(fc, fa), true);
+  }
+
+  std::printf("\n(run with --dot to emit the Figure 2 trace as Graphviz)\n");
+  return 0;
+}

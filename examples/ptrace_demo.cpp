@@ -1,0 +1,71 @@
+// Demonstrates the genuine PTU/CDE capture mechanism: traces a real command
+// with ptrace(2), prints its file-access provenance, and builds a CDE-style
+// package of everything it read (paper §VII-A / §VII-D, OS side only).
+//
+//   $ ./ptrace_demo [command args...]      (default: sh -c 'cat ...')
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ldv/packager.h"
+#include "os/ptrace_tracer.h"
+#include "util/fsutil.h"
+
+int main(int argc, char** argv) {
+  auto work = ldv::MakeTempDir("ldv_ptrace_demo_");
+  if (!work.ok()) {
+    std::fprintf(stderr, "%s\n", work.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> command;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) command.push_back(argv[i]);
+  } else {
+    // Default demo: a pipeline that reads one file and writes another.
+    std::string input = *work + "/input.txt";
+    if (auto s = ldv::WriteStringToFile(input, "hello from the tracee\n");
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    command = {"/bin/sh", "-c",
+               "cat " + input + " > " + *work + "/copied.txt"};
+  }
+
+  ldv::os::PtraceTracer tracer;
+  auto report = tracer.Run(command);
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "ptrace_demo: %s\n(this environment may forbid ptrace)\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("traced %zu syscall events, exit code %d\n",
+              report->events.size(), report->exit_code);
+  std::printf("files read (%zu):\n", report->files_read.size());
+  for (const std::string& path : report->files_read) {
+    std::printf("  R %s\n", path.c_str());
+  }
+  std::printf("files written (%zu):\n", report->files_written.size());
+  for (const std::string& path : report->files_written) {
+    std::printf("  W %s\n", path.c_str());
+  }
+  std::printf("binaries executed (%zu):\n", report->binaries_executed.size());
+  for (const std::string& path : report->binaries_executed) {
+    std::printf("  X %s\n", path.c_str());
+  }
+
+  auto package = ldv::BuildCdePackage(*report, *work + "/cde_package");
+  if (!package.ok()) {
+    std::fprintf(stderr, "%s\n", package.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("CDE-style package: %lld files, %.3f MB -> %s\n",
+              static_cast<long long>(package->files_copied),
+              static_cast<double>(package->bytes_copied) / 1e6,
+              package->package_dir.c_str());
+  return 0;
+}

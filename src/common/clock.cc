@@ -1,0 +1,19 @@
+#include "common/clock.h"
+
+#include <ctime>
+
+namespace ldv {
+
+int64_t NowNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+void WallTimer::Restart() { start_ns_ = NowNanos(); }
+
+double WallTimer::Seconds() const {
+  return static_cast<double>(NowNanos() - start_ns_) * 1e-9;
+}
+
+}  // namespace ldv

@@ -1,0 +1,47 @@
+#ifndef LDV_COMMON_CLOCK_H_
+#define LDV_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace ldv {
+
+/// Monotonically increasing logical clock used to annotate provenance-trace
+/// edges with time intervals (paper §IV-B, Definition 2). Deterministic, so
+/// traces built from the simulated OS layer are reproducible in tests.
+class LogicalClock {
+ public:
+  LogicalClock() = default;
+
+  /// Advances and returns the new tick.
+  int64_t Tick() { return ++now_; }
+
+  /// Current time without advancing.
+  int64_t Now() const { return now_; }
+
+  /// Resets to `t` (used when loading a serialized trace).
+  void Reset(int64_t t) { now_ = t; }
+
+ private:
+  int64_t now_ = 0;
+};
+
+/// Wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart();
+
+  /// Seconds elapsed since construction/Restart.
+  double Seconds() const;
+
+ private:
+  int64_t start_ns_ = 0;
+};
+
+/// Current wall time in nanoseconds (CLOCK_MONOTONIC).
+int64_t NowNanos();
+
+}  // namespace ldv
+
+#endif  // LDV_COMMON_CLOCK_H_

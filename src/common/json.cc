@@ -1,0 +1,459 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ldv {
+
+Json Json::MakeBool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::MakeInt(int64_t i) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = i;
+  return j;
+}
+
+Json Json::MakeDouble(double d) {
+  Json j;
+  j.type_ = Type::kDouble;
+  j.double_ = d;
+  return j;
+}
+
+Json Json::MakeString(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::MakeArray() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::MakeObject() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  LDV_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+int64_t Json::AsInt() const {
+  if (type_ == Type::kDouble) return static_cast<int64_t>(double_);
+  LDV_CHECK(type_ == Type::kInt);
+  return int_;
+}
+
+double Json::AsDouble() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  LDV_CHECK(type_ == Type::kDouble);
+  return double_;
+}
+
+const std::string& Json::AsString() const {
+  LDV_CHECK(type_ == Type::kString);
+  return string_;
+}
+
+const std::vector<Json>& Json::AsArray() const {
+  LDV_CHECK(type_ == Type::kArray);
+  return array_;
+}
+
+std::vector<Json>& Json::MutableArray() {
+  LDV_CHECK(type_ == Type::kArray);
+  return array_;
+}
+
+const std::map<std::string, Json>& Json::AsObject() const {
+  LDV_CHECK(type_ == Type::kObject);
+  return object_;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void Json::Set(std::string key, Json value) {
+  LDV_CHECK(type_ == Type::kObject);
+  object_[std::move(key)] = std::move(value);
+}
+
+void Json::Append(Json value) {
+  LDV_CHECK(type_ == Type::kArray);
+  array_.push_back(std::move(value));
+}
+
+int64_t Json::GetInt(std::string_view key, int64_t fallback) const {
+  const Json* j = Find(key);
+  return (j != nullptr && (j->type_ == Type::kInt || j->type_ == Type::kDouble))
+             ? j->AsInt()
+             : fallback;
+}
+
+double Json::GetDouble(std::string_view key, double fallback) const {
+  const Json* j = Find(key);
+  return (j != nullptr && (j->type_ == Type::kInt || j->type_ == Type::kDouble))
+             ? j->AsDouble()
+             : fallback;
+}
+
+std::string Json::GetString(std::string_view key, std::string fallback) const {
+  const Json* j = Find(key);
+  return (j != nullptr && j->type_ == Type::kString) ? j->AsString()
+                                                     : std::move(fallback);
+}
+
+bool Json::GetBool(std::string_view key, bool fallback) const {
+  const Json* j = Find(key);
+  return (j != nullptr && j->type_ == Type::kBool) ? j->AsBool() : fallback;
+}
+
+namespace {
+
+void EscapeStringTo(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Indent(std::string* out, bool pretty, int indent) {
+  if (!pretty) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, bool pretty, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        *out += buf;
+      } else {
+        *out += "null";  // JSON has no Inf/NaN.
+      }
+      break;
+    }
+    case Type::kString:
+      EscapeStringTo(out, string_);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        Indent(out, pretty, indent + 1);
+        item.DumpTo(out, pretty, indent + 1);
+      }
+      if (!array_.empty()) Indent(out, pretty, indent);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        Indent(out, pretty, indent + 1);
+        EscapeStringTo(out, key);
+        *out += pretty ? ": " : ":";
+        value.DumpTo(out, pretty, indent + 1);
+      }
+      if (!object_.empty()) Indent(out, pretty, indent);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(bool pretty) const {
+  std::string out;
+  DumpTo(&out, pretty, 0);
+  if (pretty) out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWs();
+    LDV_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters at offset " +
+                                std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::ParseError(std::string("expected '") + c + "' at offset " +
+                                std::to_string(pos_));
+    }
+    return Status::Ok();
+  }
+
+  Result<Json> ParseValue() {
+    if (pos_ >= text_.size()) return Status::ParseError("unexpected end");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        LDV_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json::MakeString(std::move(s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Json::MakeBool(true);
+        }
+        return Status::ParseError("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Json::MakeBool(false);
+        }
+        return Status::ParseError("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Json::MakeNull();
+        }
+        return Status::ParseError("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    bool is_double = false;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty()) return Status::ParseError("bad number");
+    if (!is_double) {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && ptr == tok.data() + tok.size()) {
+        return Json::MakeInt(v);
+      }
+    }
+    double d = std::strtod(std::string(tok).c_str(), nullptr);
+    return Json::MakeDouble(d);
+  }
+
+  Result<std::string> ParseString() {
+    LDV_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::ParseError("bad \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Status::ParseError("bad \\u escape");
+              }
+            }
+            // Encode as UTF-8 (BMP only; sufficient for manifests).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Status::ParseError("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Status::ParseError("unterminated string");
+  }
+
+  Result<Json> ParseArray() {
+    LDV_RETURN_IF_ERROR(Expect('['));
+    Json arr = Json::MakeArray();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      SkipWs();
+      LDV_ASSIGN_OR_RETURN(Json value, ParseValue());
+      arr.Append(std::move(value));
+      SkipWs();
+      if (Consume(']')) return arr;
+      LDV_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Result<Json> ParseObject() {
+    LDV_RETURN_IF_ERROR(Expect('{'));
+    Json obj = Json::MakeObject();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      LDV_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      LDV_RETURN_IF_ERROR(Expect(':'));
+      SkipWs();
+      LDV_ASSIGN_OR_RETURN(Json value, ParseValue());
+      obj.Set(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return obj;
+      LDV_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace ldv

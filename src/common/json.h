@@ -1,0 +1,79 @@
+#ifndef LDV_COMMON_JSON_H_
+#define LDV_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ldv {
+
+/// Minimal JSON document model used for package manifests and replay logs.
+/// Supports the subset LDV needs: null, bool, int64, double, string, array,
+/// object (with deterministic, sorted key order on output).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json MakeNull() { return Json(); }
+  static Json MakeBool(bool b);
+  static Json MakeInt(int64_t i);
+  static Json MakeDouble(double d);
+  static Json MakeString(std::string s);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  // Accessors; the type must match (checked with LDV_CHECK).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<Json>& AsArray() const;
+  std::vector<Json>& MutableArray();
+  const std::map<std::string, Json>& AsObject() const;
+
+  /// Object field access; returns nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+  /// Sets/overwrites an object field (must be an object).
+  void Set(std::string key, Json value);
+  /// Appends to an array (must be an array).
+  void Append(Json value);
+
+  // Convenience typed getters with defaults for manifest reading.
+  int64_t GetInt(std::string_view key, int64_t fallback) const;
+  double GetDouble(std::string_view key, double fallback) const;
+  std::string GetString(std::string_view key, std::string fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+
+  /// Serializes; `pretty` inserts newlines and two-space indentation.
+  std::string Dump(bool pretty = false) const;
+
+  /// Parses a JSON document.
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, bool pretty, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace ldv
+
+#endif  // LDV_COMMON_JSON_H_

@@ -1,0 +1,53 @@
+#ifndef LDV_COMMON_LOGGING_H_
+#define LDV_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ldv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that is emitted to stderr (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; writes one line to stderr on destruction.
+/// kFatal aborts the process after emitting the message.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ldv
+
+#define LDV_LOG(level)                                                     \
+  ::ldv::internal::LogMessage(::ldv::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+/// Invariant check that is active in all build types; logs and aborts on
+/// failure. Use for programmer errors, not for user-input validation.
+#define LDV_CHECK(cond)                                      \
+  if (!(cond)) LDV_LOG(Fatal) << "Check failed: " #cond " "
+
+#define LDV_CHECK_OK(expr)                                            \
+  do {                                                                \
+    ::ldv::Status _ldv_chk = (expr);                                  \
+    if (!_ldv_chk.ok())                                               \
+      LDV_LOG(Fatal) << "Status not OK: " << _ldv_chk.ToString();     \
+  } while (false)
+
+#endif  // LDV_COMMON_LOGGING_H_

@@ -1,0 +1,79 @@
+#ifndef LDV_COMMON_RESULT_H_
+#define LDV_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ldv {
+
+/// Value-or-Status, the project-wide replacement for exceptions
+/// (StatusOr style). A Result is either OK and holds a T, or holds a
+/// non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from value: `return my_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ is engaged.
+  std::optional<T> value_;
+};
+
+}  // namespace ldv
+
+// Internal helper for unique temporaries.
+#define LDV_CONCAT_IMPL_(a, b) a##b
+#define LDV_CONCAT_(a, b) LDV_CONCAT_IMPL_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define LDV_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  LDV_ASSIGN_OR_RETURN_IMPL_(LDV_CONCAT_(_ldv_result_, __LINE__), lhs, rexpr)
+
+#define LDV_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // LDV_COMMON_RESULT_H_

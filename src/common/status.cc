@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace ldv {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kReplayMismatch:
+      return "ReplayMismatch";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+}  // namespace ldv

@@ -1,0 +1,100 @@
+#ifndef LDV_COMMON_STATUS_H_
+#define LDV_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ldv {
+
+/// Error categories used across the LDV code base. Mirrors the usual
+/// database-engine status taxonomy (RocksDB/Arrow style) since the project
+/// builds without exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kInternal,
+  kNotSupported,
+  kParseError,
+  kConstraintViolation,
+  kReplayMismatch,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case
+/// (no allocation); carries a code plus message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ReplayMismatch(std::string msg) {
+    return Status(StatusCode::kReplayMismatch, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prepends `context` to the message of a non-OK status; no-op when OK.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+}  // namespace ldv
+
+/// Propagates a non-OK Status to the caller.
+#define LDV_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::ldv::Status _ldv_status = (expr);             \
+    if (!_ldv_status.ok()) return _ldv_status;      \
+  } while (false)
+
+#endif  // LDV_COMMON_STATUS_H_

@@ -1,0 +1,113 @@
+#ifndef LDV_EXEC_EXECUTOR_H_
+#define LDV_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/operators.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace ldv::exec {
+
+/// One tuple version referenced by a statement's provenance, with its values
+/// snapshot — what Perm's rewritten query returns alongside the results and
+/// what the packager persists into the package's CSV files.
+struct ProvTupleRecord {
+  storage::TupleVid vid;
+  std::string table;
+  storage::Tuple values;
+};
+
+/// Provenance of one DML effect.
+struct DmlRecord {
+  enum class Kind { kInserted, kUpdated, kDeleted };
+  Kind kind = Kind::kInserted;
+  std::string table;
+  /// The created tuple version (insert/update); for deletes, the removed
+  /// version.
+  storage::TupleVid vid;
+  /// The prior version the statement read (update/delete).
+  storage::TupleVid prior;
+  bool has_prior = false;
+};
+
+/// Result of executing one statement.
+struct ResultSet {
+  storage::Schema schema;
+  std::vector<storage::Tuple> rows;
+  /// Per-row Lineage (parallel to rows) when provenance was requested.
+  std::vector<LineageSet> lineage;
+  /// Values of every distinct tuple version appearing in `lineage` or as a
+  /// DML prior version.
+  std::vector<ProvTupleRecord> prov_tuples;
+  std::vector<DmlRecord> dml;
+  int64_t affected = 0;
+  bool has_provenance = false;
+
+  /// Deterministic fingerprint of schema+rows, used by replay equivalence
+  /// tests.
+  uint64_t Fingerprint() const;
+};
+
+/// Per-statement execution options: the identifiers the (auditing) client
+/// library assigned.
+struct ExecOptions {
+  int64_t query_id = 0;
+  int64_t process_id = 0;
+};
+
+/// The query/DML engine over one Database. Statements carrying the
+/// PROVENANCE prefix additionally return Lineage (queries) or reenactment
+/// provenance (updates/deletes computed against the pre-state, GProM-style).
+class Executor {
+ public:
+  explicit Executor(storage::Database* db) : db_(db) {}
+
+  /// Parses and executes one statement.
+  Result<ResultSet> Execute(std::string_view sql, const ExecOptions& options);
+
+  /// Executes an already-parsed statement.
+  Result<ResultSet> ExecuteParsed(const sql::Statement& stmt,
+                                  const ExecOptions& options);
+
+  storage::Database* db() { return db_; }
+
+ private:
+  Result<ResultSet> ExecSelect(const sql::SelectStmt& select, bool provenance,
+                               const ExecOptions& options);
+  Result<ResultSet> ExecInsert(const sql::InsertStmt& insert, bool provenance,
+                               const ExecOptions& options);
+  Result<ResultSet> ExecCreateTable(const sql::CreateTableStmt& create);
+  Result<ResultSet> ExecDropTable(const sql::DropTableStmt& drop);
+  Result<ResultSet> ExecAlterTable(const sql::AlterTableAddColumnStmt& alter);
+  Result<ResultSet> ExecCreateIndex(const sql::CreateIndexStmt& create);
+  Result<ResultSet> ExecCopy(const sql::CopyStmt& copy);
+
+  /// Evaluates every uncorrelated subquery in `expr`, replacing it with its
+  /// computed value(s). Under provenance, the tuples the subqueries read are
+  /// accumulated as ambient lineage — conservatively, every outer result row
+  /// depends on them.
+  Result<std::unique_ptr<sql::Expr>> FlattenExpr(
+      const sql::Expr& expr, bool provenance, const ExecOptions& options,
+      LineageSet* ambient_lineage, std::vector<ProvTupleRecord>* ambient);
+
+  /// Clone of `select` with all subqueries flattened (null when `select`
+  /// contains none).
+  Result<std::unique_ptr<sql::SelectStmt>> FlattenSelect(
+      const sql::SelectStmt& select, bool provenance,
+      const ExecOptions& options, LineageSet* ambient_lineage,
+      std::vector<ProvTupleRecord>* ambient);
+
+  storage::Database* db_;
+};
+
+/// Converts the ExecContext prov-tuple map into sorted ProvTupleRecords.
+std::vector<ProvTupleRecord> CollectProvTuples(const ExecContext& ctx,
+                                               const storage::Database& db);
+
+}  // namespace ldv::exec
+
+#endif  // LDV_EXEC_EXECUTOR_H_

@@ -1,0 +1,88 @@
+#ifndef LDV_EXEC_EXPRESSION_H_
+#define LDV_EXEC_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/value.h"
+
+namespace ldv::exec {
+
+/// One column visible while binding expressions: a qualifier (table alias),
+/// a name, and a type. `hidden` columns (the prov_* pseudo-columns) are
+/// resolvable by name but excluded from `SELECT *` expansion.
+struct ScopeColumn {
+  std::string qualifier;
+  std::string name;
+  storage::ValueType type = storage::ValueType::kString;
+  bool hidden = false;
+};
+
+/// Name-resolution scope for an operator's output row layout.
+class Scope {
+ public:
+  Scope() = default;
+
+  void Add(ScopeColumn column) { columns_.push_back(std::move(column)); }
+
+  /// Concatenates two scopes (join output: left columns then right).
+  static Scope Concat(const Scope& left, const Scope& right);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::vector<ScopeColumn>& columns() const { return columns_; }
+  const ScopeColumn& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+
+  /// Resolves `qualifier.name` (qualifier may be empty) to a row index.
+  /// Unqualified names must be unambiguous.
+  Result<int> Resolve(const std::string& qualifier,
+                      const std::string& name) const;
+
+  /// True if some column resolves (used for conjunct placement).
+  bool CanResolve(const std::string& qualifier, const std::string& name) const;
+
+ private:
+  std::vector<ScopeColumn> columns_;
+};
+
+/// An expression bound to a concrete row layout: column references carry row
+/// indexes and every node carries an inferred result type.
+struct BoundExpr {
+  sql::ExprKind kind = sql::ExprKind::kLiteral;
+  storage::Value literal;
+  int column_index = -1;  // kColumnRef
+  std::string func_name;  // kFuncCall
+  sql::BinaryOp binary_op = sql::BinaryOp::kEq;
+  sql::UnaryOp unary_op = sql::UnaryOp::kNot;
+  bool negated = false;
+  storage::ValueType result_type = storage::ValueType::kString;
+  std::vector<std::unique_ptr<BoundExpr>> children;
+};
+
+/// Binds `expr` against `scope`. Aggregate calls are rejected here; the
+/// planner rewrites them into synthetic columns before binding.
+Result<std::unique_ptr<BoundExpr>> BindExpr(const sql::Expr& expr,
+                                            const Scope& scope);
+
+/// Evaluates a bound scalar expression over `row`.
+Result<storage::Value> EvalExpr(const BoundExpr& expr,
+                                const storage::Tuple& row);
+
+/// Evaluates an expression with no column references (INSERT literals).
+Result<storage::Value> EvalConstExpr(const sql::Expr& expr);
+
+/// Collects every column reference (qualifier, name) in the tree.
+void CollectColumnRefs(const sql::Expr& expr,
+                       std::vector<std::pair<std::string, std::string>>* out);
+
+/// Coerces `v` to column type `type` (int->double widening, text parsing is
+/// NOT performed). NULL passes through.
+Result<storage::Value> CoerceValue(storage::Value v, storage::ValueType type);
+
+}  // namespace ldv::exec
+
+#endif  // LDV_EXEC_EXPRESSION_H_

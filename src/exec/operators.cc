@@ -1,0 +1,513 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/strings.h"
+
+namespace ldv::exec {
+
+using storage::RowVersion;
+using storage::Tuple;
+using storage::TupleVid;
+using storage::Value;
+using storage::ValueType;
+
+void MergeLineage(LineageSet* dst, const LineageSet& src) {
+  if (src.empty()) return;
+  size_t old_size = dst->size();
+  dst->insert(dst->end(), src.begin(), src.end());
+  std::inplace_merge(dst->begin(), dst->begin() + static_cast<long>(old_size),
+                     dst->end());
+  dst->erase(std::unique(dst->begin(), dst->end()), dst->end());
+}
+
+// ---------------------------------------------------------------------------
+// ScanNode
+// ---------------------------------------------------------------------------
+
+ScanNode::ScanNode(storage::Table* table, const std::string& alias,
+                   bool expose_prov_columns)
+    : table_(table), expose_prov_columns_(expose_prov_columns) {
+  for (const storage::Column& c : table->schema().columns()) {
+    scope_.Add({alias, c.name, c.type, /*hidden=*/false});
+  }
+  if (expose_prov_columns_) {
+    scope_.Add({alias, std::string(storage::kProvRowIdColumn),
+                ValueType::kInt64, /*hidden=*/true});
+    scope_.Add({alias, std::string(storage::kProvVersionColumn),
+                ValueType::kInt64, /*hidden=*/true});
+    scope_.Add({alias, std::string(storage::kProvUsedByColumn),
+                ValueType::kInt64, /*hidden=*/true});
+    scope_.Add({alias, std::string(storage::kProvProcessColumn),
+                ValueType::kInt64, /*hidden=*/true});
+  }
+}
+
+Status ScanNode::EmitRow(ExecContext* ctx, RowVersion* row, Batch* out) {
+  Tuple values = row->values;
+  if (expose_prov_columns_) {
+    values.push_back(Value::Int(row->rowid));
+    values.push_back(Value::Int(row->version));
+    values.push_back(Value::Int(row->used_by_query));
+    values.push_back(Value::Int(row->used_by_process));
+  }
+  if (filter_ != nullptr) {
+    LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*filter_, values));
+    if (!keep.IsTruthy()) return Status::Ok();
+  }
+  if (ctx->track_lineage) {
+    // Lineage-tracked scans stamp the prov_usedby / prov_p attributes of
+    // every tuple they read (§VII-B).
+    TupleVid vid{table_->id(), row->rowid, row->version};
+    row->used_by_query = ctx->query_id;
+    row->used_by_process = ctx->process_id;
+    out->lineage.push_back({vid});
+    ctx->prov_tuples.emplace(vid, row->values);
+  }
+  out->rows.push_back(std::move(values));
+  return Status::Ok();
+}
+
+Result<Batch> ScanNode::Execute(ExecContext* ctx) {
+  Batch out;
+  if (has_index_probe() && table_->HasIndexOn(probe_column_)) {
+    // Point lookup through the hash index; rowid order keeps emission order
+    // identical to a full scan over the same qualifying rows.
+    for (storage::RowId rowid :
+         table_->IndexLookup(probe_column_, probe_value_)) {
+      RowVersion* row = table_->FindMutable(rowid);
+      if (row == nullptr) continue;
+      LDV_RETURN_IF_ERROR(EmitRow(ctx, row, &out));
+    }
+    return out;
+  }
+  for (RowVersion& row : table_->mutable_rows()) {
+    if (row.deleted) continue;
+    LDV_RETURN_IF_ERROR(EmitRow(ctx, &row, &out));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JoinNode
+// ---------------------------------------------------------------------------
+
+JoinNode::JoinNode(std::unique_ptr<PlanNode> left,
+                   std::unique_ptr<PlanNode> right,
+                   std::vector<std::pair<int, int>> key_pairs,
+                   bool left_outer)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      key_pairs_(std::move(key_pairs)),
+      left_outer_(left_outer) {
+  scope_ = Scope::Concat(left_->scope(), right_->scope());
+}
+
+Result<Batch> JoinNode::Execute(ExecContext* ctx) {
+  LDV_ASSIGN_OR_RETURN(Batch left, left_->Execute(ctx));
+  LDV_ASSIGN_OR_RETURN(Batch right, right_->Execute(ctx));
+  const bool lineage = ctx->track_lineage;
+  const size_t right_width =
+      static_cast<size_t>(right_->scope().num_columns());
+  Batch out;
+
+  // Emits left[li] + right[ri]; returns whether the pair survived the
+  // residual predicate (needed for outer-join match bookkeeping).
+  auto emit = [&](size_t li, size_t ri) -> Result<bool> {
+    Tuple row = left.rows[li];
+    row.insert(row.end(), right.rows[ri].begin(), right.rows[ri].end());
+    if (residual_ != nullptr) {
+      LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*residual_, row));
+      if (!keep.IsTruthy()) return false;
+    }
+    if (lineage) {
+      LineageSet merged = left.lineage[li];
+      MergeLineage(&merged, right.lineage[ri]);
+      out.lineage.push_back(std::move(merged));
+    }
+    out.rows.push_back(std::move(row));
+    return true;
+  };
+
+  auto emit_unmatched = [&](size_t li) {
+    Tuple row = left.rows[li];
+    row.resize(row.size() + right_width);  // NULL padding
+    if (lineage) out.lineage.push_back(left.lineage[li]);
+    out.rows.push_back(std::move(row));
+  };
+
+  if (key_pairs_.empty()) {
+    // Nested loop (the residual is the join predicate).
+    for (size_t li = 0; li < left.rows.size(); ++li) {
+      bool matched = false;
+      for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+        LDV_ASSIGN_OR_RETURN(bool hit, emit(li, ri));
+        matched |= hit;
+      }
+      if (left_outer_ && !matched) emit_unmatched(li);
+    }
+    return out;
+  }
+
+  // Build a hash table on the right input.
+  std::unordered_multimap<uint64_t, size_t> build;
+  build.reserve(right.rows.size());
+  auto key_of = [&](const Tuple& row, bool is_right) {
+    Tuple key;
+    key.reserve(key_pairs_.size());
+    for (const auto& [l, r] : key_pairs_) {
+      key.push_back(row[static_cast<size_t>(is_right ? r : l)]);
+    }
+    return key;
+  };
+  for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+    build.emplace(storage::HashTuple(key_of(right.rows[ri], true)), ri);
+  }
+  for (size_t li = 0; li < left.rows.size(); ++li) {
+    Tuple probe = key_of(left.rows[li], false);
+    bool null_key = false;
+    for (const Value& v : probe) null_key |= v.is_null();
+    bool matched = false;
+    if (!null_key) {  // SQL equality never matches NULL
+      auto [begin, end] = build.equal_range(storage::HashTuple(probe));
+      for (auto it = begin; it != end; ++it) {
+        size_t ri = it->second;
+        // Verify equality (hash collisions, and = semantics with coercion).
+        bool keys_equal = true;
+        for (size_t k = 0; keys_equal && k < key_pairs_.size(); ++k) {
+          const Value& lv =
+              left.rows[li][static_cast<size_t>(key_pairs_[k].first)];
+          const Value& rv =
+              right.rows[ri][static_cast<size_t>(key_pairs_[k].second)];
+          if (lv.is_null() || rv.is_null()) {
+            keys_equal = false;
+            break;
+          }
+          Result<int> cmp = lv.Compare(rv);
+          if (!cmp.ok() || *cmp != 0) keys_equal = false;
+        }
+        if (keys_equal) {
+          LDV_ASSIGN_OR_RETURN(bool hit, emit(li, ri));
+          matched |= hit;
+        }
+      }
+    }
+    if (left_outer_ && !matched) emit_unmatched(li);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FilterNode
+// ---------------------------------------------------------------------------
+
+FilterNode::FilterNode(std::unique_ptr<PlanNode> child,
+                       std::unique_ptr<BoundExpr> predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  scope_ = child_->scope();
+}
+
+Result<Batch> FilterNode::Execute(ExecContext* ctx) {
+  LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  Batch out;
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*predicate_, in.rows[i]));
+    if (!keep.IsTruthy()) continue;
+    out.rows.push_back(std::move(in.rows[i]));
+    if (ctx->track_lineage) out.lineage.push_back(std::move(in.lineage[i]));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ProjectNode
+// ---------------------------------------------------------------------------
+
+ProjectNode::ProjectNode(std::unique_ptr<PlanNode> child,
+                         std::vector<std::unique_ptr<BoundExpr>> exprs,
+                         std::vector<std::string> names)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    scope_.Add({"", names[i], exprs_[i]->result_type, /*hidden=*/false});
+  }
+}
+
+Result<Batch> ProjectNode::Execute(ExecContext* ctx) {
+  LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  Batch out;
+  out.rows.reserve(in.rows.size());
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    Tuple row;
+    row.reserve(exprs_.size());
+    for (const auto& e : exprs_) {
+      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.rows[i]));
+      row.push_back(std::move(v));
+    }
+    out.rows.push_back(std::move(row));
+    if (ctx->track_lineage) out.lineage.push_back(std::move(in.lineage[i]));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// AggregateNode
+// ---------------------------------------------------------------------------
+
+AggregateNode::AggregateNode(std::unique_ptr<PlanNode> child,
+                             std::vector<std::unique_ptr<BoundExpr>> group_exprs,
+                             std::vector<AggregateSpec> aggs)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)) {
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    scope_.Add({"", "#grp" + std::to_string(i), group_exprs_[i]->result_type,
+                /*hidden=*/false});
+  }
+  for (const AggregateSpec& a : aggs_) {
+    scope_.Add({"", a.output_name, a.output_type, /*hidden=*/false});
+  }
+}
+
+namespace {
+
+/// Running state for one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  bool any = false;
+  int64_t sum_int = 0;
+  double sum_double = 0;
+  bool sum_is_double = false;
+  Value extreme;  // min/max
+};
+
+struct GroupState {
+  Tuple keys;
+  std::vector<AggState> aggs;
+  LineageSet lineage;
+};
+
+Status Accumulate(AggState* state, AggregateSpec::Fn fn, const Value& v) {
+  switch (fn) {
+    case AggregateSpec::Fn::kCountStar:
+      ++state->count;
+      return Status::Ok();
+    case AggregateSpec::Fn::kCount:
+      if (!v.is_null()) ++state->count;
+      return Status::Ok();
+    case AggregateSpec::Fn::kSum:
+    case AggregateSpec::Fn::kAvg:
+      if (v.is_null()) return Status::Ok();
+      ++state->count;
+      state->any = true;
+      if (v.type() == ValueType::kInt64 && !state->sum_is_double) {
+        state->sum_int += v.AsInt();
+      } else {
+        if (!state->sum_is_double) {
+          state->sum_double = static_cast<double>(state->sum_int);
+          state->sum_is_double = true;
+        }
+        state->sum_double += v.AsDouble();
+      }
+      return Status::Ok();
+    case AggregateSpec::Fn::kMin:
+    case AggregateSpec::Fn::kMax: {
+      if (v.is_null()) return Status::Ok();
+      if (!state->any) {
+        state->extreme = v;
+        state->any = true;
+        return Status::Ok();
+      }
+      LDV_ASSIGN_OR_RETURN(int cmp, v.Compare(state->extreme));
+      if ((fn == AggregateSpec::Fn::kMin && cmp < 0) ||
+          (fn == AggregateSpec::Fn::kMax && cmp > 0)) {
+        state->extreme = v;
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable aggregate fn");
+}
+
+Value Finalize(const AggState& state, const AggregateSpec& spec) {
+  switch (spec.fn) {
+    case AggregateSpec::Fn::kCountStar:
+    case AggregateSpec::Fn::kCount:
+      return Value::Int(state.count);
+    case AggregateSpec::Fn::kSum:
+      if (!state.any) return Value::Null();
+      return state.sum_is_double ? Value::Real(state.sum_double)
+                                 : Value::Int(state.sum_int);
+    case AggregateSpec::Fn::kAvg: {
+      if (!state.any) return Value::Null();
+      double total = state.sum_is_double ? state.sum_double
+                                         : static_cast<double>(state.sum_int);
+      return Value::Real(total / static_cast<double>(state.count));
+    }
+    case AggregateSpec::Fn::kMin:
+    case AggregateSpec::Fn::kMax:
+      return state.any ? state.extreme : Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+Result<Batch> AggregateNode::Execute(ExecContext* ctx) {
+  LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  const bool lineage = ctx->track_lineage;
+  // Group index: key hash -> candidate group ids (chained for collisions).
+  std::unordered_multimap<uint64_t, size_t> index;
+  std::vector<GroupState> groups;
+
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    Tuple keys;
+    keys.reserve(group_exprs_.size());
+    for (const auto& g : group_exprs_) {
+      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, in.rows[i]));
+      keys.push_back(std::move(v));
+    }
+    uint64_t h = storage::HashTuple(keys);
+    size_t group_id = SIZE_MAX;
+    auto [begin, end] = index.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      if (groups[it->second].keys == keys) {
+        group_id = it->second;
+        break;
+      }
+    }
+    if (group_id == SIZE_MAX) {
+      group_id = groups.size();
+      GroupState g;
+      g.keys = std::move(keys);
+      g.aggs.resize(aggs_.size());
+      groups.push_back(std::move(g));
+      index.emplace(h, group_id);
+    }
+    GroupState& group = groups[group_id];
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      Value arg;
+      if (aggs_[a].arg != nullptr) {
+        LDV_ASSIGN_OR_RETURN(arg, EvalExpr(*aggs_[a].arg, in.rows[i]));
+      }
+      LDV_RETURN_IF_ERROR(Accumulate(&group.aggs[a], aggs_[a].fn, arg));
+    }
+    if (lineage) {
+      // Append now, dedup once at finalize: merging per-row keeps the whole
+      // accumulation quadratic for large groups (e.g. count(*) over a join).
+      group.lineage.insert(group.lineage.end(), in.lineage[i].begin(),
+                           in.lineage[i].end());
+    }
+  }
+
+  // A global aggregate (no GROUP BY) over empty input yields one row.
+  if (groups.empty() && group_exprs_.empty()) {
+    GroupState g;
+    g.aggs.resize(aggs_.size());
+    groups.push_back(std::move(g));
+  }
+
+  Batch out;
+  out.rows.reserve(groups.size());
+  for (GroupState& g : groups) {
+    Tuple row = std::move(g.keys);
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      row.push_back(Finalize(g.aggs[a], aggs_[a]));
+    }
+    out.rows.push_back(std::move(row));
+    if (lineage) {
+      std::sort(g.lineage.begin(), g.lineage.end());
+      g.lineage.erase(std::unique(g.lineage.begin(), g.lineage.end()),
+                      g.lineage.end());
+      out.lineage.push_back(std::move(g.lineage));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DistinctNode
+// ---------------------------------------------------------------------------
+
+DistinctNode::DistinctNode(std::unique_ptr<PlanNode> child)
+    : child_(std::move(child)) {
+  scope_ = child_->scope();
+}
+
+Result<Batch> DistinctNode::Execute(ExecContext* ctx) {
+  LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  std::unordered_multimap<uint64_t, size_t> seen;  // hash -> out index
+  Batch out;
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    uint64_t h = storage::HashTuple(in.rows[i]);
+    size_t found = SIZE_MAX;
+    auto [begin, end] = seen.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      if (out.rows[it->second] == in.rows[i]) {
+        found = it->second;
+        break;
+      }
+    }
+    if (found == SIZE_MAX) {
+      seen.emplace(h, out.rows.size());
+      out.rows.push_back(std::move(in.rows[i]));
+      if (ctx->track_lineage) out.lineage.push_back(std::move(in.lineage[i]));
+    } else if (ctx->track_lineage) {
+      MergeLineage(&out.lineage[found], in.lineage[i]);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SortLimitNode
+// ---------------------------------------------------------------------------
+
+SortLimitNode::SortLimitNode(std::unique_ptr<PlanNode> child,
+                             std::vector<SortKey> keys,
+                             std::optional<int64_t> limit)
+    : child_(std::move(child)), keys_(std::move(keys)), limit_(limit) {
+  scope_ = child_->scope();
+}
+
+Result<Batch> SortLimitNode::Execute(ExecContext* ctx) {
+  LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  std::vector<size_t> order(in.rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  if (!keys_.empty()) {
+    // Precompute sort keys; evaluation errors surface before sorting.
+    std::vector<Tuple> sort_keys(in.rows.size());
+    for (size_t i = 0; i < in.rows.size(); ++i) {
+      for (const SortKey& k : keys_) {
+        LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, in.rows[i]));
+        sort_keys[i].push_back(std::move(v));
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < keys_.size(); ++k) {
+        Result<int> cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
+        int c = cmp.ok() ? *cmp : 0;
+        if (c != 0) return keys_[k].ascending ? c < 0 : c > 0;
+      }
+      return false;
+    });
+  }
+
+  size_t n = order.size();
+  if (limit_.has_value() && *limit_ >= 0 &&
+      static_cast<size_t>(*limit_) < n) {
+    n = static_cast<size_t>(*limit_);
+  }
+  Batch out;
+  out.rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.rows.push_back(std::move(in.rows[order[i]]));
+    if (ctx->track_lineage) {
+      out.lineage.push_back(std::move(in.lineage[order[i]]));
+    }
+  }
+  return out;
+}
+
+}  // namespace ldv::exec

@@ -1,0 +1,207 @@
+#ifndef LDV_EXEC_OPERATORS_H_
+#define LDV_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/expression.h"
+#include "storage/database.h"
+
+namespace ldv::exec {
+
+/// Lineage of one output row: the set of input tuple versions it was derived
+/// from (paper Definition 7, the P_Lin dependency set).
+using LineageSet = std::vector<storage::TupleVid>;
+
+/// Materialized intermediate result. `lineage` is parallel to `rows` when
+/// lineage tracking is on, otherwise empty.
+struct Batch {
+  std::vector<storage::Tuple> rows;
+  std::vector<LineageSet> lineage;
+};
+
+/// Shared state for one statement execution.
+struct ExecContext {
+  storage::Database* db = nullptr;
+  /// Perm-style provenance computation requested for this statement.
+  bool track_lineage = false;
+  /// Identifiers the auditing client assigned (paper §VII-C); stamped into
+  /// the prov_usedby / prov_p metadata of every tuple a lineage-tracked scan
+  /// reads.
+  int64_t query_id = 0;
+  int64_t process_id = 0;
+  /// Lineage contributed by flattened (uncorrelated) subqueries: every
+  /// result row of the outer query conservatively depends on the tuples the
+  /// subquery read, since they decided its predicate values.
+  LineageSet ambient_lineage;
+  /// Values of every tuple version that appeared in some lineage set,
+  /// collected so the caller can persist provenance without re-querying.
+  std::unordered_map<storage::TupleVid, storage::Tuple, storage::TupleVidHash>
+      prov_tuples;
+};
+
+/// Base class of the materialized operator tree. Execute() returns the full
+/// result; schema()/scope() describe the output layout.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+  virtual Result<Batch> Execute(ExecContext* ctx) = 0;
+  const Scope& scope() const { return scope_; }
+
+ protected:
+  Scope scope_;
+};
+
+/// Sequential scan with optional pushed-down filter. When lineage tracking
+/// is on, every emitted row carries its TupleVid and has its usedby/process
+/// metadata stamped.
+class ScanNode final : public PlanNode {
+ public:
+  /// `expose_prov_columns` appends the four prov_* pseudo-columns (hidden)
+  /// to the output layout.
+  ScanNode(storage::Table* table, const std::string& alias,
+           bool expose_prov_columns);
+
+  /// Filter over this scan's scope; may be null. Set after construction so
+  /// the caller can bind against scope().
+  void set_filter(std::unique_ptr<BoundExpr> filter) {
+    filter_ = std::move(filter);
+  }
+
+  /// Access-path hint: fetch candidate rows through the table's hash index
+  /// on `column` (a table column index) for rows equal to `value`. The
+  /// filter still runs; the probe only narrows the rows visited.
+  void set_index_probe(int column, storage::Value value) {
+    probe_column_ = column;
+    probe_value_ = std::move(value);
+  }
+  bool has_index_probe() const { return probe_column_ >= 0; }
+
+  Result<Batch> Execute(ExecContext* ctx) override;
+
+  bool exposes_prov_columns() const { return expose_prov_columns_; }
+  const storage::Table* table() const { return table_; }
+
+ private:
+  Status EmitRow(ExecContext* ctx, storage::RowVersion* row, Batch* out);
+
+  storage::Table* table_;
+  bool expose_prov_columns_;
+  std::unique_ptr<BoundExpr> filter_;
+  int probe_column_ = -1;
+  storage::Value probe_value_;
+};
+
+/// Hash join (equi keys) with optional residual predicate; falls back to a
+/// nested loop when no keys are given. `left_outer` emits unmatched left
+/// rows padded with NULLs (their lineage is the left side's alone).
+class JoinNode final : public PlanNode {
+ public:
+  JoinNode(std::unique_ptr<PlanNode> left, std::unique_ptr<PlanNode> right,
+           std::vector<std::pair<int, int>> key_pairs,
+           bool left_outer = false);
+
+  void set_residual(std::unique_ptr<BoundExpr> residual) {
+    residual_ = std::move(residual);
+  }
+
+  Result<Batch> Execute(ExecContext* ctx) override;
+
+ private:
+  std::unique_ptr<PlanNode> left_;
+  std::unique_ptr<PlanNode> right_;
+  /// Pairs of (left scope index, right scope index) equi-join keys.
+  std::vector<std::pair<int, int>> key_pairs_;
+  std::unique_ptr<BoundExpr> residual_;
+  bool left_outer_;
+};
+
+/// Filters rows by a predicate bound to the child scope.
+class FilterNode final : public PlanNode {
+ public:
+  FilterNode(std::unique_ptr<PlanNode> child,
+             std::unique_ptr<BoundExpr> predicate);
+  Result<Batch> Execute(ExecContext* ctx) override;
+
+ private:
+  std::unique_ptr<PlanNode> child_;
+  std::unique_ptr<BoundExpr> predicate_;
+};
+
+/// Evaluates output expressions; the scope is built from provided names.
+class ProjectNode final : public PlanNode {
+ public:
+  ProjectNode(std::unique_ptr<PlanNode> child,
+              std::vector<std::unique_ptr<BoundExpr>> exprs,
+              std::vector<std::string> names);
+  Result<Batch> Execute(ExecContext* ctx) override;
+
+ private:
+  std::unique_ptr<PlanNode> child_;
+  std::vector<std::unique_ptr<BoundExpr>> exprs_;
+};
+
+/// One aggregate computation over a group.
+struct AggregateSpec {
+  enum class Fn { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+  Fn fn = Fn::kCountStar;
+  std::unique_ptr<BoundExpr> arg;  // null for COUNT(*)
+  std::string output_name;         // synthetic "#aggN"
+  storage::ValueType output_type = storage::ValueType::kInt64;
+};
+
+/// Hash aggregation. Output layout: group key columns (named "#grpN") then
+/// one column per aggregate ("#aggN"). The lineage of an output row is the
+/// union of the lineage of its group's input rows — exactly the Lineage
+/// semantics the paper's Example 4 illustrates.
+class AggregateNode final : public PlanNode {
+ public:
+  AggregateNode(std::unique_ptr<PlanNode> child,
+                std::vector<std::unique_ptr<BoundExpr>> group_exprs,
+                std::vector<AggregateSpec> aggs);
+  Result<Batch> Execute(ExecContext* ctx) override;
+
+ private:
+  std::unique_ptr<PlanNode> child_;
+  std::vector<std::unique_ptr<BoundExpr>> group_exprs_;
+  std::vector<AggregateSpec> aggs_;
+};
+
+/// DISTINCT on all output columns; lineage of a kept row is the union over
+/// its duplicates.
+class DistinctNode final : public PlanNode {
+ public:
+  explicit DistinctNode(std::unique_ptr<PlanNode> child);
+  Result<Batch> Execute(ExecContext* ctx) override;
+
+ private:
+  std::unique_ptr<PlanNode> child_;
+};
+
+/// ORDER BY (stable) + optional LIMIT.
+class SortLimitNode final : public PlanNode {
+ public:
+  struct SortKey {
+    std::unique_ptr<BoundExpr> expr;
+    bool ascending = true;
+  };
+  SortLimitNode(std::unique_ptr<PlanNode> child, std::vector<SortKey> keys,
+                std::optional<int64_t> limit);
+  Result<Batch> Execute(ExecContext* ctx) override;
+
+ private:
+  std::unique_ptr<PlanNode> child_;
+  std::vector<SortKey> keys_;
+  std::optional<int64_t> limit_;
+};
+
+/// Appends `src` lineage entries into `dst` keeping it sorted and unique.
+void MergeLineage(LineageSet* dst, const LineageSet& src);
+
+}  // namespace ldv::exec
+
+#endif  // LDV_EXEC_OPERATORS_H_

@@ -1,0 +1,217 @@
+#include "exec/reenactment.h"
+
+#include "exec/expression.h"
+
+namespace ldv::exec {
+
+using storage::RowVersion;
+using storage::Table;
+using storage::Tuple;
+using storage::TupleVid;
+using storage::Value;
+
+namespace {
+
+/// Binds an expression against `table`'s scope (columns + prov pseudo
+/// columns, qualified by `alias`).
+Result<std::unique_ptr<BoundExpr>> BindAgainstTable(const sql::Expr& expr,
+                                                    const Table& table,
+                                                    const std::string& alias) {
+  Scope scope;
+  for (const storage::Column& c : table.schema().columns()) {
+    scope.Add({alias, c.name, c.type, /*hidden=*/false});
+  }
+  scope.Add({alias, std::string(storage::kProvRowIdColumn),
+             storage::ValueType::kInt64, /*hidden=*/true});
+  scope.Add({alias, std::string(storage::kProvVersionColumn),
+             storage::ValueType::kInt64, /*hidden=*/true});
+  scope.Add({alias, std::string(storage::kProvUsedByColumn),
+             storage::ValueType::kInt64, /*hidden=*/true});
+  scope.Add({alias, std::string(storage::kProvProcessColumn),
+             storage::ValueType::kInt64, /*hidden=*/true});
+  return BindExpr(expr, scope);
+}
+
+Tuple RowWithProvColumns(const RowVersion& row) {
+  Tuple values = row.values;
+  values.push_back(Value::Int(row.rowid));
+  values.push_back(Value::Int(row.version));
+  values.push_back(Value::Int(row.used_by_query));
+  values.push_back(Value::Int(row.used_by_process));
+  return values;
+}
+
+/// Finds an equality between an indexed column of `table` and a literal in
+/// the top-level AND structure of `where`; returns (column, probe value) or
+/// column -1.
+std::pair<int, Value> FindIndexProbe(const Table& table,
+                                     const sql::Expr* where) {
+  if (where == nullptr) return {-1, Value::Null()};
+  if (where->kind == sql::ExprKind::kBinary &&
+      where->binary_op == sql::BinaryOp::kAnd) {
+    auto left = FindIndexProbe(table, where->children[0].get());
+    if (left.first >= 0) return left;
+    return FindIndexProbe(table, where->children[1].get());
+  }
+  if (where->kind != sql::ExprKind::kBinary ||
+      where->binary_op != sql::BinaryOp::kEq) {
+    return {-1, Value::Null()};
+  }
+  for (int side = 0; side < 2; ++side) {
+    const sql::Expr* col = where->children[static_cast<size_t>(side)].get();
+    const sql::Expr* lit =
+        where->children[static_cast<size_t>(1 - side)].get();
+    if (col->kind != sql::ExprKind::kColumnRef ||
+        lit->kind != sql::ExprKind::kLiteral) {
+      continue;
+    }
+    int idx = table.schema().IndexOf(col->column);
+    if (idx < 0 || !table.HasIndexOn(idx)) continue;
+    Result<Value> coerced =
+        exec::CoerceValue(lit->literal, table.schema().column(idx).type);
+    if (!coerced.ok()) continue;
+    return {idx, std::move(coerced).value()};
+  }
+  return {-1, Value::Null()};
+}
+
+/// Phase 1 of reenactment: evaluate the WHERE predicate against the
+/// pre-state and snapshot the matched versions. `probe` narrows the visited
+/// rows through the hash index when available.
+Result<std::vector<RowVersion>> MatchPreState(
+    Table* table, const BoundExpr* where,
+    const std::pair<int, Value>& probe) {
+  std::vector<RowVersion> matched;
+  auto consider = [&](const RowVersion& row) -> Status {
+    if (where != nullptr) {
+      Tuple values = RowWithProvColumns(row);
+      LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*where, values));
+      if (!keep.IsTruthy()) return Status::Ok();
+    }
+    matched.push_back(row);
+    return Status::Ok();
+  };
+  if (probe.first >= 0) {
+    for (storage::RowId rowid : table->IndexLookup(probe.first, probe.second)) {
+      const RowVersion* row = table->Find(rowid);
+      if (row != nullptr) LDV_RETURN_IF_ERROR(consider(*row));
+    }
+    return matched;
+  }
+  for (const RowVersion& row : table->rows()) {
+    if (row.deleted) continue;
+    LDV_RETURN_IF_ERROR(consider(row));
+  }
+  return matched;
+}
+
+}  // namespace
+
+Result<ResultSet> ExecUpdate(storage::Database* db,
+                             const sql::UpdateStmt& update,
+                             const sql::Expr* where_expr, bool provenance,
+                             const ExecOptions& options) {
+  Table* table = db->FindTable(update.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + update.table);
+  }
+  const std::string& alias =
+      update.alias.empty() ? update.table : update.alias;
+
+  std::unique_ptr<BoundExpr> where;
+  if (where_expr != nullptr) {
+    LDV_ASSIGN_OR_RETURN(where, BindAgainstTable(*where_expr, *table, alias));
+  }
+  // Bind SET expressions (they may reference old column values).
+  std::vector<std::pair<int, std::unique_ptr<BoundExpr>>> sets;
+  for (const auto& [col_name, expr] : update.assignments) {
+    int idx = table->schema().IndexOf(col_name);
+    if (idx < 0) {
+      return Status::NotFound(update.table + ": no column " + col_name);
+    }
+    LDV_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bound,
+                         BindAgainstTable(*expr, *table, alias));
+    sets.emplace_back(idx, std::move(bound));
+  }
+
+  // Reenactment: retrieve the statement's provenance (the matched pre-state
+  // versions) BEFORE mutating, per §VII-B.
+  LDV_ASSIGN_OR_RETURN(
+      std::vector<RowVersion> matched,
+      MatchPreState(table, where.get(), FindIndexProbe(*table, where_expr)));
+
+  ResultSet result;
+  const int64_t stmt_seq = db->NextStatementSeq();
+  for (const RowVersion& old_row : matched) {
+    Tuple old_with_prov = RowWithProvColumns(old_row);
+    Tuple new_values = old_row.values;
+    for (const auto& [idx, expr] : sets) {
+      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, old_with_prov));
+      LDV_ASSIGN_OR_RETURN(
+          new_values[static_cast<size_t>(idx)],
+          CoerceValue(std::move(v),
+                      table->schema().column(idx).type));
+    }
+    LDV_RETURN_IF_ERROR(
+        table->Update(old_row.rowid, std::move(new_values), stmt_seq));
+    DmlRecord rec;
+    rec.kind = DmlRecord::Kind::kUpdated;
+    rec.table = table->name();
+    rec.vid = TupleVid{table->id(), old_row.rowid, stmt_seq};
+    rec.prior = TupleVid{table->id(), old_row.rowid, old_row.version};
+    rec.has_prior = true;
+    result.dml.push_back(rec);
+    if (provenance) {
+      ProvTupleRecord prov;
+      prov.vid = rec.prior;
+      prov.table = table->name();
+      prov.values = old_row.values;
+      result.prov_tuples.push_back(std::move(prov));
+    }
+  }
+  result.affected = static_cast<int64_t>(matched.size());
+  result.has_provenance = provenance;
+  return result;
+}
+
+Result<ResultSet> ExecDelete(storage::Database* db, const sql::DeleteStmt& del,
+                             const sql::Expr* where_expr, bool provenance,
+                             const ExecOptions& options) {
+  Table* table = db->FindTable(del.table);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + del.table);
+  }
+  const std::string& alias = del.alias.empty() ? del.table : del.alias;
+  std::unique_ptr<BoundExpr> where;
+  if (where_expr != nullptr) {
+    LDV_ASSIGN_OR_RETURN(where, BindAgainstTable(*where_expr, *table, alias));
+  }
+  LDV_ASSIGN_OR_RETURN(
+      std::vector<RowVersion> matched,
+      MatchPreState(table, where.get(), FindIndexProbe(*table, where_expr)));
+
+  ResultSet result;
+  const int64_t stmt_seq = db->NextStatementSeq();
+  for (const RowVersion& old_row : matched) {
+    LDV_RETURN_IF_ERROR(table->Delete(old_row.rowid, stmt_seq));
+    DmlRecord rec;
+    rec.kind = DmlRecord::Kind::kDeleted;
+    rec.table = table->name();
+    rec.vid = TupleVid{table->id(), old_row.rowid, old_row.version};
+    rec.prior = rec.vid;
+    rec.has_prior = true;
+    result.dml.push_back(rec);
+    if (provenance) {
+      ProvTupleRecord prov;
+      prov.vid = rec.prior;
+      prov.table = table->name();
+      prov.values = old_row.values;
+      result.prov_tuples.push_back(std::move(prov));
+    }
+  }
+  result.affected = static_cast<int64_t>(matched.size());
+  result.has_provenance = provenance;
+  return result;
+}
+
+}  // namespace ldv::exec

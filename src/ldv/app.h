@@ -1,0 +1,52 @@
+#ifndef LDV_LDV_APP_H_
+#define LDV_LDV_APP_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "net/db_client.h"
+#include "os/sim_process.h"
+
+namespace ldv {
+
+/// The environment an LDV-managed application runs against. The same
+/// application function is executed by the Auditor (original run, paper
+/// `ldv-audit`) and by the Replayer (package re-execution, `ldv-exec`);
+/// only the environment changes — which is exactly the paper's guarantee
+/// that "an application shared this way runs exactly as it did for the
+/// original user".
+class AppEnv {
+ public:
+  virtual ~AppEnv() = default;
+
+  /// The application's root process (pid 1) in the sandbox.
+  virtual os::ProcessContext& root_process() = 0;
+
+  /// Opens a DB connection on behalf of `proc`. The returned client is
+  /// owned by the environment and valid until the run finishes. Under
+  /// audit this is the instrumented client library; under server-excluded
+  /// replay it is the recorded-response client.
+  virtual Result<net::DbClient*> OpenDbConnection(os::ProcessContext& proc) = 0;
+};
+
+/// An LDV-managed application: a deterministic function of its environment.
+using AppFn = std::function<Status(AppEnv&)>;
+
+/// Packaging strategies (paper §VII-D plus the two baselines of §IX).
+enum class PackageMode {
+  /// DB server binaries + the relevant tuple subset as CSV (§VII-D).
+  kServerIncluded,
+  /// No server; recorded query answers replayed from disk (§VII-D).
+  kServerExcluded,
+  /// PTU baseline: server binaries + the FULL data files, no DB provenance.
+  kPtu,
+  /// Virtual-machine-image baseline: base OS image + full stack (§IX-F).
+  kVmImage,
+};
+
+std::string_view PackageModeName(PackageMode mode);
+Result<PackageMode> ParsePackageMode(std::string_view name);
+
+}  // namespace ldv
+
+#endif  // LDV_LDV_APP_H_

@@ -1,0 +1,120 @@
+#include "ldv/manifest.h"
+
+#include "common/json.h"
+#include "util/fsutil.h"
+
+namespace ldv {
+
+std::string_view PackageModeName(PackageMode mode) {
+  switch (mode) {
+    case PackageMode::kServerIncluded:
+      return "server-included";
+    case PackageMode::kServerExcluded:
+      return "server-excluded";
+    case PackageMode::kPtu:
+      return "ptu";
+    case PackageMode::kVmImage:
+      return "vm-image";
+  }
+  return "?";
+}
+
+Result<PackageMode> ParsePackageMode(std::string_view name) {
+  if (name == "server-included") return PackageMode::kServerIncluded;
+  if (name == "server-excluded") return PackageMode::kServerExcluded;
+  if (name == "ptu") return PackageMode::kPtu;
+  if (name == "vm-image") return PackageMode::kVmImage;
+  return Status::InvalidArgument("unknown package mode: " + std::string(name));
+}
+
+std::string PackageManifest::ToJson() const {
+  Json root = Json::MakeObject();
+  root.Set("format", Json::MakeString("ldv-package-v1"));
+  root.Set("mode", Json::MakeString(std::string(PackageModeName(mode))));
+  Json tables_json = Json::MakeArray();
+  for (const TableEntry& t : tables) {
+    Json entry = Json::MakeObject();
+    entry.Set("name", Json::MakeString(t.name));
+    entry.Set("create_sql", Json::MakeString(t.create_sql));
+    entry.Set("rows", Json::MakeInt(t.rows));
+    tables_json.Append(std::move(entry));
+  }
+  root.Set("tables", std::move(tables_json));
+  Json files_json = Json::MakeArray();
+  for (const std::string& f : files) files_json.Append(Json::MakeString(f));
+  root.Set("files", std::move(files_json));
+  root.Set("statements_recorded", Json::MakeInt(statements_recorded));
+  root.Set("processes", Json::MakeInt(processes));
+  root.Set("has_trace", Json::MakeBool(has_trace));
+  root.Set("has_server_binary", Json::MakeBool(has_server_binary));
+  root.Set("has_full_data", Json::MakeBool(has_full_data));
+  root.Set("has_vm_image", Json::MakeBool(has_vm_image));
+  return root.Dump(true);
+}
+
+Result<PackageManifest> PackageManifest::FromJson(std::string_view text) {
+  LDV_ASSIGN_OR_RETURN(Json root, Json::Parse(text));
+  if (root.GetString("format", "") != "ldv-package-v1") {
+    return Status::InvalidArgument("not an ldv-package-v1 manifest");
+  }
+  PackageManifest m;
+  LDV_ASSIGN_OR_RETURN(m.mode, ParsePackageMode(root.GetString("mode", "")));
+  if (const Json* tables = root.Find("tables"); tables != nullptr) {
+    for (const Json& entry : tables->AsArray()) {
+      TableEntry t;
+      t.name = entry.GetString("name", "");
+      t.create_sql = entry.GetString("create_sql", "");
+      t.rows = entry.GetInt("rows", 0);
+      m.tables.push_back(std::move(t));
+    }
+  }
+  if (const Json* files = root.Find("files"); files != nullptr) {
+    for (const Json& f : files->AsArray()) m.files.push_back(f.AsString());
+  }
+  m.statements_recorded = root.GetInt("statements_recorded", 0);
+  m.processes = root.GetInt("processes", 0);
+  m.has_trace = root.GetBool("has_trace", false);
+  m.has_server_binary = root.GetBool("has_server_binary", false);
+  m.has_full_data = root.GetBool("has_full_data", false);
+  m.has_vm_image = root.GetBool("has_vm_image", false);
+  return m;
+}
+
+Result<PackageManifest> PackageManifest::Load(const std::string& package_dir) {
+  LDV_ASSIGN_OR_RETURN(
+      std::string text,
+      ReadFileToString(JoinPath(package_dir, std::string(kManifestFile))));
+  return FromJson(text);
+}
+
+Status PackageManifest::Save(const std::string& package_dir) const {
+  return WriteStringToFile(JoinPath(package_dir, std::string(kManifestFile)),
+                           ToJson());
+}
+
+Result<PackageInfo> InspectPackage(const std::string& package_dir) {
+  LDV_ASSIGN_OR_RETURN(PackageManifest manifest,
+                       PackageManifest::Load(package_dir));
+  PackageInfo info;
+  info.mode = manifest.mode;
+  info.total_bytes = TreeSize(package_dir);
+  info.app_files_bytes =
+      TreeSize(JoinPath(package_dir, std::string(kFilesDir)));
+  info.server_binary_bytes =
+      TreeSize(JoinPath(package_dir, std::string(kServerBinaryFile)));
+  info.tuple_data_bytes =
+      TreeSize(JoinPath(package_dir, std::string(kTupleDataDir)));
+  info.full_data_bytes =
+      TreeSize(JoinPath(package_dir, std::string(kFullDataDir)));
+  info.replay_log_bytes =
+      TreeSize(JoinPath(package_dir, std::string(kReplayLogFile)));
+  info.trace_bytes = TreeSize(JoinPath(package_dir, std::string(kTraceFile)));
+  info.vm_image_bytes =
+      TreeSize(JoinPath(package_dir, std::string(kVmBaseImageFile)));
+  for (const PackageManifest::TableEntry& t : manifest.tables) {
+    info.packaged_tuples += t.rows;
+  }
+  return info;
+}
+
+}  // namespace ldv

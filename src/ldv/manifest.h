@@ -1,0 +1,71 @@
+#ifndef LDV_LDV_MANIFEST_H_
+#define LDV_LDV_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ldv/app.h"
+
+namespace ldv {
+
+/// Canonical package layout (relative to the package root).
+inline constexpr std::string_view kManifestFile = "MANIFEST.json";
+inline constexpr std::string_view kTraceFile = "trace.ldv";
+inline constexpr std::string_view kFilesDir = "files";
+inline constexpr std::string_view kSchemaFile = "db/schema.sql";
+inline constexpr std::string_view kTupleDataDir = "db/data";
+inline constexpr std::string_view kFullDataDir = "db/data_full";
+inline constexpr std::string_view kReplayLogFile = "db/replay.log";
+inline constexpr std::string_view kServerBinaryFile = "db/server/ldv_server";
+inline constexpr std::string_view kVmBaseImageFile = "vm/base_image.img";
+
+/// Contents descriptor written to MANIFEST.json at package-creation time and
+/// consumed by the Replayer and the package-inspection tooling (Table III).
+struct PackageManifest {
+  PackageMode mode = PackageMode::kServerIncluded;
+  /// Tables whose relevant subset (server-included) or full contents
+  /// (PTU/VMI) are in the package.
+  struct TableEntry {
+    std::string name;
+    std::string create_sql;  // CREATE TABLE statement
+    int64_t rows = 0;        // packaged tuple versions
+  };
+  std::vector<TableEntry> tables;
+  /// Virtual paths of application files included under files/.
+  std::vector<std::string> files;
+  int64_t statements_recorded = 0;  // server-excluded replay log entries
+  int64_t processes = 0;
+  bool has_trace = false;
+  bool has_server_binary = false;
+  bool has_full_data = false;
+  bool has_vm_image = false;
+
+  std::string ToJson() const;
+  static Result<PackageManifest> FromJson(std::string_view text);
+
+  /// Reads `<dir>/MANIFEST.json`.
+  static Result<PackageManifest> Load(const std::string& package_dir);
+  /// Writes `<dir>/MANIFEST.json`.
+  Status Save(const std::string& package_dir) const;
+};
+
+/// Size/contents breakdown of an on-disk package (Fig. 9 / Table III).
+struct PackageInfo {
+  PackageMode mode = PackageMode::kServerIncluded;
+  int64_t total_bytes = 0;
+  int64_t app_files_bytes = 0;
+  int64_t server_binary_bytes = 0;
+  int64_t tuple_data_bytes = 0;   // server-included CSVs
+  int64_t full_data_bytes = 0;    // PTU/VMI data files
+  int64_t replay_log_bytes = 0;   // server-excluded
+  int64_t trace_bytes = 0;
+  int64_t vm_image_bytes = 0;
+  int64_t packaged_tuples = 0;
+};
+
+Result<PackageInfo> InspectPackage(const std::string& package_dir);
+
+}  // namespace ldv
+
+#endif  // LDV_LDV_MANIFEST_H_

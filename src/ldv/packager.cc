@@ -1,0 +1,37 @@
+#include "ldv/packager.h"
+
+#include <set>
+
+#include "util/fsutil.h"
+
+namespace ldv {
+
+Result<CdePackageReport> BuildCdePackage(const os::PtraceReport& trace,
+                                         const std::string& package_dir) {
+  CdePackageReport report;
+  report.package_dir = package_dir;
+  LDV_RETURN_IF_ERROR(MakeDirs(JoinPath(package_dir, "files")));
+
+  std::set<std::string> to_copy;
+  for (const std::string& path : trace.files_read) to_copy.insert(path);
+  for (const std::string& path : trace.binaries_executed) to_copy.insert(path);
+
+  for (const std::string& path : to_copy) {
+    if (path.empty() || path[0] != '/') continue;  // relative/ephemeral
+    if (!FileExists(path)) {
+      report.missing_files.push_back(path);
+      continue;
+    }
+    std::string target = JoinPath(package_dir, "files" + path);
+    Status copied = CopyFile(path, target);
+    if (!copied.ok()) {
+      report.missing_files.push_back(path);
+      continue;
+    }
+    ++report.files_copied;
+    report.bytes_copied += FileSize(target).ValueOr(0);
+  }
+  return report;
+}
+
+}  // namespace ldv

@@ -1,0 +1,29 @@
+#ifndef LDV_LDV_PACKAGER_H_
+#define LDV_LDV_PACKAGER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "os/ptrace_tracer.h"
+
+namespace ldv {
+
+/// CDE/PTU-style application-virtualization packaging for *real* processes
+/// traced with PtraceTracer: copies every file the process tree read (and
+/// the executed binaries) into `package_dir/files/<original path>`,
+/// recreating the directory structure — the chroot-like package layout of
+/// §VII-D, without the DB-aware parts.
+struct CdePackageReport {
+  std::string package_dir;
+  int64_t files_copied = 0;
+  int64_t bytes_copied = 0;
+  std::vector<std::string> missing_files;  // read but unreadable/ephemeral
+};
+
+Result<CdePackageReport> BuildCdePackage(const os::PtraceReport& trace,
+                                         const std::string& package_dir);
+
+}  // namespace ldv
+
+#endif  // LDV_LDV_PACKAGER_H_

@@ -1,0 +1,40 @@
+#include "ldv/replay_db_client.h"
+
+#include "net/protocol.h"
+#include "util/fsutil.h"
+#include "util/serde.h"
+
+namespace ldv {
+
+Result<std::unique_ptr<ReplayLog>> ReplayLog::Load(const std::string& path) {
+  auto log = std::make_unique<ReplayLog>();
+  LDV_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  BufferReader reader(bytes);
+  while (!reader.AtEnd()) {
+    LDV_ASSIGN_OR_RETURN(std::string request_bytes, reader.GetString());
+    LDV_ASSIGN_OR_RETURN(std::string response_bytes, reader.GetString());
+    LDV_ASSIGN_OR_RETURN(net::DbRequest request,
+                         net::DecodeRequest(request_bytes));
+    Entry entry;
+    entry.sql = std::move(request.sql);
+    entry.process_id = request.process_id;
+    entry.response = std::move(response_bytes);
+    log->entries_.push_back(std::move(entry));
+  }
+  return log;
+}
+
+Result<exec::ResultSet> ReplayLog::Next(const std::string& sql) {
+  // Advance the cursor over already-consumed entries.
+  while (cursor_ < entries_.size() && entries_[cursor_].used) ++cursor_;
+  for (size_t i = cursor_; i < entries_.size(); ++i) {
+    if (entries_[i].used || entries_[i].sql != sql) continue;
+    entries_[i].used = true;
+    ++replayed_;
+    return net::DecodeResponse(entries_[i].response);
+  }
+  return Status::ReplayMismatch(
+      "no recorded response for statement (divergent replay?): " + sql);
+}
+
+}  // namespace ldv

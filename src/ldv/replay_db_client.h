@@ -1,0 +1,59 @@
+#ifndef LDV_LDV_REPLAY_DB_CLIENT_H_
+#define LDV_LDV_REPLAY_DB_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/db_client.h"
+
+namespace ldv {
+
+/// The recorded request/response stream of a server-excluded package
+/// (db/replay.log). Shared by all replayed connections; requests are
+/// matched in recorded order (paper §VIII: "A server-excluded package must
+/// be replayed in the same order as in the original execution trace").
+class ReplayLog {
+ public:
+  static Result<std::unique_ptr<ReplayLog>> Load(const std::string& path);
+
+  /// Returns the recorded response for the next occurrence of `sql` at or
+  /// after the cursor. Out-of-order requests from other (concurrent)
+  /// processes are tolerated by searching forward; a request that was never
+  /// recorded is a ReplayMismatch.
+  Result<exec::ResultSet> Next(const std::string& sql);
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t replayed() const { return replayed_; }
+
+ private:
+  struct Entry {
+    std::string sql;
+    int64_t process_id = 0;
+    std::string response;
+    bool used = false;
+  };
+  std::vector<Entry> entries_;
+  size_t cursor_ = 0;
+  int64_t replayed_ = 0;
+};
+
+/// The client library in replay mode (§VIII): read requests are answered
+/// from the recorded buffers; no DB server is contacted. Update statements
+/// are acknowledged with their recorded outcome but have no effect.
+class ReplayDbClient final : public net::DbClient {
+ public:
+  explicit ReplayDbClient(ReplayLog* log) : log_(log) {}
+
+  Result<exec::ResultSet> Execute(const net::DbRequest& request) override {
+    return log_->Next(request.sql);
+  }
+
+ private:
+  ReplayLog* log_;
+};
+
+}  // namespace ldv
+
+#endif  // LDV_LDV_REPLAY_DB_CLIENT_H_

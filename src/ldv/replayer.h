@@ -1,0 +1,81 @@
+#ifndef LDV_LDV_REPLAYER_H_
+#define LDV_LDV_REPLAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "ldv/app.h"
+#include "ldv/manifest.h"
+#include "ldv/replay_db_client.h"
+#include "net/db_client.h"
+#include "os/sim_process.h"
+#include "os/vfs.h"
+#include "storage/database.h"
+
+namespace ldv {
+
+/// Options for re-executing a package (the `ldv-exec` command of §IX).
+struct ReplayOptions {
+  std::string package_dir;
+  /// Scratch sandbox the application runs in; the package's files/ tree is
+  /// unpacked here. Created if missing.
+  std::string scratch_dir;
+};
+
+struct ReplayReport {
+  PackageMode mode = PackageMode::kServerIncluded;
+  /// Wall seconds spent initializing the environment before the app ran:
+  /// restoring packaged tuples into a fresh DB (server-included, the big
+  /// Initialization bar of Fig. 7b), loading the data files (PTU/VMI), or
+  /// loading the replay log (server-excluded).
+  double init_seconds = 0;
+  int64_t restored_tuples = 0;
+  int64_t statements_replayed = 0;
+};
+
+/// Re-executes an application from an LDV package (paper §VIII):
+///   - file system access is redirected into the unpacked sandbox,
+///   - server-included / PTU / VMI packages get a fresh embedded server
+///     initialized from the packaged tuples or data files,
+///   - server-excluded packages answer DB calls from the recorded log.
+class Replayer final : public AppEnv {
+ public:
+  /// Loads the manifest, unpacks files, and initializes the DB side
+  /// (timed; see ReplayReport::init_seconds).
+  static Result<std::unique_ptr<Replayer>> Open(const ReplayOptions& options);
+
+  /// Runs the application against the package environment.
+  Result<ReplayReport> Run(const AppFn& app);
+
+  // AppEnv:
+  os::ProcessContext& root_process() override;
+  Result<net::DbClient*> OpenDbConnection(os::ProcessContext& proc) override;
+
+  /// The restored database (null for server-excluded packages).
+  storage::Database* restored_db() { return db_.get(); }
+
+  const PackageManifest& manifest() const { return manifest_; }
+  const ReplayReport& report() const { return report_; }
+
+ private:
+  Replayer(ReplayOptions options, PackageManifest manifest);
+  Status Initialize();
+  Status RestoreIncludedTuples();
+
+  ReplayOptions options_;
+  PackageManifest manifest_;
+  LogicalClock clock_;
+  std::unique_ptr<os::Vfs> vfs_;
+  std::unique_ptr<os::SimOs> sim_os_;
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<net::EngineHandle> engine_;
+  std::unique_ptr<ReplayLog> replay_log_;
+  std::vector<std::unique_ptr<net::DbClient>> clients_;
+  ReplayReport report_;
+};
+
+}  // namespace ldv
+
+#endif  // LDV_LDV_REPLAYER_H_

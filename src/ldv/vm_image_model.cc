@@ -1,0 +1,3 @@
+#include "ldv/vm_image_model.h"
+
+// Header-only model; this translation unit anchors the library target.

@@ -1,0 +1,49 @@
+#include "net/db_client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ldv::net {
+
+Result<exec::ResultSet> EngineHandle::Execute(const DbRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  exec::ExecOptions options;
+  options.process_id = request.process_id;
+  options.query_id = request.query_id;
+  return executor_.Execute(request.sql, options);
+}
+
+SocketDbClient::~SocketDbClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<SocketDbClient>> SocketDbClient::Connect(
+    const std::string& socket_path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  strcpy(addr.sun_path, socket_path.c_str());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::IOError("connect " + socket_path + ": " + strerror(errno));
+  }
+  return std::unique_ptr<SocketDbClient>(new SocketDbClient(fd));
+}
+
+Result<exec::ResultSet> SocketDbClient::Execute(const DbRequest& request) {
+  LDV_RETURN_IF_ERROR(SendFrame(fd_, EncodeRequest(request)));
+  LDV_ASSIGN_OR_RETURN(std::string payload, RecvFrame(fd_));
+  return DecodeResponse(payload);
+}
+
+}  // namespace ldv::net

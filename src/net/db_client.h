@@ -1,0 +1,85 @@
+#ifndef LDV_NET_DB_CLIENT_H_
+#define LDV_NET_DB_CLIENT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "net/protocol.h"
+#include "storage/database.h"
+
+namespace ldv::net {
+
+/// The client interface of the DBMS — the analog of libpq in the prototype.
+/// LDV instruments this layer: the auditing client decorates any DbClient to
+/// capture statements, provenance and results; the replay client substitutes
+/// recorded answers (paper §VII-C, §VIII).
+class DbClient {
+ public:
+  virtual ~DbClient() = default;
+
+  /// Executes `request.sql`, returning results or the engine's error.
+  virtual Result<exec::ResultSet> Execute(const DbRequest& request) = 0;
+
+  /// Convenience wrapper: plain statement, identifiers defaulted.
+  Result<exec::ResultSet> Query(const std::string& sql) {
+    DbRequest request;
+    request.sql = sql;
+    return Execute(request);
+  }
+};
+
+/// Thread-safe façade over a Database + Executor, shared by the in-process
+/// client and the socket server (the engine is single-writer).
+class EngineHandle {
+ public:
+  explicit EngineHandle(storage::Database* db) : executor_(db) {}
+
+  EngineHandle(const EngineHandle&) = delete;
+  EngineHandle& operator=(const EngineHandle&) = delete;
+
+  Result<exec::ResultSet> Execute(const DbRequest& request);
+
+  storage::Database* db() { return executor_.db(); }
+
+ private:
+  std::mutex mu_;
+  exec::Executor executor_;
+};
+
+/// In-process client: same wire contract as the socket client without the
+/// socket (used by tests, replay of server-included packages, and
+/// benchmarks that measure engine rather than transport costs).
+class LocalDbClient final : public DbClient {
+ public:
+  explicit LocalDbClient(EngineHandle* engine) : engine_(engine) {}
+
+  Result<exec::ResultSet> Execute(const DbRequest& request) override {
+    return engine_->Execute(request);
+  }
+
+ private:
+  EngineHandle* engine_;
+};
+
+/// Connects to a DbServer over a Unix-domain socket.
+class SocketDbClient final : public DbClient {
+ public:
+  ~SocketDbClient() override;
+
+  /// Connects to the server listening at `socket_path`.
+  static Result<std::unique_ptr<SocketDbClient>> Connect(
+      const std::string& socket_path);
+
+  Result<exec::ResultSet> Execute(const DbRequest& request) override;
+
+ private:
+  explicit SocketDbClient(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+}  // namespace ldv::net
+
+#endif  // LDV_NET_DB_CLIENT_H_

@@ -1,0 +1,91 @@
+#include "net/db_server.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace ldv::net {
+
+DbServer::DbServer(EngineHandle* engine, std::string socket_path)
+    : engine_(engine), socket_path_(std::move(socket_path)) {}
+
+DbServer::~DbServer() { Stop(); }
+
+Status DbServer::Start() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path_);
+  }
+  strcpy(addr.sun_path, socket_path_.c_str());
+  ::unlink(socket_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError("bind " + socket_path_ + ": " + strerror(errno));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    return Status::IOError(std::string("listen: ") + strerror(errno));
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void DbServer::Stop() {
+  bool was_running = running_.exchange(false);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (was_running && accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(socket_path_.c_str());
+}
+
+void DbServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void DbServer::ServeConnection(int fd) {
+  while (true) {
+    Result<std::string> frame = RecvFrame(fd);
+    if (!frame.ok()) break;  // client disconnected
+    Result<DbRequest> request = DecodeRequest(*frame);
+    std::string response;
+    if (!request.ok()) {
+      response = EncodeResponse(request.status(), {});
+    } else {
+      Result<exec::ResultSet> result = engine_->Execute(*request);
+      response = result.ok() ? EncodeResponse(Status::Ok(), *result)
+                             : EncodeResponse(result.status(), {});
+    }
+    if (!SendFrame(fd, response).ok()) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace ldv::net

@@ -1,0 +1,50 @@
+#ifndef LDV_NET_DB_SERVER_H_
+#define LDV_NET_DB_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/db_client.h"
+
+namespace ldv::net {
+
+/// The DB server process analog: accepts connections on a Unix-domain
+/// socket, decodes requests, executes them against the shared engine, and
+/// streams back encoded responses. One thread per connection; the engine
+/// handle serializes execution.
+class DbServer {
+ public:
+  DbServer(EngineHandle* engine, std::string socket_path);
+  ~DbServer();
+
+  DbServer(const DbServer&) = delete;
+  DbServer& operator=(const DbServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop.
+  Status Start();
+
+  /// Stops accepting, closes the listener and joins all threads.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  EngineHandle* engine_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::mutex threads_mu_;
+};
+
+}  // namespace ldv::net
+
+#endif  // LDV_NET_DB_SERVER_H_

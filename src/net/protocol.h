@@ -1,0 +1,40 @@
+#ifndef LDV_NET_PROTOCOL_H_
+#define LDV_NET_PROTOCOL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "exec/executor.h"
+
+namespace ldv::net {
+
+/// One client->server request. The process and query identifiers are the
+/// ones the (auditing) client library assigned (paper §VII-C); a plain
+/// client sends zeros.
+struct DbRequest {
+  std::string sql;
+  int64_t process_id = 0;
+  int64_t query_id = 0;
+};
+
+/// Binary encoding of requests/responses (varint-based, little-endian).
+std::string EncodeRequest(const DbRequest& request);
+Result<DbRequest> DecodeRequest(std::string_view bytes);
+
+/// A response is either an error status or a ResultSet.
+std::string EncodeResponse(const Status& status,
+                           const exec::ResultSet& result);
+Result<exec::ResultSet> DecodeResponse(std::string_view bytes);
+
+/// ResultSet payload encoding, reused by the server-excluded replay log.
+void EncodeResultSet(const exec::ResultSet& result, BufferWriter* w);
+Result<exec::ResultSet> DecodeResultSet(BufferReader* r);
+
+/// Frame I/O over a connected stream socket: 4-byte little-endian length
+/// prefix followed by the payload.
+Status SendFrame(int fd, std::string_view payload);
+Result<std::string> RecvFrame(int fd);
+
+}  // namespace ldv::net
+
+#endif  // LDV_NET_PROTOCOL_H_

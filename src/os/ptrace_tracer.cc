@@ -1,0 +1,258 @@
+#include "os/ptrace_tracer.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/ptrace.h>
+#include <sys/types.h>
+#include <sys/user.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace ldv::os {
+
+bool IsSystemPath(const std::string& path) {
+  static constexpr std::string_view kPrefixes[] = {
+      "/proc/", "/sys/", "/dev/", "/etc/ld.so", "/lib/", "/lib64/",
+      "/usr/lib/", "/usr/share/locale", "/usr/share/zoneinfo"};
+  for (std::string_view prefix : kPrefixes) {
+    if (StartsWith(path, prefix)) return true;
+  }
+  return EndsWith(path, ".so") || path.find(".so.") != std::string::npos;
+}
+
+#if defined(__x86_64__) && defined(__linux__)
+
+namespace {
+
+/// Reads a NUL-terminated string from the tracee's memory.
+std::string ReadTraceeString(pid_t pid, unsigned long addr) {
+  std::string out;
+  if (addr == 0) return out;
+  while (out.size() < 4096) {
+    errno = 0;
+    long word = ptrace(PTRACE_PEEKDATA, pid, addr + out.size(), nullptr);
+    if (errno != 0) break;
+    const char* bytes = reinterpret_cast<const char*>(&word);
+    for (size_t i = 0; i < sizeof(long); ++i) {
+      if (bytes[i] == '\0') return out;
+      out.push_back(bytes[i]);
+    }
+  }
+  return out;
+}
+
+/// Per-tracee-process state: fd table and in-flight syscall info.
+struct TraceeState {
+  bool in_syscall = false;
+  long syscall_number = -1;
+  std::string pending_path;  // open/openat path captured at entry
+  int pending_flags = 0;
+  std::map<int, std::string> fd_table;
+};
+
+}  // namespace
+
+Result<PtraceReport> PtraceTracer::Run(const std::vector<std::string>& argv) {
+  if (argv.empty()) return Status::InvalidArgument("empty argv");
+
+  pid_t child = fork();
+  if (child < 0) {
+    return Status::IOError(std::string("fork: ") + strerror(errno));
+  }
+  if (child == 0) {
+    // Tracee: request tracing and exec the target.
+    if (ptrace(PTRACE_TRACEME, 0, nullptr, nullptr) != 0) _exit(126);
+    std::vector<char*> c_argv;
+    c_argv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) {
+      c_argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    c_argv.push_back(nullptr);
+    execvp(c_argv[0], c_argv.data());
+    _exit(127);
+  }
+
+  // Tracer.
+  int status = 0;
+  if (waitpid(child, &status, 0) < 0) {
+    return Status::IOError(std::string("waitpid: ") + strerror(errno));
+  }
+  if (WIFEXITED(status)) {
+    // TRACEME failed (sandbox forbids ptrace) or exec failed immediately.
+    return Status::IOError("ptrace unavailable or exec failed (exit " +
+                           std::to_string(WEXITSTATUS(status)) + ")");
+  }
+  const long options = PTRACE_O_TRACESYSGOOD | PTRACE_O_TRACEFORK |
+                       PTRACE_O_TRACEVFORK | PTRACE_O_TRACECLONE |
+                       PTRACE_O_TRACEEXEC;
+  if (ptrace(PTRACE_SETOPTIONS, child, nullptr, options) != 0) {
+    int err = errno;
+    ptrace(PTRACE_KILL, child, nullptr, nullptr);
+    waitpid(child, &status, 0);
+    return Status::IOError(std::string("ptrace setoptions: ") + strerror(err));
+  }
+
+  PtraceReport report;
+  std::map<pid_t, TraceeState> tracees;
+  std::map<pid_t, pid_t> parent_of;
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+  std::set<std::string> execs;
+  int64_t logical_time = 0;
+  tracees[child];  // root state
+  parent_of[child] = 0;
+
+  auto emit = [&](OsEvent::Kind kind, pid_t pid, const std::string& path,
+                  pid_t parent, const std::string& label) {
+    OsEvent event;
+    event.kind = kind;
+    event.pid = pid;
+    event.parent_pid = parent;
+    event.path = path;
+    event.label = label;
+    ++logical_time;
+    event.t = {logical_time, logical_time};
+    report.events.push_back(std::move(event));
+  };
+  emit(OsEvent::Kind::kProcessStart, child, "", 0, argv[0]);
+
+  if (ptrace(PTRACE_SYSCALL, child, nullptr, nullptr) != 0) {
+    return Status::IOError(std::string("ptrace syscall: ") + strerror(errno));
+  }
+
+  int live = 1;
+  while (live > 0) {
+    pid_t pid = waitpid(-1, &status, __WALL);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECHILD) break;
+      return Status::IOError(std::string("waitpid: ") + strerror(errno));
+    }
+    if (WIFEXITED(status) || WIFSIGNALED(status)) {
+      emit(OsEvent::Kind::kProcessExit, pid, "", 0, "");
+      if (pid == child && WIFEXITED(status)) {
+        report.exit_code = WEXITSTATUS(status);
+      }
+      tracees.erase(pid);
+      --live;
+      continue;
+    }
+    long signal_to_deliver = 0;
+    if (WIFSTOPPED(status)) {
+      int sig = WSTOPSIG(status);
+      const unsigned int ptrace_event =
+          static_cast<unsigned int>(status) >> 16;
+      if (ptrace_event == PTRACE_EVENT_FORK ||
+          ptrace_event == PTRACE_EVENT_VFORK ||
+          ptrace_event == PTRACE_EVENT_CLONE) {
+        unsigned long new_pid = 0;
+        ptrace(PTRACE_GETEVENTMSG, pid, nullptr, &new_pid);
+        pid_t np = static_cast<pid_t>(new_pid);
+        if (tracees.find(np) == tracees.end()) {
+          tracees[np].fd_table = tracees[pid].fd_table;  // fds inherited
+          parent_of[np] = pid;
+          ++live;
+          emit(OsEvent::Kind::kProcessStart, np, "", pid, "fork");
+        }
+      } else if (ptrace_event == PTRACE_EVENT_EXEC) {
+        // execve completed in `pid`.
+      } else if (sig == (SIGTRAP | 0x80)) {
+        // Syscall stop.
+        TraceeState& state = tracees[pid];
+        user_regs_struct regs{};
+        if (ptrace(PTRACE_GETREGS, pid, nullptr, &regs) == 0) {
+          if (!state.in_syscall) {
+            state.in_syscall = true;
+            state.syscall_number = static_cast<long>(regs.orig_rax);
+            switch (state.syscall_number) {
+              case 2:  // open(path, flags)
+                state.pending_path = ReadTraceeString(pid, regs.rdi);
+                state.pending_flags = static_cast<int>(regs.rsi);
+                break;
+              case 257:  // openat(dirfd, path, flags)
+                state.pending_path = ReadTraceeString(pid, regs.rsi);
+                state.pending_flags = static_cast<int>(regs.rdx);
+                break;
+              case 85:  // creat(path, mode)
+                state.pending_path = ReadTraceeString(pid, regs.rdi);
+                state.pending_flags = O_WRONLY | O_CREAT | O_TRUNC;
+                break;
+              case 59: {  // execve(path, ...)
+                std::string path = ReadTraceeString(pid, regs.rdi);
+                if (!path.empty()) {
+                  execs.insert(path);
+                  emit(OsEvent::Kind::kProcessStart, pid, path, pid, "exec");
+                }
+                break;
+              }
+              default:
+                break;
+            }
+          } else {
+            state.in_syscall = false;
+            long ret = static_cast<long>(regs.rax);
+            switch (state.syscall_number) {
+              case 2:
+              case 257:
+              case 85: {
+                if (ret >= 0 && !state.pending_path.empty()) {
+                  const std::string& path = state.pending_path;
+                  state.fd_table[static_cast<int>(ret)] = path;
+                  bool keep = !filter_system_paths_ || !IsSystemPath(path);
+                  if (keep) {
+                    int acc = state.pending_flags & O_ACCMODE;
+                    bool write_mode = acc == O_WRONLY || acc == O_RDWR ||
+                                      (state.pending_flags & O_CREAT) != 0;
+                    if (write_mode) {
+                      writes.insert(path);
+                      emit(OsEvent::Kind::kFileWrite, pid, path, 0, "");
+                    } else {
+                      reads.insert(path);
+                      emit(OsEvent::Kind::kFileRead, pid, path, 0, "");
+                    }
+                  }
+                }
+                state.pending_path.clear();
+                break;
+              }
+              case 3:  // close(fd)
+                state.fd_table.erase(static_cast<int>(regs.rdi));
+                break;
+              default:
+                break;
+            }
+          }
+        }
+      } else if (sig == SIGTRAP || sig == SIGSTOP) {
+        // Swallow trace-machinery signals.
+      } else {
+        signal_to_deliver = sig;
+      }
+    }
+    ptrace(PTRACE_SYSCALL, pid, nullptr,
+           reinterpret_cast<void*>(signal_to_deliver));
+  }
+
+  report.files_read.assign(reads.begin(), reads.end());
+  report.files_written.assign(writes.begin(), writes.end());
+  report.binaries_executed.assign(execs.begin(), execs.end());
+  return report;
+}
+
+#else  // !x86_64 Linux
+
+Result<PtraceReport> PtraceTracer::Run(const std::vector<std::string>& argv) {
+  (void)argv;
+  return Status::NotSupported("PtraceTracer requires Linux x86-64");
+}
+
+#endif
+
+}  // namespace ldv::os

@@ -1,0 +1,50 @@
+#ifndef LDV_OS_PTRACE_TRACER_H_
+#define LDV_OS_PTRACE_TRACER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "os/sim_process.h"
+
+namespace ldv::os {
+
+/// Result of tracing one external command.
+struct PtraceReport {
+  /// Events in observation order, same vocabulary as the simulated OS.
+  std::vector<OsEvent> events;
+  int exit_code = 0;
+  /// Distinct regular files opened for reading / writing (sorted). These are
+  /// what a CDE/PTU-style packager copies into a package.
+  std::vector<std::string> files_read;
+  std::vector<std::string> files_written;
+  std::vector<std::string> binaries_executed;
+};
+
+/// The genuine PTU capture mechanism (paper §VII-A): runs `argv` as a child
+/// under ptrace(2), intercepts open/openat/creat, read/write (fd->path
+/// attribution), close, fork/vfork/clone and execve across the whole process
+/// tree, and produces the same OsEvent stream the simulated OS emits —
+/// with a logical timestamp per syscall.
+///
+/// Linux x86-64 only. Returns NotSupported on other platforms and IOError
+/// when the environment forbids ptrace (some sandboxes do).
+class PtraceTracer {
+ public:
+  /// When set, uninteresting paths (/proc, /sys, /dev, shared-library and
+  /// locale noise) are dropped from the report. Default true.
+  void set_filter_system_paths(bool filter) { filter_system_paths_ = filter; }
+
+  Result<PtraceReport> Run(const std::vector<std::string>& argv);
+
+ private:
+  bool filter_system_paths_ = true;
+};
+
+/// True if `path` is infrastructure noise (loader, /proc, ...) rather than
+/// application data; exposed for tests.
+bool IsSystemPath(const std::string& path);
+
+}  // namespace ldv::os
+
+#endif  // LDV_OS_PTRACE_TRACER_H_

@@ -1,0 +1,96 @@
+#include "os/sim_process.h"
+
+namespace ldv::os {
+
+Vfs& ProcessContext::vfs() { return os_->vfs(); }
+
+Result<std::string> ProcessContext::ReadFile(const std::string& vpath) {
+  int64_t open_t = os_->clock().Tick();
+  LDV_ASSIGN_OR_RETURN(std::string data, os_->vfs().ReadFile(vpath));
+  int64_t close_t = os_->clock().Tick();
+  OsEvent event;
+  event.kind = OsEvent::Kind::kFileRead;
+  event.pid = pid_;
+  event.path = vpath;
+  event.bytes = static_cast<int64_t>(data.size());
+  event.t = {open_t, close_t};
+  os_->Emit(event);
+  return data;
+}
+
+Status ProcessContext::WriteFile(const std::string& vpath,
+                                 std::string_view data) {
+  int64_t open_t = os_->clock().Tick();
+  LDV_RETURN_IF_ERROR(os_->vfs().WriteFile(vpath, data));
+  int64_t close_t = os_->clock().Tick();
+  OsEvent event;
+  event.kind = OsEvent::Kind::kFileWrite;
+  event.pid = pid_;
+  event.path = vpath;
+  event.bytes = static_cast<int64_t>(data.size());
+  event.t = {open_t, close_t};
+  os_->Emit(event);
+  return Status::Ok();
+}
+
+Status ProcessContext::AppendFile(const std::string& vpath,
+                                  std::string_view data) {
+  int64_t open_t = os_->clock().Tick();
+  LDV_RETURN_IF_ERROR(os_->vfs().AppendFile(vpath, data));
+  int64_t close_t = os_->clock().Tick();
+  OsEvent event;
+  event.kind = OsEvent::Kind::kFileWrite;
+  event.pid = pid_;
+  event.path = vpath;
+  event.bytes = static_cast<int64_t>(data.size());
+  event.t = {open_t, close_t};
+  os_->Emit(event);
+  return Status::Ok();
+}
+
+Result<ProcessContext*> ProcessContext::Spawn(const std::string& label) {
+  if (exited_) return Status::Internal("spawn from an exited process");
+  return os_->NewProcess(pid_, label);
+}
+
+void ProcessContext::Exit() {
+  if (exited_) return;
+  exited_ = true;
+  int64_t t = os_->clock().Tick();
+  OsEvent event;
+  event.kind = OsEvent::Kind::kProcessExit;
+  event.pid = pid_;
+  event.t = {t, t};
+  os_->Emit(event);
+}
+
+SimOs::SimOs(Vfs* vfs, LogicalClock* clock, OsEventSink* sink)
+    : vfs_(vfs), clock_(clock), sink_(sink) {}
+
+ProcessContext* SimOs::root() {
+  if (processes_.empty()) return NewProcess(0, "root");
+  return processes_.front().get();
+}
+
+ProcessContext* SimOs::NewProcess(int64_t parent_pid,
+                                  const std::string& label) {
+  int64_t pid = next_pid_++;
+  processes_.emplace_back(
+      std::unique_ptr<ProcessContext>(new ProcessContext(this, pid)));
+  int64_t t = clock_->Tick();
+  OsEvent event;
+  event.kind = OsEvent::Kind::kProcessStart;
+  event.pid = pid;
+  event.parent_pid = parent_pid;
+  // Fork/exec of the child is modeled as instantaneous (§VII-A).
+  event.t = {t, t};
+  event.label = label;
+  Emit(event);
+  return processes_.back().get();
+}
+
+void SimOs::Emit(const OsEvent& event) {
+  if (sink_ != nullptr) sink_->OnOsEvent(event);
+}
+
+}  // namespace ldv::os

@@ -1,0 +1,123 @@
+#ifndef LDV_OS_SIM_PROCESS_H_
+#define LDV_OS_SIM_PROCESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "os/vfs.h"
+
+namespace ldv::os {
+
+/// Time interval on a provenance edge (paper Definition 2): [begin, end]
+/// logical ticks.
+struct Interval {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  bool operator==(const Interval& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// One observed OS-level interaction — the event vocabulary PTU extracts
+/// from ptrace (fork/exec and file opens/reads/writes/closes, §VII-A).
+struct OsEvent {
+  enum class Kind {
+    kProcessStart,  // pid spawned by parent_pid (fork/exec)
+    kProcessExit,
+    kFileRead,   // pid read from path over interval t
+    kFileWrite,  // pid wrote path over interval t
+  };
+  Kind kind = Kind::kProcessStart;
+  int64_t pid = 0;
+  int64_t parent_pid = 0;  // kProcessStart only
+  std::string path;        // file events only (virtual path)
+  int64_t bytes = 0;
+  Interval t;
+  std::string label;  // optional human-readable tag (e.g. argv for exec)
+};
+
+/// Receiver of OS events; the LDV Auditor implements this to build the
+/// P_BB side of the combined execution trace.
+class OsEventSink {
+ public:
+  virtual ~OsEventSink() = default;
+  virtual void OnOsEvent(const OsEvent& event) = 0;
+};
+
+class SimOs;
+
+/// Handle through which a simulated process performs its file and process
+/// operations. Every operation advances the shared logical clock and emits
+/// an event to the sink — the deterministic stand-in for a ptrace'd process.
+class ProcessContext {
+ public:
+  int64_t pid() const { return pid_; }
+  SimOs& os() { return *os_; }
+  Vfs& vfs();
+
+  /// Reads a whole file; emits kFileRead with the open..close interval.
+  Result<std::string> ReadFile(const std::string& vpath);
+
+  /// Creates/truncates a file; emits kFileWrite.
+  Status WriteFile(const std::string& vpath, std::string_view data);
+
+  /// Appends to a file; emits kFileWrite.
+  Status AppendFile(const std::string& vpath, std::string_view data);
+
+  /// Spawns a child process (fork+exec); emits kProcessStart. The child is
+  /// owned by the SimOs.
+  Result<ProcessContext*> Spawn(const std::string& label = "");
+
+  /// Marks the process exited; emits kProcessExit.
+  void Exit();
+
+ private:
+  friend class SimOs;
+  ProcessContext(SimOs* os, int64_t pid) : os_(os), pid_(pid) {}
+
+  SimOs* os_;
+  int64_t pid_;
+  bool exited_ = false;
+};
+
+/// The simulated OS: owns process contexts, assigns pids, and threads every
+/// operation through one logical clock so that trace timestamps are totally
+/// ordered and reproducible.
+class SimOs {
+ public:
+  /// `sink` may be null (un-audited baseline runs). `clock` is shared with
+  /// the DB auditing layer so OS and DB events interleave on one timeline.
+  SimOs(Vfs* vfs, LogicalClock* clock, OsEventSink* sink);
+
+  /// The root process (pid 1); created on first call.
+  ProcessContext* root();
+
+  Vfs& vfs() { return *vfs_; }
+  LogicalClock& clock() { return *clock_; }
+  OsEventSink* sink() { return sink_; }
+  void set_sink(OsEventSink* sink) { sink_ = sink; }
+
+  int64_t process_count() const {
+    return static_cast<int64_t>(processes_.size());
+  }
+
+ private:
+  friend class ProcessContext;
+  ProcessContext* NewProcess(int64_t parent_pid, const std::string& label);
+  void Emit(const OsEvent& event);
+
+  Vfs* vfs_;
+  LogicalClock* clock_;
+  OsEventSink* sink_;
+  std::vector<std::unique_ptr<ProcessContext>> processes_;
+  int64_t next_pid_ = 1;
+};
+
+}  // namespace ldv::os
+
+#endif  // LDV_OS_SIM_PROCESS_H_

@@ -1,0 +1,55 @@
+#include "os/vfs.h"
+
+#include "util/fsutil.h"
+#include "util/strings.h"
+
+namespace ldv::os {
+
+Vfs::Vfs(std::string root) : root_(std::move(root)) {
+  while (!root_.empty() && root_.back() == '/') root_.pop_back();
+}
+
+Result<std::string> Vfs::HostPath(const std::string& vpath) const {
+  if (vpath.empty() || vpath[0] != '/') {
+    return Status::InvalidArgument("virtual path must be absolute: " + vpath);
+  }
+  for (const std::string& part : Split(vpath.substr(1), '/')) {
+    if (part == "..") {
+      return Status::InvalidArgument("virtual path escapes sandbox: " + vpath);
+    }
+  }
+  return root_ + vpath;
+}
+
+Result<std::string> Vfs::ReadFile(const std::string& vpath) const {
+  LDV_ASSIGN_OR_RETURN(std::string host, HostPath(vpath));
+  return ReadFileToString(host);
+}
+
+Status Vfs::WriteFile(const std::string& vpath, std::string_view data) const {
+  LDV_ASSIGN_OR_RETURN(std::string host, HostPath(vpath));
+  return WriteStringToFile(host, data);
+}
+
+Status Vfs::AppendFile(const std::string& vpath, std::string_view data) const {
+  LDV_ASSIGN_OR_RETURN(std::string host, HostPath(vpath));
+  return AppendStringToFile(host, data);
+}
+
+bool Vfs::Exists(const std::string& vpath) const {
+  Result<std::string> host = HostPath(vpath);
+  return host.ok() && FileExists(*host);
+}
+
+Result<int64_t> Vfs::FileSize(const std::string& vpath) const {
+  LDV_ASSIGN_OR_RETURN(std::string host, HostPath(vpath));
+  return ldv::FileSize(host);
+}
+
+Result<std::vector<std::string>> Vfs::ListAll() const {
+  LDV_ASSIGN_OR_RETURN(std::vector<std::string> files, ListTree(root_));
+  for (std::string& f : files) f = "/" + f;
+  return files;
+}
+
+}  // namespace ldv::os

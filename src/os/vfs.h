@@ -1,0 +1,41 @@
+#ifndef LDV_OS_VFS_H_
+#define LDV_OS_VFS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ldv::os {
+
+/// A chroot-like view of the host filesystem rooted at `root`: the sandbox
+/// in which audited applications run and into which packages are re-rooted
+/// at replay time (paper §VII-D: "creates a chroot-like environment").
+/// Virtual paths are absolute ("/data/in.csv") and resolve to
+/// `<root>/data/in.csv`; escapes via ".." are rejected.
+class Vfs {
+ public:
+  explicit Vfs(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Maps a virtual path to a host path; rejects escapes.
+  Result<std::string> HostPath(const std::string& vpath) const;
+
+  Result<std::string> ReadFile(const std::string& vpath) const;
+  Status WriteFile(const std::string& vpath, std::string_view data) const;
+  Status AppendFile(const std::string& vpath, std::string_view data) const;
+  bool Exists(const std::string& vpath) const;
+  Result<int64_t> FileSize(const std::string& vpath) const;
+
+  /// All regular files under the root as sorted virtual paths.
+  Result<std::vector<std::string>> ListAll() const;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace ldv::os
+
+#endif  // LDV_OS_VFS_H_

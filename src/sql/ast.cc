@@ -1,0 +1,266 @@
+#include "sql/ast.h"
+
+#include "util/strings.h"
+
+namespace ldv::sql {
+namespace {
+
+std::string_view BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kLike:
+      return "LIKE";
+    case BinaryOp::kNotLike:
+      return "NOT LIKE";
+    case BinaryOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Expr::Expr() = default;
+Expr::~Expr() = default;
+Expr::Expr(Expr&&) noexcept = default;
+Expr& Expr::operator=(Expr&&) noexcept = default;
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->table = table;
+  out->column = column;
+  out->name = name;
+  out->binary_op = binary_op;
+  out->unary_op = unary_op;
+  out->negated = negated;
+  out->children.reserve(children.size());
+  for (const auto& child : children) out->children.push_back(child->Clone());
+  if (subquery != nullptr) out->subquery = CloneSelect(*subquery);
+  return out;
+}
+
+std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& select) {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = select.distinct;
+  for (const SelectItem& item : select.items) {
+    SelectItem clone;
+    clone.expr = item.expr->Clone();
+    clone.alias = item.alias;
+    out->items.push_back(std::move(clone));
+  }
+  for (const TableRef& ref : select.from) {
+    TableRef clone;
+    clone.table = ref.table;
+    clone.alias = ref.alias;
+    clone.join_type = ref.join_type;
+    if (ref.join_condition != nullptr) {
+      clone.join_condition = ref.join_condition->Clone();
+    }
+    out->from.push_back(std::move(clone));
+  }
+  if (select.where != nullptr) out->where = select.where->Clone();
+  for (const auto& g : select.group_by) out->group_by.push_back(g->Clone());
+  if (select.having != nullptr) out->having = select.having->Clone();
+  for (const OrderItem& o : select.order_by) {
+    OrderItem clone;
+    clone.expr = o.expr->Clone();
+    clone.ascending = o.ascending;
+    out->order_by.push_back(std::move(clone));
+  }
+  out->limit = select.limit;
+  return out;
+}
+
+std::string SelectToString(const SelectStmt& select) {
+  std::string out = "SELECT ";
+  if (select.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select.items[i].expr->ToString();
+    if (!select.items[i].alias.empty()) {
+      out += " AS " + select.items[i].alias;
+    }
+  }
+  for (size_t i = 0; i < select.from.size(); ++i) {
+    const TableRef& ref = select.from[i];
+    if (i == 0) {
+      out += " FROM ";
+    } else if (ref.join_condition != nullptr) {
+      out += ref.join_type == JoinType::kLeft ? " LEFT JOIN " : " JOIN ";
+    } else {
+      out += ", ";
+    }
+    out += ref.table;
+    if (!ref.alias.empty()) out += " " + ref.alias;
+    if (i > 0 && ref.join_condition != nullptr) {
+      out += " ON " + ref.join_condition->ToString();
+    }
+  }
+  if (select.where != nullptr) out += " WHERE " + select.where->ToString();
+  if (!select.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < select.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select.group_by[i]->ToString();
+    }
+  }
+  if (select.having != nullptr) out += " HAVING " + select.having->ToString();
+  if (!select.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < select.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += select.order_by[i].expr->ToString();
+      if (!select.order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (select.limit.has_value()) {
+    out += " LIMIT " + std::to_string(*select.limit);
+  }
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.type() == storage::ValueType::kString) {
+        // Rendered expressions must re-parse (the auditing client builds
+        // reenactment queries from them), so quotes are '' -escaped.
+        std::string escaped;
+        for (char c : literal.ToText()) {
+          escaped.push_back(c);
+          if (c == '\'') escaped.push_back('\'');
+        }
+        return "'" + escaped + "'";
+      }
+      return literal.is_null() ? "NULL" : literal.ToText();
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kStar:
+      return table.empty() ? "*" : table + ".*";
+    case ExprKind::kUnary:
+      switch (unary_op) {
+        case UnaryOp::kNot:
+          return "NOT (" + children[0]->ToString() + ")";
+        case UnaryOp::kNeg:
+          return "-(" + children[0]->ToString() + ")";
+        case UnaryOp::kIsNull:
+          return "(" + children[0]->ToString() + " IS NULL)";
+        case UnaryOp::kIsNotNull:
+          return "(" + children[0]->ToString() + " IS NOT NULL)";
+      }
+      return "?";
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " +
+             std::string(BinaryOpSymbol(binary_op)) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kBetween:
+      return "(" + children[0]->ToString() + (negated ? " NOT" : "") +
+             " BETWEEN " + children[1]->ToString() + " AND " +
+             children[2]->ToString() + ")";
+    case ExprKind::kInList: {
+      std::string out = "(" + children[0]->ToString() +
+                        (negated ? " NOT IN (" : " IN (");
+      if (subquery != nullptr) {
+        out += SelectToString(*subquery);
+      } else {
+        for (size_t i = 1; i < children.size(); ++i) {
+          if (i > 1) out += ", ";
+          out += children[i]->ToString();
+        }
+      }
+      return out + "))";
+    }
+    case ExprKind::kSubquery:
+      return "(" + SelectToString(*subquery) + ")";
+    case ExprKind::kExists:
+      return std::string(negated ? "NOT " : "") + "EXISTS (" +
+             SelectToString(*subquery) + ")";
+    case ExprKind::kFuncCall: {
+      std::string out = name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> MakeLiteral(storage::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> MakeBinary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                 std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+std::unique_ptr<Expr> MakeUnary(UnaryOp op, std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+bool IsAggregateFunction(std::string_view name) {
+  return EqualsIgnoreCase(name, "count") || EqualsIgnoreCase(name, "sum") ||
+         EqualsIgnoreCase(name, "avg") || EqualsIgnoreCase(name, "min") ||
+         EqualsIgnoreCase(name, "max");
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kFuncCall && IsAggregateFunction(expr.name)) {
+    return true;
+  }
+  for (const auto& child : expr.children) {
+    if (ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+}  // namespace ldv::sql

@@ -1,0 +1,228 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace ldv::sql {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '$';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](TokenType type, size_t offset, std::string text = {}) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t end = sql.find("*/", i + 2);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated block comment");
+      }
+      i = end + 2;
+      continue;
+    }
+    const size_t start = i;
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      ++i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      push(TokenType::kIdentifier, start, std::string(sql.substr(start, i - start)));
+      continue;
+    }
+    // Quoted identifier.
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < n && sql[i] != '"') text.push_back(sql[i++]);
+      if (i >= n) return Status::ParseError("unterminated quoted identifier");
+      ++i;
+      push(TokenType::kIdentifier, start, std::move(text));
+      continue;
+    }
+    // String literal with '' escape.
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+          } else {
+            break;
+          }
+        } else {
+          text.push_back(sql[i++]);
+        }
+      }
+      if (i >= n) return Status::ParseError("unterminated string literal");
+      ++i;  // closing quote
+      push(TokenType::kStringLiteral, start, std::move(text));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])) != 0)) {
+      bool is_double = false;
+      ++i;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d)) != 0) {
+          ++i;
+        } else if (d == '.') {
+          is_double = true;
+          ++i;
+        } else if (d == 'e' || d == 'E') {
+          is_double = true;
+          ++i;
+          if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      std::string text(sql.substr(start, i - start));
+      Token t;
+      t.offset = start;
+      t.text = text;
+      if (is_double) {
+        LDV_ASSIGN_OR_RETURN(t.double_value, ParseDouble(text));
+        t.type = TokenType::kDoubleLiteral;
+      } else {
+        Result<int64_t> v = ParseInt64(text);
+        if (v.ok()) {
+          t.int_value = *v;
+          t.type = TokenType::kIntLiteral;
+        } else {
+          // Out-of-range integer literal degrades to double.
+          LDV_ASSIGN_OR_RETURN(t.double_value, ParseDouble(text));
+          t.type = TokenType::kDoubleLiteral;
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    switch (c) {
+      case ',':
+        push(TokenType::kComma, start);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, start);
+        ++i;
+        break;
+      case '(':
+        push(TokenType::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, start);
+        ++i;
+        break;
+      case ';':
+        push(TokenType::kSemicolon, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, start);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, start);
+        ++i;
+        break;
+      case '/':
+        push(TokenType::kSlash, start);
+        ++i;
+        break;
+      case '%':
+        push(TokenType::kPercent, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGe, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        break;
+      case '|':
+        if (i + 1 < n && sql[i + 1] == '|') {
+          push(TokenType::kConcat, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '|' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      default:
+        return Status::ParseError(StrFormat(
+            "unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  push(TokenType::kEnd, n);
+  return tokens;
+}
+
+}  // namespace ldv::sql

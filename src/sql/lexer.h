@@ -1,0 +1,19 @@
+#ifndef LDV_SQL_LEXER_H_
+#define LDV_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace ldv::sql {
+
+/// Tokenizes one SQL text. Supports line comments (`-- ...`), block comments
+/// (`/* ... */`), single-quoted strings with '' escapes, and double-quoted
+/// identifiers.
+Result<std::vector<Token>> Lex(std::string_view sql);
+
+}  // namespace ldv::sql
+
+#endif  // LDV_SQL_LEXER_H_

@@ -1,0 +1,761 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "sql/lexer.h"
+#include "util/strings.h"
+
+namespace ldv::sql {
+namespace {
+
+using storage::Column;
+using storage::Value;
+using storage::ValueType;
+
+/// Recursive-descent parser over the token stream. Keywords are recognized
+/// case-insensitively; identifiers that look like keywords are accepted as
+/// names when unambiguous, matching common engine behavior closely enough
+/// for the workloads in this repository.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    LDV_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+    ConsumeIf(TokenType::kSemicolon);
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> ParseScriptTokens() {
+    std::vector<Statement> out;
+    while (Peek().type != TokenType::kEnd) {
+      if (ConsumeIf(TokenType::kSemicolon)) continue;
+      LDV_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInner());
+      out.push_back(std::move(stmt));
+      if (Peek().type != TokenType::kEnd) {
+        LDV_RETURN_IF_ERROR(Expect(TokenType::kSemicolon));
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t lookahead = 0) const {
+    size_t i = pos_ + lookahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  const Token& Advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  bool ConsumeIf(TokenType type) {
+    if (Peek().type == type) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (Peek().IsKeyword(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenType type) {
+    if (Peek().type != type) {
+      return Status::ParseError(
+          StrFormat("expected %s but found %s ('%s') at offset %zu",
+                    std::string(TokenTypeName(type)).c_str(),
+                    std::string(TokenTypeName(Peek().type)).c_str(),
+                    Peek().text.c_str(), Peek().offset));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!ConsumeKeyword(keyword)) {
+      return Status::ParseError(
+          StrFormat("expected keyword %s at offset %zu ('%s')",
+                    std::string(keyword).c_str(), Peek().offset,
+                    Peek().text.c_str()));
+    }
+    return Status::Ok();
+  }
+
+  Status Err(std::string msg) const {
+    return Status::ParseError(
+        StrFormat("%s at offset %zu ('%s')", msg.c_str(), Peek().offset,
+                  Peek().text.c_str()));
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError(StrFormat("expected identifier at offset %zu",
+                                          Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  /// An identifier that must not be a reserved word (table/column names).
+  Result<std::string> ExpectName() {
+    if (Peek().type == TokenType::kIdentifier && IsReservedWord(Peek().text)) {
+      return Status::ParseError(
+          StrFormat("reserved word '%s' used as a name at offset %zu",
+                    Peek().text.c_str(), Peek().offset));
+    }
+    return ExpectIdentifier();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    LDV_ASSIGN_OR_RETURN(ref.table, ExpectName());
+    if (ConsumeKeyword("as")) {
+      LDV_ASSIGN_OR_RETURN(ref.alias, ExpectName());
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsClauseKeyword(Peek().text)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  // --- statements -----------------------------------------------------
+
+  Result<Statement> ParseStatementInner() {
+    Statement stmt;
+    if (ConsumeKeyword("provenance")) stmt.provenance = true;
+    const Token& t = Peek();
+    if (t.IsKeyword("select")) {
+      stmt.kind = StatementKind::kSelect;
+      LDV_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    } else if (t.IsKeyword("insert")) {
+      stmt.kind = StatementKind::kInsert;
+      LDV_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+    } else if (t.IsKeyword("update")) {
+      stmt.kind = StatementKind::kUpdate;
+      LDV_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+    } else if (t.IsKeyword("delete")) {
+      stmt.kind = StatementKind::kDelete;
+      LDV_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
+    } else if (t.IsKeyword("create")) {
+      if (Peek(1).IsKeyword("index")) {
+        stmt.kind = StatementKind::kCreateIndex;
+        LDV_ASSIGN_OR_RETURN(stmt.create_index, ParseCreateIndex());
+        return stmt;
+      }
+      stmt.kind = StatementKind::kCreateTable;
+      LDV_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+    } else if (t.IsKeyword("drop")) {
+      stmt.kind = StatementKind::kDropTable;
+      LDV_ASSIGN_OR_RETURN(stmt.drop_table, ParseDropTable());
+    } else if (t.IsKeyword("alter")) {
+      stmt.kind = StatementKind::kAlterTableAddColumn;
+      LDV_ASSIGN_OR_RETURN(stmt.alter_table, ParseAlterTable());
+    } else if (t.IsKeyword("copy")) {
+      stmt.kind = StatementKind::kCopy;
+      LDV_ASSIGN_OR_RETURN(stmt.copy, ParseCopy());
+    } else if (t.IsKeyword("begin") || t.IsKeyword("commit") ||
+               t.IsKeyword("rollback")) {
+      stmt.kind = StatementKind::kTransaction;
+      auto txn = std::make_unique<TransactionStmt>();
+      if (t.IsKeyword("begin")) txn->kind = TransactionStmt::Kind::kBegin;
+      if (t.IsKeyword("commit")) txn->kind = TransactionStmt::Kind::kCommit;
+      if (t.IsKeyword("rollback")) {
+        txn->kind = TransactionStmt::Kind::kRollback;
+      }
+      Advance();
+      ConsumeKeyword("transaction");
+      ConsumeKeyword("work");
+      stmt.transaction = std::move(txn);
+    } else {
+      return Err("expected a statement");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("select"));
+    auto select = std::make_unique<SelectStmt>();
+    if (ConsumeKeyword("distinct")) select->distinct = true;
+    // Select list.
+    while (true) {
+      SelectItem item;
+      LDV_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (ConsumeKeyword("as")) {
+        LDV_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !IsClauseKeyword(Peek().text)) {
+        item.alias = Advance().text;
+      }
+      select->items.push_back(std::move(item));
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+    // FROM.
+    if (ConsumeKeyword("from")) {
+      LDV_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+      select->from.push_back(std::move(first));
+      while (true) {
+        if (ConsumeIf(TokenType::kComma)) {
+          LDV_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+          select->from.push_back(std::move(ref));
+          continue;
+        }
+        // Explicit joins: [INNER|LEFT [OUTER]] JOIN t [alias] ON cond.
+        if (Peek().IsKeyword("join") || Peek().IsKeyword("inner") ||
+            Peek().IsKeyword("left")) {
+          JoinType join_type = JoinType::kInner;
+          if (ConsumeKeyword("left")) {
+            ConsumeKeyword("outer");
+            join_type = JoinType::kLeft;
+          } else {
+            ConsumeKeyword("inner");
+          }
+          LDV_RETURN_IF_ERROR(ExpectKeyword("join"));
+          LDV_ASSIGN_OR_RETURN(TableRef joined, ParseTableRef());
+          joined.join_type = join_type;
+          LDV_RETURN_IF_ERROR(ExpectKeyword("on"));
+          LDV_ASSIGN_OR_RETURN(joined.join_condition, ParseExpr());
+          select->from.push_back(std::move(joined));
+          continue;
+        }
+        break;
+      }
+    }
+    // WHERE.
+    if (ConsumeKeyword("where")) {
+      LDV_ASSIGN_OR_RETURN(select->where, ParseExpr());
+    }
+    // GROUP BY.
+    if (ConsumeKeyword("group")) {
+      LDV_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+        select->group_by.push_back(std::move(e));
+        if (!ConsumeIf(TokenType::kComma)) break;
+      }
+    }
+    // HAVING.
+    if (ConsumeKeyword("having")) {
+      LDV_ASSIGN_OR_RETURN(select->having, ParseExpr());
+    }
+    // ORDER BY.
+    if (ConsumeKeyword("order")) {
+      LDV_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        OrderItem item;
+        LDV_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("desc")) {
+          item.ascending = false;
+        } else {
+          ConsumeKeyword("asc");
+        }
+        select->order_by.push_back(std::move(item));
+        if (!ConsumeIf(TokenType::kComma)) break;
+      }
+    }
+    // LIMIT.
+    if (ConsumeKeyword("limit")) {
+      if (Peek().type != TokenType::kIntLiteral) {
+        return Err("LIMIT expects an integer");
+      }
+      select->limit = Advance().int_value;
+    }
+    return select;
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("insert"));
+    LDV_RETURN_IF_ERROR(ExpectKeyword("into"));
+    auto insert = std::make_unique<InsertStmt>();
+    LDV_ASSIGN_OR_RETURN(insert->table, ExpectIdentifier());
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      while (true) {
+        LDV_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        insert->columns.push_back(std::move(col));
+        if (!ConsumeIf(TokenType::kComma)) break;
+      }
+      LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    }
+    if (ConsumeKeyword("values")) {
+      while (true) {
+        LDV_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+        std::vector<std::unique_ptr<Expr>> row;
+        while (true) {
+          LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+          row.push_back(std::move(e));
+          if (!ConsumeIf(TokenType::kComma)) break;
+        }
+        LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+        insert->rows.push_back(std::move(row));
+        if (!ConsumeIf(TokenType::kComma)) break;
+      }
+    } else if (Peek().IsKeyword("select")) {
+      LDV_ASSIGN_OR_RETURN(insert->select, ParseSelect());
+    } else {
+      return Err("INSERT expects VALUES or SELECT");
+    }
+    return insert;
+  }
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("update"));
+    auto update = std::make_unique<UpdateStmt>();
+    LDV_ASSIGN_OR_RETURN(update->table, ExpectIdentifier());
+    if (Peek().type == TokenType::kIdentifier && !Peek().IsKeyword("set")) {
+      update->alias = Advance().text;
+    }
+    LDV_RETURN_IF_ERROR(ExpectKeyword("set"));
+    while (true) {
+      LDV_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      LDV_RETURN_IF_ERROR(Expect(TokenType::kEq));
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+      update->assignments.emplace_back(std::move(col), std::move(e));
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+    if (ConsumeKeyword("where")) {
+      LDV_ASSIGN_OR_RETURN(update->where, ParseExpr());
+    }
+    return update;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("delete"));
+    LDV_RETURN_IF_ERROR(ExpectKeyword("from"));
+    auto del = std::make_unique<DeleteStmt>();
+    LDV_ASSIGN_OR_RETURN(del->table, ExpectIdentifier());
+    if (Peek().type == TokenType::kIdentifier && !Peek().IsKeyword("where")) {
+      del->alias = Advance().text;
+    }
+    if (ConsumeKeyword("where")) {
+      LDV_ASSIGN_OR_RETURN(del->where, ParseExpr());
+    }
+    return del;
+  }
+
+  Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("create"));
+    LDV_RETURN_IF_ERROR(ExpectKeyword("table"));
+    auto create = std::make_unique<CreateTableStmt>();
+    if (ConsumeKeyword("if")) {
+      LDV_RETURN_IF_ERROR(ExpectKeyword("not"));
+      LDV_RETURN_IF_ERROR(ExpectKeyword("exists"));
+      create->if_not_exists = true;
+    }
+    LDV_ASSIGN_OR_RETURN(create->table, ExpectIdentifier());
+    LDV_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+    while (true) {
+      Column col;
+      LDV_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      LDV_ASSIGN_OR_RETURN(std::string type_name, ParseTypeName());
+      LDV_ASSIGN_OR_RETURN(col.type,
+                           storage::ValueTypeFromSqlName(type_name));
+      // Ignore column constraints we do not enforce.
+      while (Peek().IsKeyword("primary") || Peek().IsKeyword("key") ||
+             Peek().IsKeyword("not") || Peek().IsKeyword("null") ||
+             Peek().IsKeyword("unique")) {
+        Advance();
+      }
+      create->columns.push_back(std::move(col));
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+    LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    return create;
+  }
+
+  Result<std::string> ParseTypeName() {
+    LDV_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    // "DOUBLE PRECISION".
+    if (EqualsIgnoreCase(name, "double") && ConsumeKeyword("precision")) {
+      name = "double precision";
+    }
+    // VARCHAR(n) / CHAR(n) / DECIMAL(p,s): length arguments are ignored.
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      while (Peek().type != TokenType::kRParen &&
+             Peek().type != TokenType::kEnd) {
+        Advance();
+      }
+      LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    }
+    return name;
+  }
+
+  Result<std::unique_ptr<CreateIndexStmt>> ParseCreateIndex() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("create"));
+    LDV_RETURN_IF_ERROR(ExpectKeyword("index"));
+    auto create = std::make_unique<CreateIndexStmt>();
+    if (ConsumeKeyword("if")) {
+      LDV_RETURN_IF_ERROR(ExpectKeyword("not"));
+      LDV_RETURN_IF_ERROR(ExpectKeyword("exists"));
+      create->if_not_exists = true;
+    }
+    LDV_ASSIGN_OR_RETURN(create->index_name, ExpectName());
+    LDV_RETURN_IF_ERROR(ExpectKeyword("on"));
+    LDV_ASSIGN_OR_RETURN(create->table, ExpectName());
+    LDV_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+    LDV_ASSIGN_OR_RETURN(create->column, ExpectName());
+    LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    return create;
+  }
+
+  Result<std::unique_ptr<DropTableStmt>> ParseDropTable() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("drop"));
+    LDV_RETURN_IF_ERROR(ExpectKeyword("table"));
+    auto drop = std::make_unique<DropTableStmt>();
+    if (ConsumeKeyword("if")) {
+      LDV_RETURN_IF_ERROR(ExpectKeyword("exists"));
+      drop->if_exists = true;
+    }
+    LDV_ASSIGN_OR_RETURN(drop->table, ExpectIdentifier());
+    return drop;
+  }
+
+  Result<std::unique_ptr<AlterTableAddColumnStmt>> ParseAlterTable() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("alter"));
+    LDV_RETURN_IF_ERROR(ExpectKeyword("table"));
+    auto alter = std::make_unique<AlterTableAddColumnStmt>();
+    LDV_ASSIGN_OR_RETURN(alter->table, ExpectIdentifier());
+    LDV_RETURN_IF_ERROR(ExpectKeyword("add"));
+    ConsumeKeyword("column");
+    LDV_ASSIGN_OR_RETURN(alter->column.name, ExpectIdentifier());
+    LDV_ASSIGN_OR_RETURN(std::string type_name, ParseTypeName());
+    LDV_ASSIGN_OR_RETURN(alter->column.type,
+                         storage::ValueTypeFromSqlName(type_name));
+    return alter;
+  }
+
+  Result<std::unique_ptr<CopyStmt>> ParseCopy() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("copy"));
+    auto copy = std::make_unique<CopyStmt>();
+    LDV_ASSIGN_OR_RETURN(copy->table, ExpectIdentifier());
+    if (ConsumeKeyword("from")) {
+      copy->from = true;
+    } else if (ConsumeKeyword("to")) {
+      copy->from = false;
+    } else {
+      return Err("COPY expects FROM or TO");
+    }
+    if (Peek().type != TokenType::kStringLiteral) {
+      return Err("COPY expects a quoted path");
+    }
+    copy->path = Advance().text;
+    ConsumeKeyword("csv");
+    return copy;
+  }
+
+  // --- expressions ----------------------------------------------------
+  // Precedence: OR < AND < NOT < comparison/LIKE/BETWEEN/IN/IS <
+  // additive/|| < multiplicative < unary < primary.
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAnd());
+    while (ConsumeKeyword("or")) {
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseNot());
+    while (ConsumeKeyword("and")) {
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (ConsumeKeyword("not")) {
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAdditive());
+    // IS [NOT] NULL.
+    if (ConsumeKeyword("is")) {
+      bool negated = ConsumeKeyword("not");
+      LDV_RETURN_IF_ERROR(ExpectKeyword("null"));
+      return MakeUnary(negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                       std::move(lhs));
+    }
+    bool negated = false;
+    if (Peek().IsKeyword("not") &&
+        (Peek(1).IsKeyword("like") || Peek(1).IsKeyword("between") ||
+         Peek(1).IsKeyword("in"))) {
+      Advance();
+      negated = true;
+    }
+    if (ConsumeKeyword("like")) {
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdditive());
+      return MakeBinary(negated ? BinaryOp::kNotLike : BinaryOp::kLike,
+                        std::move(lhs), std::move(rhs));
+    }
+    if (ConsumeKeyword("between")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> low, ParseAdditive());
+      LDV_RETURN_IF_ERROR(ExpectKeyword("and"));
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> high, ParseAdditive());
+      e->children.push_back(std::move(low));
+      e->children.push_back(std::move(high));
+      return e;
+    }
+    if (ConsumeKeyword("in")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      LDV_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      if (Peek().IsKeyword("select")) {
+        LDV_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      } else {
+        while (true) {
+          LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> item, ParseAdditive());
+          e->children.push_back(std::move(item));
+          if (!ConsumeIf(TokenType::kComma)) break;
+        }
+      }
+      LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return e;
+    }
+    if (negated) return Err("dangling NOT");
+    BinaryOp op;
+    switch (Peek().type) {
+      case TokenType::kEq:
+        op = BinaryOp::kEq;
+        break;
+      case TokenType::kNe:
+        op = BinaryOp::kNe;
+        break;
+      case TokenType::kLt:
+        op = BinaryOp::kLt;
+        break;
+      case TokenType::kLe:
+        op = BinaryOp::kLe;
+        break;
+      case TokenType::kGt:
+        op = BinaryOp::kGt;
+        break;
+      case TokenType::kGe:
+        op = BinaryOp::kGe;
+        break;
+      default:
+        return lhs;
+    }
+    Advance();
+    LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAdditive());
+    return MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Peek().type == TokenType::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().type == TokenType::kMinus) {
+        op = BinaryOp::kSub;
+      } else if (Peek().type == TokenType::kConcat) {
+        op = BinaryOp::kConcat;
+      } else {
+        return lhs;
+      }
+      Advance();
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Peek().type == TokenType::kStar) {
+        op = BinaryOp::kMul;
+      } else if (Peek().type == TokenType::kSlash) {
+        op = BinaryOp::kDiv;
+      } else if (Peek().type == TokenType::kPercent) {
+        op = BinaryOp::kMod;
+      } else {
+        return lhs;
+      }
+      Advance();
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (ConsumeIf(TokenType::kMinus)) {
+      LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParseUnary());
+      return MakeUnary(UnaryOp::kNeg, std::move(operand));
+    }
+    if (ConsumeIf(TokenType::kPlus)) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIntLiteral: {
+        Advance();
+        return MakeLiteral(Value::Int(t.int_value));
+      }
+      case TokenType::kDoubleLiteral: {
+        Advance();
+        return MakeLiteral(Value::Real(t.double_value));
+      }
+      case TokenType::kStringLiteral: {
+        Advance();
+        return MakeLiteral(Value::Str(t.text));
+      }
+      case TokenType::kLParen: {
+        Advance();
+        if (Peek().IsKeyword("select")) {
+          // Scalar subquery.
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kSubquery;
+          LDV_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+          LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+          return e;
+        }
+        LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+        LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+        return inner;
+      }
+      case TokenType::kStar: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kStar;
+        return e;
+      }
+      case TokenType::kIdentifier:
+        break;
+      default:
+        return Err("expected an expression");
+    }
+    if (t.IsKeyword("null")) {
+      Advance();
+      return MakeLiteral(Value::Null());
+    }
+    if (t.IsKeyword("true")) {
+      Advance();
+      return MakeLiteral(Value::Int(1));
+    }
+    if (t.IsKeyword("false")) {
+      Advance();
+      return MakeLiteral(Value::Int(0));
+    }
+    if (t.IsKeyword("exists")) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kExists;
+      LDV_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      LDV_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return e;
+    }
+    if (IsReservedWord(t.text)) {
+      return Err("reserved word '" + t.text + "' used as an expression");
+    }
+    std::string first = Advance().text;
+    // Function call.
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kFuncCall;
+      e->name = ToUpper(first);
+      if (Peek().type != TokenType::kRParen) {
+        if (ConsumeKeyword("distinct")) e->negated = false;  // tolerated
+        while (true) {
+          LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseExpr());
+          e->children.push_back(std::move(arg));
+          if (!ConsumeIf(TokenType::kComma)) break;
+        }
+      }
+      LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      return e;
+    }
+    // Qualified reference: table.column or table.*.
+    if (ConsumeIf(TokenType::kDot)) {
+      if (ConsumeIf(TokenType::kStar)) {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kStar;
+        e->table = std::move(first);
+        return e;
+      }
+      LDV_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      return MakeColumnRef(std::move(first), std::move(column));
+    }
+    return MakeColumnRef("", std::move(first));
+  }
+
+  static bool IsReservedWord(std::string_view word) {
+    static constexpr std::string_view kReserved[] = {
+        "select", "from",   "where",  "group",  "by",       "having",
+        "order",  "limit",  "insert", "into",   "update",   "delete",
+        "set",    "values", "create", "drop",   "alter",    "table",
+        "copy",   "join",   "inner",  "on",     "as",       "and",
+        "or",     "not",    "between","like",   "in",       "is",
+        "distinct", "union", "provenance", "begin", "commit", "rollback",
+        "asc",    "desc",   "case",   "when",   "then",     "else",
+        "end"};
+    for (std::string_view k : kReserved) {
+      if (EqualsIgnoreCase(word, k)) return true;
+    }
+    return false;
+  }
+
+  static bool IsClauseKeyword(std::string_view word) {
+    static constexpr std::string_view kClauses[] = {
+        "from",  "where",  "group", "having", "order",  "limit", "on",
+        "join",  "inner",  "left",  "outer",  "as",     "and",   "or",
+        "not",   "asc",    "desc",  "union",  "set",    "values",
+        "select", "like",  "between", "in",   "is",     "by"};
+    for (std::string_view k : kClauses) {
+      if (EqualsIgnoreCase(word, k)) return true;
+    }
+    return false;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(std::string_view sql) {
+  LDV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  Result<Statement> result = parser.ParseStatement();
+  if (!result.ok()) {
+    return result.status().WithContext("parsing '" + std::string(sql) + "'");
+  }
+  return result;
+}
+
+Result<std::vector<Statement>> ParseScript(std::string_view sql) {
+  LDV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseScriptTokens();
+}
+
+}  // namespace ldv::sql

@@ -1,0 +1,20 @@
+#ifndef LDV_SQL_PARSER_H_
+#define LDV_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace ldv::sql {
+
+/// Parses one SQL statement (an optional trailing ';' is allowed).
+Result<Statement> Parse(std::string_view sql);
+
+/// Parses a script of ';'-separated statements.
+Result<std::vector<Statement>> ParseScript(std::string_view sql);
+
+}  // namespace ldv::sql
+
+#endif  // LDV_SQL_PARSER_H_

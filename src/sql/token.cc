@@ -1,0 +1,61 @@
+#include "sql/token.h"
+
+#include "util/strings.h"
+
+namespace ldv::sql {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, keyword);
+}
+
+std::string_view TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "end of input";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kIntLiteral:
+      return "integer literal";
+    case TokenType::kDoubleLiteral:
+      return "numeric literal";
+    case TokenType::kStringLiteral:
+      return "string literal";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kPercent:
+      return "'%'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kConcat:
+      return "'||'";
+  }
+  return "?";
+}
+
+}  // namespace ldv::sql

@@ -1,0 +1,52 @@
+#ifndef LDV_SQL_TOKEN_H_
+#define LDV_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ldv::sql {
+
+enum class TokenType : uint8_t {
+  kEnd,
+  kIdentifier,   // foo, "Foo"
+  kIntLiteral,   // 42
+  kDoubleLiteral,  // 4.2, 1e9
+  kStringLiteral,  // 'abc'
+  // Punctuation / operators.
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,       // =
+  kNe,       // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kConcat,   // ||
+};
+
+/// One lexed token. Keyword recognition happens in the parser via
+/// case-insensitive identifier comparison, PostgreSQL-style.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier (original case) or literal spelling
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;    // byte offset in the statement, for error messages
+
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+std::string_view TokenTypeName(TokenType type);
+
+}  // namespace ldv::sql
+
+#endif  // LDV_SQL_TOKEN_H_

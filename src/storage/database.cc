@@ -1,0 +1,76 @@
+#include "storage/database.h"
+
+#include "util/strings.h"
+
+namespace ldv::storage {
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
+                                     bool if_not_exists) {
+  Table* existing = FindTable(name);
+  if (existing != nullptr) {
+    if (if_not_exists) return existing;
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  tables_.push_back(
+      std::make_unique<Table>(next_table_id_++, name, std::move(schema)));
+  return tables_.back().get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if (EqualsIgnoreCase((*it)->name(), name)) {
+      tables_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no such table: " + name);
+}
+
+Table* Database::FindTable(std::string_view name) {
+  for (auto& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), name)) return t.get();
+  }
+  return nullptr;
+}
+
+const Table* Database::FindTable(std::string_view name) const {
+  for (const auto& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), name)) return t.get();
+  }
+  return nullptr;
+}
+
+Table* Database::FindTableById(int32_t id) {
+  for (auto& t : tables_) {
+    if (t->id() == id) return t.get();
+  }
+  return nullptr;
+}
+
+const Table* Database::FindTableById(int32_t id) const {
+  for (const auto& t : tables_) {
+    if (t->id() == id) return t.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t->name());
+  return names;
+}
+
+int64_t Database::TotalLiveRows() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t->live_row_count();
+  return total;
+}
+
+int64_t Database::ApproxBytes() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t->ApproxBytes();
+  return total;
+}
+
+}  // namespace ldv::storage

@@ -1,0 +1,57 @@
+#ifndef LDV_STORAGE_DATABASE_H_
+#define LDV_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace ldv::storage {
+
+/// Catalog of tables plus the database-wide statement sequence used to stamp
+/// tuple versions (the prov_v attribute). Single-threaded engine; the server
+/// layer serializes access.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists unless
+  /// `if_not_exists`.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             bool if_not_exists = false);
+
+  Status DropTable(const std::string& name);
+
+  /// Case-insensitive lookup; nullptr when absent.
+  Table* FindTable(std::string_view name);
+  const Table* FindTable(std::string_view name) const;
+  Table* FindTableById(int32_t id);
+  const Table* FindTableById(int32_t id) const;
+
+  /// Table names in creation order.
+  std::vector<std::string> TableNames() const;
+
+  /// Next statement sequence number (monotone, starts at 1). Every executed
+  /// statement obtains one; DML stamps created tuple versions with it.
+  int64_t NextStatementSeq() { return ++stmt_seq_; }
+  int64_t current_statement_seq() const { return stmt_seq_; }
+  void set_statement_seq(int64_t seq) { stmt_seq_ = seq; }
+
+  int64_t TotalLiveRows() const;
+  int64_t ApproxBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;  // creation order
+  int32_t next_table_id_ = 1;
+  int64_t stmt_seq_ = 0;
+};
+
+}  // namespace ldv::storage
+
+#endif  // LDV_STORAGE_DATABASE_H_

@@ -1,0 +1,81 @@
+#include "storage/persistence.h"
+
+#include "common/json.h"
+#include "util/fsutil.h"
+#include "util/serde.h"
+
+namespace ldv::storage {
+
+std::string SerializeTable(const Table& table) {
+  BufferWriter w;
+  table.schema().Serialize(&w);
+  w.PutVarint(table.live_row_count());
+  for (const RowVersion& row : table.rows()) {
+    if (row.deleted) continue;
+    w.PutVarint(row.rowid);
+    w.PutVarint(row.version);
+    w.PutVarint(row.used_by_query);
+    w.PutVarint(row.used_by_process);
+    for (const Value& v : row.values) v.Serialize(&w);
+  }
+  return w.TakeData();
+}
+
+Status DeserializeTableInto(Database* db, const std::string& name,
+                            std::string_view bytes) {
+  BufferReader r(bytes);
+  LDV_ASSIGN_OR_RETURN(Schema schema, Schema::Deserialize(&r));
+  const int num_columns = schema.num_columns();
+  LDV_ASSIGN_OR_RETURN(Table * table,
+                       db->CreateTable(name, std::move(schema)));
+  LDV_ASSIGN_OR_RETURN(int64_t count, r.GetVarint());
+  for (int64_t i = 0; i < count; ++i) {
+    RowVersion row;
+    LDV_ASSIGN_OR_RETURN(row.rowid, r.GetVarint());
+    LDV_ASSIGN_OR_RETURN(row.version, r.GetVarint());
+    LDV_ASSIGN_OR_RETURN(row.used_by_query, r.GetVarint());
+    LDV_ASSIGN_OR_RETURN(row.used_by_process, r.GetVarint());
+    row.values.reserve(static_cast<size_t>(num_columns));
+    for (int c = 0; c < num_columns; ++c) {
+      LDV_ASSIGN_OR_RETURN(Value v, Value::Deserialize(&r));
+      row.values.push_back(std::move(v));
+    }
+    LDV_RETURN_IF_ERROR(table->RestoreRow(std::move(row)));
+  }
+  return Status::Ok();
+}
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  LDV_RETURN_IF_ERROR(MakeDirs(dir));
+  Json catalog = Json::MakeObject();
+  Json tables = Json::MakeArray();
+  for (const std::string& name : db.TableNames()) {
+    const Table* table = db.FindTable(name);
+    LDV_RETURN_IF_ERROR(WriteStringToFile(JoinPath(dir, name + ".tbl"),
+                                          SerializeTable(*table)));
+    tables.Append(Json::MakeString(name));
+  }
+  catalog.Set("tables", std::move(tables));
+  catalog.Set("stmt_seq", Json::MakeInt(db.current_statement_seq()));
+  return WriteStringToFile(JoinPath(dir, "catalog.json"), catalog.Dump(true));
+}
+
+Status LoadDatabase(Database* db, const std::string& dir) {
+  LDV_ASSIGN_OR_RETURN(std::string catalog_text,
+                       ReadFileToString(JoinPath(dir, "catalog.json")));
+  LDV_ASSIGN_OR_RETURN(Json catalog, Json::Parse(catalog_text));
+  const Json* tables = catalog.Find("tables");
+  if (tables == nullptr || !tables->is_array()) {
+    return Status::IOError("catalog.json missing tables array");
+  }
+  for (const Json& name_json : tables->AsArray()) {
+    const std::string& name = name_json.AsString();
+    LDV_ASSIGN_OR_RETURN(std::string bytes,
+                         ReadFileToString(JoinPath(dir, name + ".tbl")));
+    LDV_RETURN_IF_ERROR(DeserializeTableInto(db, name, bytes));
+  }
+  db->set_statement_seq(catalog.GetInt("stmt_seq", 0));
+  return Status::Ok();
+}
+
+}  // namespace ldv::storage

@@ -1,0 +1,30 @@
+#ifndef LDV_STORAGE_PERSISTENCE_H_
+#define LDV_STORAGE_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace ldv::storage {
+
+/// Native on-disk format of the engine ("the DB server's data files" in the
+/// paper's terms): one binary `<table>.tbl` per table plus `catalog.json`.
+/// PTU-style packages copy these files verbatim; loading them is the fast
+/// path a PTU replay uses, in contrast to the server-included package path
+/// that re-inserts the relevant tuples through SQL (§VIII).
+Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// Loads a directory produced by SaveDatabase into an empty Database.
+Status LoadDatabase(Database* db, const std::string& dir);
+
+/// Serializes one table (schema + live rows with identities) to bytes.
+std::string SerializeTable(const Table& table);
+
+/// Restores a table serialized by SerializeTable into `db`.
+Status DeserializeTableInto(Database* db, const std::string& name,
+                            std::string_view bytes);
+
+}  // namespace ldv::storage
+
+#endif  // LDV_STORAGE_PERSISTENCE_H_

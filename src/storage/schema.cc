@@ -1,0 +1,67 @@
+#include "storage/schema.h"
+
+#include "util/strings.h"
+
+namespace ldv::storage {
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::AddColumn(Column column) {
+  if (IndexOf(column.name) >= 0) {
+    return Status::AlreadyExists("column exists: " + column.name);
+  }
+  columns_.push_back(std::move(column));
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+void Schema::Serialize(BufferWriter* w) const {
+  w->PutVarint(static_cast<int64_t>(columns_.size()));
+  for (const Column& c : columns_) {
+    w->PutString(c.name);
+    w->PutU8(static_cast<uint8_t>(c.type));
+  }
+}
+
+Result<Schema> Schema::Deserialize(BufferReader* r) {
+  LDV_ASSIGN_OR_RETURN(int64_t n, r->GetVarint());
+  // Each column costs at least two bytes; anything larger than the
+  // remaining payload is corruption (keeps reserve() sane on fuzzed input).
+  if (n < 0 || static_cast<uint64_t>(n) > r->remaining()) {
+    return Status::IOError("corrupt column count in serialized schema");
+  }
+  std::vector<Column> cols;
+  cols.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Column c;
+    LDV_ASSIGN_OR_RETURN(c.name, r->GetString());
+    LDV_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+    c.type = static_cast<ValueType>(type);
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+bool IsProvPseudoColumn(std::string_view name) {
+  return EqualsIgnoreCase(name, kProvRowIdColumn) ||
+         EqualsIgnoreCase(name, kProvVersionColumn) ||
+         EqualsIgnoreCase(name, kProvUsedByColumn) ||
+         EqualsIgnoreCase(name, kProvProcessColumn);
+}
+
+}  // namespace ldv::storage

@@ -1,0 +1,65 @@
+#ifndef LDV_STORAGE_SCHEMA_H_
+#define LDV_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace ldv::storage {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of columns describing a table or result set.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (ASCII case-insensitive), or -1.
+  int IndexOf(std::string_view name) const;
+
+  /// Appends a column; fails if the name already exists.
+  Status AddColumn(Column column);
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  /// "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+  void Serialize(BufferWriter* w) const;
+  static Result<Schema> Deserialize(BufferReader* r);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Names of the tuple-version metadata pseudo-columns (paper §VII-B). These
+/// are exposed by scans on provenance-registered tables.
+inline constexpr std::string_view kProvRowIdColumn = "prov_rowid";
+inline constexpr std::string_view kProvVersionColumn = "prov_v";
+inline constexpr std::string_view kProvUsedByColumn = "prov_usedby";
+inline constexpr std::string_view kProvProcessColumn = "prov_p";
+
+/// True if `name` is one of the four prov_* pseudo-columns.
+bool IsProvPseudoColumn(std::string_view name);
+
+}  // namespace ldv::storage
+
+#endif  // LDV_STORAGE_SCHEMA_H_

@@ -1,0 +1,202 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ldv::storage {
+
+std::string TupleVid::ToString() const {
+  return StrFormat("t%d.%lld.v%lld", table_id, static_cast<long long>(rowid),
+                   static_cast<long long>(version));
+}
+
+Table::Table(int32_t id, std::string name, Schema schema)
+    : id_(id), name_(std::move(name)), schema_(std::move(schema)) {}
+
+Result<RowId> Table::Insert(Tuple values, int64_t stmt_seq) {
+  if (static_cast<int>(values.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("%s: INSERT arity %zu != schema arity %d", name_.c_str(),
+                  values.size(), schema_.num_columns()));
+  }
+  RowVersion row;
+  row.rowid = next_rowid_++;
+  row.version = stmt_seq;
+  row.values = std::move(values);
+  index_[row.rowid] = rows_.size();
+  RowId rowid = row.rowid;
+  rows_.push_back(std::move(row));
+  IndexInsert(rows_.back());
+  ++live_count_;
+  return rowid;
+}
+
+Status Table::Update(RowId rowid, Tuple values, int64_t stmt_seq) {
+  RowVersion* row = FindMutable(rowid);
+  if (row == nullptr) {
+    return Status::NotFound(name_ + ": no row " + std::to_string(rowid));
+  }
+  if (static_cast<int>(values.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(name_ + ": UPDATE arity mismatch");
+  }
+  if (track_versions_) archive_.push_back(*row);
+  IndexRemove(*row);
+  row->values = std::move(values);
+  row->version = stmt_seq;
+  row->used_by_query = 0;
+  row->used_by_process = 0;
+  IndexInsert(*row);
+  return Status::Ok();
+}
+
+Status Table::Delete(RowId rowid, int64_t stmt_seq) {
+  RowVersion* row = FindMutable(rowid);
+  if (row == nullptr) {
+    return Status::NotFound(name_ + ": no row " + std::to_string(rowid));
+  }
+  if (track_versions_) archive_.push_back(*row);
+  IndexRemove(*row);
+  row->deleted = true;
+  row->version = stmt_seq;
+  --live_count_;
+  return Status::Ok();
+}
+
+const RowVersion* Table::Find(RowId rowid) const {
+  auto it = index_.find(rowid);
+  if (it == index_.end()) return nullptr;
+  const RowVersion& row = rows_[it->second];
+  return row.deleted ? nullptr : &row;
+}
+
+RowVersion* Table::FindMutable(RowId rowid) {
+  auto it = index_.find(rowid);
+  if (it == index_.end()) return nullptr;
+  RowVersion& row = rows_[it->second];
+  return row.deleted ? nullptr : &row;
+}
+
+Status Table::AddColumn(Column column, const Value& fill) {
+  LDV_RETURN_IF_ERROR(schema_.AddColumn(std::move(column)));
+  for (RowVersion& row : rows_) row.values.push_back(fill);
+  for (RowVersion& row : archive_) row.values.push_back(fill);
+  return Status::Ok();
+}
+
+const RowVersion* Table::FindVersion(RowId rowid, int64_t version) const {
+  auto it = index_.find(rowid);
+  if (it != index_.end()) {
+    const RowVersion& row = rows_[it->second];
+    if (row.version == version) return &row;
+  }
+  // Archive is scanned backwards: recent versions are the common lookups.
+  for (auto rit = archive_.rbegin(); rit != archive_.rend(); ++rit) {
+    if (rit->rowid == rowid && rit->version == version) return &*rit;
+  }
+  return nullptr;
+}
+
+Status Table::RestoreRow(RowVersion row) {
+  if (static_cast<int>(row.values.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(name_ + ": restore arity mismatch");
+  }
+  if (row.rowid <= 0) {
+    return Status::InvalidArgument(name_ + ": restore needs a valid rowid");
+  }
+  if (index_.contains(row.rowid)) {
+    return Status::AlreadyExists(name_ + ": duplicate rowid " +
+                                 std::to_string(row.rowid));
+  }
+  next_rowid_ = std::max(next_rowid_, row.rowid + 1);
+  index_[row.rowid] = rows_.size();
+  if (!row.deleted) ++live_count_;
+  rows_.push_back(std::move(row));
+  if (!rows_.back().deleted) IndexInsert(rows_.back());
+  return Status::Ok();
+}
+
+Status Table::CreateIndex(int column_index) {
+  if (column_index < 0 || column_index >= schema_.num_columns()) {
+    return Status::InvalidArgument(name_ + ": no such column to index");
+  }
+  if (HasIndexOn(column_index)) return Status::Ok();
+  HashIndex hash_index;
+  hash_index.column = column_index;
+  for (const RowVersion& row : rows_) {
+    if (row.deleted) continue;
+    hash_index.map.emplace(
+        row.values[static_cast<size_t>(column_index)].Hash(), row.rowid);
+  }
+  indexes_.push_back(std::move(hash_index));
+  return Status::Ok();
+}
+
+bool Table::HasIndexOn(int column_index) const {
+  for (const HashIndex& idx : indexes_) {
+    if (idx.column == column_index) return true;
+  }
+  return false;
+}
+
+std::vector<RowId> Table::IndexLookup(int column_index,
+                                      const Value& v) const {
+  std::vector<RowId> out;
+  for (const HashIndex& idx : indexes_) {
+    if (idx.column != column_index) continue;
+    auto [begin, end] = idx.map.equal_range(v.Hash());
+    for (auto it = begin; it != end; ++it) {
+      const RowVersion* row = Find(it->second);
+      // Verify against hash collisions; equality follows SQL '=' (numeric
+      // coercion).
+      if (row == nullptr) continue;
+      Result<int> cmp =
+          row->values[static_cast<size_t>(column_index)].Compare(v);
+      if (cmp.ok() && *cmp == 0 &&
+          !row->values[static_cast<size_t>(column_index)].is_null() &&
+          !v.is_null()) {
+        out.push_back(row->rowid);
+      }
+    }
+    break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Table::IndexInsert(const RowVersion& row) {
+  for (HashIndex& idx : indexes_) {
+    idx.map.emplace(row.values[static_cast<size_t>(idx.column)].Hash(),
+                    row.rowid);
+  }
+}
+
+void Table::IndexRemove(const RowVersion& row) {
+  for (HashIndex& idx : indexes_) {
+    auto [begin, end] =
+        idx.map.equal_range(row.values[static_cast<size_t>(idx.column)].Hash());
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == row.rowid) {
+        idx.map.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+int64_t Table::ApproxBytes() const {
+  int64_t total = 0;
+  for (const RowVersion& row : rows_) {
+    if (row.deleted) continue;
+    total += 24;  // metadata
+    for (const Value& v : row.values) {
+      total += 16;
+      if (v.type() == ValueType::kString) {
+        total += static_cast<int64_t>(v.AsString().size());
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace ldv::storage

@@ -1,0 +1,91 @@
+#ifndef LDV_STORAGE_VALUE_H_
+#define LDV_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "util/serde.h"
+
+namespace ldv::storage {
+
+/// Column/value types supported by the engine. Dates are stored as ISO-8601
+/// strings (lexicographic order equals chronological order), which is all
+/// the TPC-H workload needs.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+std::string_view ValueTypeName(ValueType type);
+
+/// Parses a SQL type name (INT, BIGINT, DOUBLE, DECIMAL, VARCHAR, TEXT,
+/// DATE, ...) into a ValueType.
+Result<ValueType> ValueTypeFromSqlName(std::string_view name);
+
+/// A single SQL value: NULL, 64-bit integer, double, or string.
+class Value {
+ public:
+  /// NULL by default.
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v);
+  static Value Real(double v);
+  static Value Str(std::string v);
+  static Value Bool(bool b) { return Int(b ? 1 : 0); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  /// Typed accessors; type must match.
+  int64_t AsInt() const;
+  double AsDouble() const;  // accepts kInt64 too (widening)
+  const std::string& AsString() const;
+
+  /// Truthiness for WHERE clauses: non-zero numeric; NULL is false.
+  bool IsTruthy() const;
+
+  /// Three-way comparison with numeric coercion between int and double.
+  /// NULLs sort first. Comparing a string with a number is an error.
+  Result<int> Compare(const Value& other) const;
+
+  /// Structural equality (same type and payload; int 1 != double 1.0).
+  bool operator==(const Value& other) const;
+
+  /// Display / CSV form. NULL renders as empty string; see FromText.
+  std::string ToText() const;
+
+  /// Parses a CSV/text field into a value of `type`. Empty string parses to
+  /// NULL for numeric types and to the empty string for kString.
+  static Result<Value> FromText(ValueType type, std::string_view text);
+
+  void Serialize(BufferWriter* w) const;
+  static Result<Value> Deserialize(BufferReader* r);
+
+  /// Hash compatible with operator==.
+  uint64_t Hash() const;
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+};
+
+/// A row of values.
+using Tuple = std::vector<Value>;
+
+/// Hash of a whole tuple (order-sensitive).
+uint64_t HashTuple(const Tuple& t);
+
+/// Renders "(v1, v2, ...)".
+std::string TupleToText(const Tuple& t);
+
+}  // namespace ldv::storage
+
+#endif  // LDV_STORAGE_VALUE_H_

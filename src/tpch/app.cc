@@ -1,0 +1,85 @@
+#include "tpch/app.h"
+
+#include "common/clock.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace ldv::tpch {
+
+namespace {
+
+std::string InsertOrderSql(int64_t orderkey, int64_t custkey, int64_t price,
+                           int index) {
+  return StrFormat(
+      "INSERT INTO orders VALUES (%lld, %lld, 'O', %lld.00, '1998-09-01', "
+      "'3-MEDIUM', 'Clerk#%09d', 0, 'ldv refresh order %d')",
+      static_cast<long long>(orderkey), static_cast<long long>(custkey),
+      static_cast<long long>(price), index % 1000 + 1, index);
+}
+
+std::string UpdateOrderSql(int64_t orderkey, int index) {
+  return StrFormat(
+      "UPDATE orders SET o_comment = 'ldv refresh update %d' "
+      "WHERE o_orderkey = %lld",
+      index, static_cast<long long>(orderkey));
+}
+
+}  // namespace
+
+AppFn MakeExperimentApp(const AppOptions& options, StepTimings* timings) {
+  return [options, timings](AppEnv& env) -> Status {
+    os::ProcessContext& proc = env.root_process();
+    LDV_ASSIGN_OR_RETURN(net::DbClient * db, env.OpenDbConnection(proc));
+    Rng rng(options.seed);
+    StepTimings local;
+
+    // --- Step 1: Insert (TPC-H refresh-style new orders). ---
+    WallTimer timer;
+    for (int i = 0; i < options.num_inserts; ++i) {
+      int64_t orderkey = options.insert_orderkey_base + i + 1;
+      int64_t custkey = rng.Uniform(1, options.customer_max);
+      int64_t price = rng.Uniform(1000, 400000);
+      LDV_RETURN_IF_ERROR(
+          db->Query(InsertOrderSql(orderkey, custkey, price, i)).status());
+    }
+    local.inserts_seconds = timer.Seconds();
+
+    // --- Step 2: Select (10 executions of the experiment query). ---
+    uint64_t fingerprint = 1469598103934665603ULL;
+    for (int i = 0; i < options.num_selects; ++i) {
+      timer.Restart();
+      LDV_ASSIGN_OR_RETURN(exec::ResultSet result,
+                           db->Query(options.query_sql));
+      double elapsed = timer.Seconds();
+      if (i == 0) {
+        local.first_select_seconds = elapsed;
+      } else {
+        local.other_selects_seconds += elapsed;
+      }
+      fingerprint ^= result.Fingerprint() + 0x9E3779B97F4A7C15ULL +
+                     (fingerprint << 6) + (fingerprint >> 2);
+      local.rows_returned += static_cast<int64_t>(result.rows.size());
+    }
+    local.result_fingerprint = fingerprint;
+
+    // --- Step 3: Update (100 single-row order updates). ---
+    timer.Restart();
+    for (int i = 0; i < options.num_updates; ++i) {
+      int64_t orderkey = rng.Uniform(1, options.update_orderkey_max);
+      LDV_RETURN_IF_ERROR(db->Query(UpdateOrderSql(orderkey, i)).status());
+    }
+    local.updates_seconds = timer.Seconds();
+
+    if (options.write_result_file) {
+      std::string digest = StrFormat(
+          "query_fingerprint=%llu\nrows_returned=%lld\n",
+          static_cast<unsigned long long>(fingerprint),
+          static_cast<long long>(local.rows_returned));
+      LDV_RETURN_IF_ERROR(proc.WriteFile("/output/results.txt", digest));
+    }
+    if (timings != nullptr) *timings = local;
+    return Status::Ok();
+  };
+}
+
+}  // namespace ldv::tpch

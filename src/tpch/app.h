@@ -1,0 +1,51 @@
+#ifndef LDV_TPCH_APP_H_
+#define LDV_TPCH_APP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ldv/app.h"
+
+namespace ldv::tpch {
+
+/// Parameters of the paper's experiment application (§IX-A):
+///   Insert: 1000 new rows into orders,
+///   Select: 10 executions of one Table II query,
+///   Update: 100 single-row updates of orders.
+struct AppOptions {
+  std::string query_sql;
+  int num_inserts = 1000;
+  int num_selects = 10;
+  int num_updates = 100;
+  /// New orderkeys start above this value (use the generated max orderkey).
+  int64_t insert_orderkey_base = 0;
+  /// Updated orderkeys are drawn from [1, update_orderkey_max].
+  int64_t update_orderkey_max = 0;
+  int64_t customer_max = 1;
+  /// Seed for the statement parameters; audit and replay must use the same
+  /// seed so the request streams match.
+  uint64_t seed = 7;
+  /// Write a result digest to /output/results.txt in the sandbox (adds the
+  /// OS-side provenance the combined trace links to).
+  bool write_result_file = true;
+};
+
+/// Per-step wall-clock timings, matching the bars of Fig. 7a/7b.
+struct StepTimings {
+  double inserts_seconds = 0;
+  double first_select_seconds = 0;
+  double other_selects_seconds = 0;  // total over the remaining 9
+  double updates_seconds = 0;
+  /// Fingerprint over all select results — identical across audit and
+  /// replay iff re-execution is faithful.
+  uint64_t result_fingerprint = 0;
+  int64_t rows_returned = 0;
+};
+
+/// Builds the experiment application. `timings`, when non-null, receives the
+/// per-step measurements of each run (audit or replay).
+AppFn MakeExperimentApp(const AppOptions& options, StepTimings* timings);
+
+}  // namespace ldv::tpch
+
+#endif  // LDV_TPCH_APP_H_

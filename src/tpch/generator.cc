@@ -1,0 +1,263 @@
+#include "tpch/generator.h"
+
+#include <cmath>
+
+#include "util/csv.h"
+#include "util/fsutil.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace ldv::tpch {
+
+using storage::Column;
+using storage::Database;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+constexpr const char* kWords[] = {
+    "carefully", "furiously", "quickly",  "blithely", "slyly",    "deposits",
+    "packages",  "requests",  "accounts", "pinto",    "beans",    "foxes",
+    "ideas",     "theodolites", "platelets", "instructions", "regular",
+    "express",   "special",   "final",    "bold",     "unusual",  "even",
+    "silent",    "pending",   "ironic",   "dogged",   "sleep",    "haggle",
+    "nag",       "wake",      "cajole",   "integrate", "boost",   "detect"};
+constexpr int kNumWords = static_cast<int>(sizeof(kWords) / sizeof(kWords[0]));
+
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "MACHINERY", "HOUSEHOLD"};
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                      "TRUCK",   "MAIL", "FOB"};
+constexpr const char* kShipInstructs[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                          "NONE", "TAKE BACK RETURN"};
+
+std::string Comment(Rng* rng, int min_words, int max_words) {
+  int n = static_cast<int>(rng->Uniform(min_words, max_words));
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += kWords[rng->Uniform(0, kNumWords - 1)];
+  }
+  return out;
+}
+
+std::string RandomDate(Rng* rng) {
+  // TPC-H date range [1992-01-01, 1998-08-02]; day-in-month capped at 28 to
+  // avoid calendar logic (uniformity is what matters for range predicates).
+  int year = static_cast<int>(rng->Uniform(1992, 1998));
+  int month = static_cast<int>(rng->Uniform(1, 12));
+  int day = static_cast<int>(rng->Uniform(1, 28));
+  return StrFormat("%04d-%02d-%02d", year, month, day);
+}
+
+std::string Phone(Rng* rng) {
+  return StrFormat("%02d-%03d-%03d-%04d",
+                   static_cast<int>(rng->Uniform(10, 34)),
+                   static_cast<int>(rng->Uniform(100, 999)),
+                   static_cast<int>(rng->Uniform(100, 999)),
+                   static_cast<int>(rng->Uniform(1000, 9999)));
+}
+
+/// The 9-digit key embedded in c_name: custkey mapped uniformly onto
+/// [1, kNameKeyDomain] with a per-key random offset so the padded digits
+/// carry no trailing-zero artifacts.
+int64_t NameKey(int64_t custkey, int64_t num_customers, Rng* rng) {
+  double stride =
+      static_cast<double>(kNameKeyDomain) / static_cast<double>(num_customers);
+  int64_t lo = static_cast<int64_t>(
+      std::floor(static_cast<double>(custkey - 1) * stride));
+  int64_t hi = static_cast<int64_t>(
+      std::floor(static_cast<double>(custkey) * stride)) - 1;
+  if (hi < lo) hi = lo;
+  return 1 + rng->Uniform(lo, hi);
+}
+
+Status GenerateInto(const GenOptions& options, Database* db,
+                    const std::string& csv_dir) {
+  TpchSizes sizes = SizesFor(options.scale_factor);
+  Rng rng(options.seed);
+
+  CsvWriter customer_csv;
+  CsvWriter orders_csv;
+  CsvWriter lineitem_csv;
+  const bool to_csv = !csv_dir.empty();
+
+  Table* customer = nullptr;
+  Table* orders = nullptr;
+  Table* lineitem = nullptr;
+  int64_t seq = 0;
+  if (!to_csv) {
+    customer = db->FindTable("customer");
+    orders = db->FindTable("orders");
+    lineitem = db->FindTable("lineitem");
+    if (customer == nullptr || orders == nullptr || lineitem == nullptr) {
+      return Status::Internal("TPC-H schema missing");
+    }
+    seq = db->NextStatementSeq();
+  }
+
+  auto emit = [&](Table* table, CsvWriter* csv,
+                  storage::Tuple row) -> Status {
+    if (to_csv) {
+      std::vector<std::string> fields;
+      fields.reserve(row.size());
+      for (const Value& v : row) fields.push_back(v.ToText());
+      csv->AppendRow(fields);
+      return Status::Ok();
+    }
+    return table->Insert(std::move(row), seq).status();
+  };
+
+  // --- customer ---
+  for (int64_t ck = 1; ck <= sizes.customers; ++ck) {
+    storage::Tuple row;
+    row.push_back(Value::Int(ck));
+    row.push_back(Value::Str(
+        "Customer#" + ZeroPad(NameKey(ck, sizes.customers, &rng), 9)));
+    row.push_back(Value::Str(Comment(&rng, 2, 4)));
+    row.push_back(Value::Int(rng.Uniform(0, 24)));  // c_nationkey
+    row.push_back(Value::Str(Phone(&rng)));
+    row.push_back(Value::Real(
+        std::round(rng.NextDouble() * 999999.0 - 99999.0) / 100.0));
+    row.push_back(Value::Str(kSegments[rng.Uniform(0, 4)]));
+    row.push_back(Value::Str(Comment(&rng, 4, 8)));
+    LDV_RETURN_IF_ERROR(emit(customer, &customer_csv, std::move(row)));
+  }
+
+  // --- orders + lineitem ---
+  for (int64_t ok = 1; ok <= sizes.orders; ++ok) {
+    storage::Tuple order;
+    order.push_back(Value::Int(ok));
+    order.push_back(Value::Int(rng.Uniform(1, sizes.customers)));
+    order.push_back(Value::Str(rng.Bernoulli(0.5) ? "O" : "F"));
+    double total = 0;
+    std::string order_date = RandomDate(&rng);
+    int num_lines = static_cast<int>(rng.Uniform(1, 7));
+    // Lineitems are generated first to compute o_totalprice, buffered, and
+    // emitted after their order row (dbgen emits per-table files; ordering
+    // within our row stream is irrelevant).
+    std::vector<storage::Tuple> lines;
+    for (int ln = 1; ln <= num_lines; ++ln) {
+      storage::Tuple item;
+      double quantity = static_cast<double>(rng.Uniform(1, 50));
+      double price = quantity * (90000.0 + static_cast<double>(
+                                               rng.Uniform(1, 100000))) /
+                     100.0;
+      total += price;
+      item.push_back(Value::Int(ok));                          // l_orderkey
+      item.push_back(Value::Int(rng.Uniform(1, 200000)));      // l_partkey
+      item.push_back(Value::Int(rng.Uniform(1, kSupplierDomain)));
+      item.push_back(Value::Int(ln));                          // l_linenumber
+      item.push_back(Value::Real(quantity));
+      item.push_back(Value::Real(std::round(price * 100.0) / 100.0));
+      item.push_back(Value::Real(
+          static_cast<double>(rng.Uniform(0, 10)) / 100.0));   // l_discount
+      item.push_back(Value::Real(
+          static_cast<double>(rng.Uniform(0, 8)) / 100.0));    // l_tax
+      item.push_back(Value::Str(rng.Bernoulli(0.25) ? "R" : "N"));
+      item.push_back(Value::Str(rng.Bernoulli(0.5) ? "O" : "F"));
+      item.push_back(Value::Str(RandomDate(&rng)));  // l_shipdate
+      item.push_back(Value::Str(RandomDate(&rng)));  // l_commitdate
+      item.push_back(Value::Str(RandomDate(&rng)));  // l_receiptdate
+      item.push_back(Value::Str(kShipInstructs[rng.Uniform(0, 3)]));
+      item.push_back(Value::Str(kShipModes[rng.Uniform(0, 6)]));
+      item.push_back(Value::Str(Comment(&rng, 2, 5)));
+      lines.push_back(std::move(item));
+    }
+    order.push_back(Value::Real(std::round(total * 100.0) / 100.0));
+    order.push_back(Value::Str(order_date));
+    order.push_back(Value::Str(kPriorities[rng.Uniform(0, 4)]));
+    order.push_back(Value::Str(
+        "Clerk#" + ZeroPad(rng.Uniform(1, 1000), 9)));
+    order.push_back(Value::Int(0));  // o_shippriority
+    order.push_back(Value::Str(Comment(&rng, 4, 10)));
+    LDV_RETURN_IF_ERROR(emit(orders, &orders_csv, std::move(order)));
+    for (storage::Tuple& item : lines) {
+      LDV_RETURN_IF_ERROR(emit(lineitem, &lineitem_csv, std::move(item)));
+    }
+  }
+
+  if (to_csv) {
+    LDV_RETURN_IF_ERROR(WriteStringToFile(JoinPath(csv_dir, "customer.csv"),
+                                          customer_csv.data()));
+    LDV_RETURN_IF_ERROR(WriteStringToFile(JoinPath(csv_dir, "orders.csv"),
+                                          orders_csv.data()));
+    LDV_RETURN_IF_ERROR(WriteStringToFile(JoinPath(csv_dir, "lineitem.csv"),
+                                          lineitem_csv.data()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+TpchSizes SizesFor(double scale_factor) {
+  TpchSizes sizes;
+  sizes.customers =
+      std::max<int64_t>(1, static_cast<int64_t>(150000 * scale_factor));
+  sizes.orders = sizes.customers * 10;
+  sizes.lineitems_expected = sizes.orders * 4;
+  return sizes;
+}
+
+Status CreateTpchSchema(storage::Database* db) {
+  auto str = ValueType::kString;
+  auto i64 = ValueType::kInt64;
+  auto dbl = ValueType::kDouble;
+  LDV_RETURN_IF_ERROR(
+      db->CreateTable("customer", Schema({{"c_custkey", i64},
+                                          {"c_name", str},
+                                          {"c_address", str},
+                                          {"c_nationkey", i64},
+                                          {"c_phone", str},
+                                          {"c_acctbal", dbl},
+                                          {"c_mktsegment", str},
+                                          {"c_comment", str}}))
+          .status());
+  LDV_RETURN_IF_ERROR(
+      db->CreateTable("orders", Schema({{"o_orderkey", i64},
+                                        {"o_custkey", i64},
+                                        {"o_orderstatus", str},
+                                        {"o_totalprice", dbl},
+                                        {"o_orderdate", str},
+                                        {"o_orderpriority", str},
+                                        {"o_clerk", str},
+                                        {"o_shippriority", i64},
+                                        {"o_comment", str}}))
+          .status());
+  LDV_RETURN_IF_ERROR(
+      db->CreateTable("lineitem", Schema({{"l_orderkey", i64},
+                                          {"l_partkey", i64},
+                                          {"l_suppkey", i64},
+                                          {"l_linenumber", i64},
+                                          {"l_quantity", dbl},
+                                          {"l_extendedprice", dbl},
+                                          {"l_discount", dbl},
+                                          {"l_tax", dbl},
+                                          {"l_returnflag", str},
+                                          {"l_linestatus", str},
+                                          {"l_shipdate", str},
+                                          {"l_commitdate", str},
+                                          {"l_receiptdate", str},
+                                          {"l_shipinstruct", str},
+                                          {"l_shipmode", str},
+                                          {"l_comment", str}}))
+          .status());
+  return Status::Ok();
+}
+
+Status Generate(storage::Database* db, const GenOptions& options) {
+  LDV_RETURN_IF_ERROR(CreateTpchSchema(db));
+  return GenerateInto(options, db, "");
+}
+
+Status GenerateCsv(const std::string& dir, const GenOptions& options) {
+  LDV_RETURN_IF_ERROR(MakeDirs(dir));
+  return GenerateInto(options, nullptr, dir);
+}
+
+}  // namespace ldv::tpch

@@ -1,0 +1,54 @@
+#ifndef LDV_TPCH_GENERATOR_H_
+#define LDV_TPCH_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace ldv::tpch {
+
+/// Deterministic TPC-H data generator (dbgen analog) for the three tables
+/// the paper's evaluation touches: customer, orders, lineitem (§IX-A).
+///
+/// Two domains are intentionally scale-invariant so the Table II
+/// selectivities hold at any scale factor (DESIGN.md substitution #4):
+///  - l_suppkey is uniform on [1, 1000]: `BETWEEN 1 AND p` selects p/1000.
+///  - c_name embeds a 9-digit key mapped uniformly onto [1, 150000], so
+///    `LIKE '%0..0%'` with 4..7 zeros keeps the paper's 66/6.6/0.66/0.06%.
+struct GenOptions {
+  /// TPC-H scale factor; 1.0 = 150k customers, 1.5M orders, ~6M lineitems.
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+};
+
+/// Row counts implied by a scale factor.
+struct TpchSizes {
+  int64_t customers = 0;
+  int64_t orders = 0;
+  /// Expected value; actual lineitem count is per-order random in [1, 7].
+  int64_t lineitems_expected = 0;
+};
+
+TpchSizes SizesFor(double scale_factor);
+
+/// Creates empty customer/orders/lineitem tables (full TPC-H columns).
+Status CreateTpchSchema(storage::Database* db);
+
+/// Creates the schema and fills it with deterministic data.
+Status Generate(storage::Database* db, const GenOptions& options);
+
+/// Writes the generated tables as CSV files (`customer.csv`, ...) under
+/// `dir` — the bulk-load path exercising COPY (§II assumes applications use
+/// "standard bulk copy and DB dump utilities").
+Status GenerateCsv(const std::string& dir, const GenOptions& options);
+
+/// Number of distinct suppliers (the l_suppkey domain).
+inline constexpr int64_t kSupplierDomain = 1000;
+/// Domain of the 9-digit key embedded in c_name.
+inline constexpr int64_t kNameKeyDomain = 150000;
+
+}  // namespace ldv::tpch
+
+#endif  // LDV_TPCH_GENERATOR_H_

@@ -1,0 +1,102 @@
+#include "tpch/queries.h"
+
+#include "util/strings.h"
+
+namespace ldv::tpch {
+namespace {
+
+std::string Q1Sql(int param) {
+  return StrFormat(
+      "SELECT l_quantity, l_partkey, l_extendedprice, l_shipdate, "
+      "l_receiptdate FROM lineitem WHERE l_suppkey BETWEEN 1 AND %d",
+      param);
+}
+
+std::string Q2Sql(const std::string& param) {
+  return "SELECT o_comment, l_comment FROM lineitem l, orders o, customer c "
+         "WHERE l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey "
+         "AND c.c_name LIKE '%" +
+         param + "%'";
+}
+
+std::string Q3Sql(const std::string& param) {
+  return "SELECT count(*) FROM lineitem l, orders o, customer c "
+         "WHERE l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey "
+         "AND c.c_name LIKE '%" +
+         param + "%'";
+}
+
+std::string Q4Sql(int param) {
+  return StrFormat(
+      "SELECT o_orderkey, AVG(l_quantity) AS avgQ FROM lineitem l, orders o "
+      "WHERE l.l_orderkey = o.o_orderkey AND l_suppkey BETWEEN 1 AND %d "
+      "GROUP BY o_orderkey",
+      param);
+}
+
+std::vector<QuerySpec> BuildQueries() {
+  std::vector<QuerySpec> out;
+  const int between_params[] = {10, 20, 50, 100, 250};
+  const double between_sel[] = {0.01, 0.02, 0.05, 0.10, 0.25};
+  const char* like_params[] = {"0000000", "000000", "00000", "0000"};
+  const double like_sel[] = {0.0006, 0.0066, 0.066, 0.66};
+
+  for (int i = 0; i < 5; ++i) {
+    QuerySpec q;
+    q.family = 1;
+    q.variant = i + 1;
+    q.id = StrFormat("Q1-%d", i + 1);
+    q.param = std::to_string(between_params[i]);
+    q.sql = Q1Sql(between_params[i]);
+    q.selectivity = between_sel[i];
+    out.push_back(std::move(q));
+  }
+  for (int i = 0; i < 4; ++i) {
+    QuerySpec q;
+    q.family = 2;
+    q.variant = i + 1;
+    q.id = StrFormat("Q2-%d", i + 1);
+    q.param = like_params[i];
+    q.sql = Q2Sql(like_params[i]);
+    q.selectivity = like_sel[i];
+    out.push_back(std::move(q));
+  }
+  for (int i = 0; i < 4; ++i) {
+    QuerySpec q;
+    q.family = 3;
+    q.variant = i + 1;
+    q.id = StrFormat("Q3-%d", i + 1);
+    q.param = like_params[i];
+    q.sql = Q3Sql(like_params[i]);
+    q.selectivity = like_sel[i];
+    out.push_back(std::move(q));
+  }
+  for (int i = 0; i < 5; ++i) {
+    QuerySpec q;
+    q.family = 4;
+    q.variant = i + 1;
+    q.id = StrFormat("Q4-%d", i + 1);
+    q.param = std::to_string(between_params[i]);
+    q.sql = Q4Sql(between_params[i]);
+    q.selectivity = between_sel[i];
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<QuerySpec>& ExperimentQueries() {
+  static const std::vector<QuerySpec>& queries =
+      *new std::vector<QuerySpec>(BuildQueries());
+  return queries;
+}
+
+Result<QuerySpec> FindQuery(const std::string& id) {
+  for (const QuerySpec& q : ExperimentQueries()) {
+    if (q.id == id) return q;
+  }
+  return Status::NotFound("unknown experiment query: " + id);
+}
+
+}  // namespace ldv::tpch

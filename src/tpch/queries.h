@@ -1,0 +1,32 @@
+#ifndef LDV_TPCH_QUERIES_H_
+#define LDV_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ldv::tpch {
+
+/// One of the 18 experiment queries of Table II.
+struct QuerySpec {
+  std::string id;      // "Q1-1" ... "Q4-5"
+  int family = 1;      // 1..4
+  int variant = 1;     // 1-based index into the family's PARAM list
+  std::string param;   // the PARAM substitution
+  std::string sql;
+  /// The paper's Sel. column, as a fraction (e.g. 0.01 for 1%). For Q2/Q3
+  /// the variants are ordered most-selective first, matching the PARAM
+  /// order printed in Table II.
+  double selectivity = 0;
+};
+
+/// All 18 queries Q1-1..Q1-5, Q2-1..Q2-4, Q3-1..Q3-4, Q4-1..Q4-5 (Table II).
+const std::vector<QuerySpec>& ExperimentQueries();
+
+/// Lookup by id ("Q2-3"); NotFound if unknown.
+Result<QuerySpec> FindQuery(const std::string& id);
+
+}  // namespace ldv::tpch
+
+#endif  // LDV_TPCH_QUERIES_H_

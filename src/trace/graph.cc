@@ -1,0 +1,132 @@
+#include "trace/graph.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ldv::trace {
+namespace {
+
+std::string NodeKey(NodeType type, const std::string& label) {
+  return std::to_string(static_cast<int>(type)) + "/" + label;
+}
+
+std::string EdgeKey(NodeId from, NodeId to, EdgeType type) {
+  return std::to_string(from) + ">" + std::to_string(to) + "#" +
+         std::to_string(static_cast<int>(type));
+}
+
+}  // namespace
+
+NodeId TraceGraph::GetOrAddNode(NodeType type, const std::string& label) {
+  std::string key = NodeKey(type, label);
+  auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({type, label});
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  node_index_.emplace(std::move(key), id);
+  return id;
+}
+
+NodeId TraceGraph::FindNode(NodeType type, const std::string& label) const {
+  auto it = node_index_.find(NodeKey(type, label));
+  return it == node_index_.end() ? kInvalidNode : it->second;
+}
+
+Status TraceGraph::AddEdge(NodeId from, NodeId to, EdgeType type,
+                           os::Interval t) {
+  if (from < 0 || to < 0 || from >= num_nodes() || to >= num_nodes()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  NodeType from_type = node(from).type;
+  NodeType to_type = node(to).type;
+  if (!EdgeAllowed(type, from_type, to_type)) {
+    return Status::InvalidArgument(StrFormat(
+        "edge type %s cannot connect %s -> %s",
+        std::string(EdgeTypeName(type)).c_str(),
+        std::string(NodeTypeName(from_type)).c_str(),
+        std::string(NodeTypeName(to_type)).c_str()));
+  }
+  if (t.end < t.begin) {
+    return Status::InvalidArgument("edge interval end < begin");
+  }
+  int32_t index = static_cast<int32_t>(edges_.size());
+  edges_.push_back({from, to, type, t});
+  out_edges_[static_cast<size_t>(from)].push_back(index);
+  in_edges_[static_cast<size_t>(to)].push_back(index);
+  edge_index_[EdgeKey(from, to, type)] = index;
+  return Status::Ok();
+}
+
+Status TraceGraph::MergeEdge(NodeId from, NodeId to, EdgeType type,
+                             os::Interval t) {
+  auto it = edge_index_.find(EdgeKey(from, to, type));
+  if (it != edge_index_.end()) {
+    TraceEdge& edge = edges_[static_cast<size_t>(it->second)];
+    edge.t.begin = std::min(edge.t.begin, t.begin);
+    edge.t.end = std::max(edge.t.end, t.end);
+    return Status::Ok();
+  }
+  return AddEdge(from, to, type, t);
+}
+
+void TraceGraph::AddTupleDependency(NodeId out_tuple, NodeId in_tuple) {
+  std::vector<NodeId>& deps = tuple_deps_[out_tuple];
+  if (std::find(deps.begin(), deps.end(), in_tuple) == deps.end()) {
+    deps.push_back(in_tuple);
+  }
+}
+
+bool TraceGraph::HasTupleDependency(NodeId out_tuple, NodeId in_tuple) const {
+  auto it = tuple_deps_.find(out_tuple);
+  if (it == tuple_deps_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), in_tuple) !=
+         it->second.end();
+}
+
+const std::vector<NodeId>& TraceGraph::TupleDependenciesOf(
+    NodeId out_tuple) const {
+  static const std::vector<NodeId> kEmpty;
+  auto it = tuple_deps_.find(out_tuple);
+  return it == tuple_deps_.end() ? kEmpty : it->second;
+}
+
+std::vector<NodeId> TraceGraph::NodesOfType(NodeType type) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (node(id).type == type) out.push_back(id);
+  }
+  return out;
+}
+
+std::string TraceGraph::ToDot() const {
+  std::string out = "digraph trace {\n  rankdir=LR;\n";
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const TraceNode& n = node(id);
+    const char* shape = IsActivity(n.type) ? "box" : "ellipse";
+    const char* color = SideOf(n.type) == ModelSide::kOs ? "lightblue"
+                                                         : "lightyellow";
+    out += StrFormat(
+        "  n%d [label=\"%s\\n%s\", shape=%s, style=filled, fillcolor=%s];\n",
+        id, std::string(NodeTypeName(n.type)).c_str(), n.label.c_str(), shape,
+        color);
+  }
+  for (const TraceEdge& e : edges_) {
+    out += StrFormat("  n%d -> n%d [label=\"%s [%lld,%lld]\"];\n", e.from,
+                     e.to, std::string(EdgeTypeName(e.type)).c_str(),
+                     static_cast<long long>(e.t.begin),
+                     static_cast<long long>(e.t.end));
+  }
+  for (const auto& [out_tuple, deps] : tuple_deps_) {
+    for (NodeId dep : deps) {
+      out += StrFormat("  n%d -> n%d [style=dashed, label=\"dep\"];\n",
+                       out_tuple, dep);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ldv::trace

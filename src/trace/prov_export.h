@@ -1,0 +1,29 @@
+#ifndef LDV_TRACE_PROV_EXPORT_H_
+#define LDV_TRACE_PROV_EXPORT_H_
+
+#include <string>
+
+#include "trace/graph.h"
+
+namespace ldv::trace {
+
+/// Exports a combined execution trace as a W3C PROV-JSON document — the
+/// paper's Definition 1 requires every provenance model used with LDV to be
+/// representable in PROV (§IV-A), and this is that representation:
+///
+///   - processes and SQL statements become PROV *activities*
+///     (prov:type ldv:process / ldv:query / ldv:insert / ...),
+///   - files and tuples become PROV *entities*,
+///   - readFrom/hasRead/readFromDb edges become `used`,
+///   - hasWritten/hasReturned edges become `wasGeneratedBy` (inverted:
+///     PROV points entity -> activity),
+///   - executed/run edges become `wasStartedBy` / ldv:run,
+///   - the D(G) tuple dependencies become `wasDerivedFrom`,
+///   - edge time intervals become ldv:begin / ldv:end attributes.
+///
+/// The document parses with standard PROV-JSON tooling.
+std::string ExportProvJson(const TraceGraph& graph);
+
+}  // namespace ldv::trace
+
+#endif  // LDV_TRACE_PROV_EXPORT_H_

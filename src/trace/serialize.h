@@ -1,0 +1,19 @@
+#ifndef LDV_TRACE_SERIALIZE_H_
+#define LDV_TRACE_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "trace/graph.h"
+
+namespace ldv::trace {
+
+/// Binary serialization of a combined execution trace; stored inside every
+/// LDV package (§VII-D includes "a serialization of the execution trace").
+std::string SerializeTrace(const TraceGraph& graph);
+
+Result<TraceGraph> DeserializeTrace(std::string_view bytes);
+
+}  // namespace ldv::trace
+
+#endif  // LDV_TRACE_SERIALIZE_H_

@@ -1,0 +1,99 @@
+#include "util/csv.h"
+
+namespace ldv {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CsvWriter::AppendRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) data_.push_back(',');
+    const std::string& f = fields[i];
+    if (NeedsQuoting(f)) {
+      data_.push_back('"');
+      for (char c : f) {
+        if (c == '"') data_.push_back('"');
+        data_.push_back(c);
+      }
+      data_.push_back('"');
+    } else {
+      data_ += f;
+    }
+  }
+  data_.push_back('\n');
+  ++rows_;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else {
+      switch (c) {
+        case '"':
+          if (!field.empty()) {
+            return Status::ParseError("quote inside unquoted CSV field");
+          }
+          in_quotes = true;
+          field_started = true;
+          ++i;
+          break;
+        case ',':
+          end_field();
+          ++i;
+          break;
+        case '\r':
+          ++i;
+          break;
+        case '\n':
+          end_row();
+          ++i;
+          break;
+        default:
+          field.push_back(c);
+          field_started = true;
+          ++i;
+      }
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated CSV quote");
+  if (!field.empty() || field_started || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace ldv

@@ -1,0 +1,39 @@
+#ifndef LDV_UTIL_CSV_H_
+#define LDV_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ldv {
+
+/// RFC-4180-style CSV with '|' unsupported characters quoted. Used for the
+/// relevant-tuple files inside server-included packages (paper §VII-D) and
+/// for TPC-H bulk loads.
+class CsvWriter {
+ public:
+  /// Appends one record; fields are quoted when they contain separator,
+  /// quote, or newline characters.
+  void AppendRow(const std::vector<std::string>& fields);
+
+  /// Buffered output so far.
+  const std::string& data() const { return data_; }
+  std::string TakeData() { return std::move(data_); }
+
+  /// Number of rows appended.
+  int64_t row_count() const { return rows_; }
+
+ private:
+  std::string data_;
+  int64_t rows_ = 0;
+};
+
+/// Parses a full CSV document into rows of fields.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+}  // namespace ldv
+
+#endif  // LDV_UTIL_CSV_H_

@@ -1,0 +1,33 @@
+#ifndef LDV_UTIL_RNG_H_
+#define LDV_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace ldv {
+
+/// Deterministic xoshiro256** pseudo-random generator. All workload
+/// generation (TPC-H data, experiment parameters) is seeded so that audit and
+/// replay observe identical request streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ldv
+
+#endif  // LDV_UTIL_RNG_H_

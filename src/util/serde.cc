@@ -1,0 +1,105 @@
+#include "util/serde.h"
+
+#include <cstring>
+
+namespace ldv {
+
+void BufferWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::PutUvarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void BufferWriter::PutVarint(int64_t v) {
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63);
+  PutUvarint(zz);
+}
+
+void BufferWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BufferWriter::PutString(std::string_view s) {
+  PutUvarint(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+Result<uint8_t> BufferReader::GetU8() {
+  if (pos_ >= data_.size()) return Status::IOError("serde: truncated u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> BufferReader::GetU32() {
+  if (pos_ + 4 > data_.size()) return Status::IOError("serde: truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BufferReader::GetU64() {
+  if (pos_ + 8 > data_.size()) return Status::IOError("serde: truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> BufferReader::GetUvarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) return Status::IOError("serde: truncated varint");
+    uint8_t b = static_cast<uint8_t>(data_[pos_++]);
+    if (shift >= 64) return Status::IOError("serde: varint overflow");
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Result<int64_t> BufferReader::GetVarint() {
+  LDV_ASSIGN_OR_RETURN(uint64_t zz, GetUvarint());
+  return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+Result<double> BufferReader::GetDouble() {
+  LDV_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BufferReader::GetString() {
+  LDV_ASSIGN_OR_RETURN(uint64_t len, GetUvarint());
+  if (pos_ + len > data_.size()) {
+    return Status::IOError("serde: truncated string");
+  }
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Result<bool> BufferReader::GetBool() {
+  LDV_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+  return b != 0;
+}
+
+}  // namespace ldv

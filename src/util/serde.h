@@ -1,0 +1,61 @@
+#ifndef LDV_UTIL_SERDE_H_
+#define LDV_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ldv {
+
+/// Little-endian binary writer used by the network protocol and the trace
+/// serialization. Variable-length integers keep messages compact.
+class BufferWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Zig-zag varint for signed 64-bit integers.
+  void PutVarint(int64_t v);
+  void PutDouble(double v);
+  void PutString(std::string_view s);  // varint length + bytes
+  void PutBool(bool b) { PutU8(b ? 1 : 0); }
+
+  const std::string& data() const { return buf_; }
+  std::string TakeData() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutUvarint(uint64_t v);
+  std::string buf_;
+};
+
+/// Reader counterpart; every Get returns a Result so truncated/corrupt input
+/// surfaces as a Status rather than UB.
+class BufferReader {
+ public:
+  explicit BufferReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetVarint();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<bool> GetBool();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Result<uint64_t> GetUvarint();
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ldv
+
+#endif  // LDV_UTIL_SERDE_H_

@@ -1,0 +1,53 @@
+#ifndef LDV_UTIL_STRINGS_H_
+#define LDV_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ldv {
+
+/// Lower-cases ASCII.
+std::string ToLower(std::string_view s);
+/// Upper-cases ASCII.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on `sep`; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict parse of a decimal integer.
+Result<int64_t> ParseInt64(std::string_view s);
+/// Strict parse of a floating point number.
+Result<double> ParseDouble(std::string_view s);
+
+/// SQL LIKE match: '%' matches any run, '_' matches one char. Case-sensitive,
+/// matching PostgreSQL semantics for LIKE.
+bool SqlLikeMatch(std::string_view text, std::string_view pattern);
+
+/// Zero-pads `value` to `width` digits (value must be non-negative).
+std::string ZeroPad(int64_t value, int width);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// FNV-1a 64-bit hash, used for dedup hash tables and trace checksums.
+uint64_t Fnv1a(std::string_view s);
+
+}  // namespace ldv
+
+#endif  // LDV_UTIL_STRINGS_H_

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ldv {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::IOError("disk full").WithContext("writing manifest");
+  EXPECT_EQ(s.message(), "writing manifest: disk full");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_TRUE(Status::Ok().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kReplayMismatch);
+       ++code) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  LDV_ASSIGN_OR_RETURN(int half, Half(x));
+  LDV_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = Half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  Result<int> bad = Half(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+  EXPECT_EQ(ok.ValueOr(-1), 5);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*QuarterViaMacro(8), 2);
+  EXPECT_FALSE(QuarterViaMacro(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(QuarterViaMacro(5).ok());
+}
+
+TEST(LogicalClockTest, MonotoneTicks) {
+  LogicalClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  EXPECT_EQ(clock.Tick(), 1);
+  EXPECT_EQ(clock.Tick(), 2);
+  EXPECT_EQ(clock.Now(), 2);
+  clock.Reset(100);
+  EXPECT_EQ(clock.Tick(), 101);
+}
+
+TEST(JsonTest, BuildDumpParseRoundTrip) {
+  Json obj = Json::MakeObject();
+  obj.Set("name", Json::MakeString("ldv"));
+  obj.Set("size", Json::MakeInt(42));
+  obj.Set("ratio", Json::MakeDouble(0.5));
+  obj.Set("flag", Json::MakeBool(true));
+  obj.Set("nothing", Json::MakeNull());
+  Json arr = Json::MakeArray();
+  arr.Append(Json::MakeInt(1));
+  arr.Append(Json::MakeString("two"));
+  obj.Set("list", std::move(arr));
+
+  std::string text = obj.Dump(true);
+  Result<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("name", ""), "ldv");
+  EXPECT_EQ(parsed->GetInt("size", 0), 42);
+  EXPECT_DOUBLE_EQ(parsed->GetDouble("ratio", 0), 0.5);
+  EXPECT_TRUE(parsed->GetBool("flag", false));
+  EXPECT_TRUE(parsed->Find("nothing")->is_null());
+  ASSERT_TRUE(parsed->Find("list")->is_array());
+  EXPECT_EQ(parsed->Find("list")->AsArray()[0].AsInt(), 1);
+  EXPECT_EQ(parsed->Find("list")->AsArray()[1].AsString(), "two");
+}
+
+TEST(JsonTest, EscapesSpecialCharacters) {
+  Json s = Json::MakeString("a\"b\\c\nd\te");
+  std::string text = s.Dump();
+  Result<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,").ok());
+  EXPECT_FALSE(Json::Parse("nope").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto parsed = Json::Parse(R"({"a": {"b": [1, 2.5, {"c": null}]}, "d": -7})");
+  ASSERT_TRUE(parsed.ok());
+  const Json* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  const Json* b = a->Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(b->AsArray()[1].AsDouble(), 2.5);
+  EXPECT_EQ(parsed->GetInt("d", 0), -7);
+}
+
+TEST(JsonTest, UnicodeEscapeParses) {
+  auto parsed = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "A\xc3\xa9");
+}
+
+}  // namespace
+}  // namespace ldv

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "storage/database.h"
+
+namespace ldv::exec {
+namespace {
+
+using storage::Database;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class ExecSelectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    exec_ = std::make_unique<Executor>(&db_);
+    Run("CREATE TABLE sales (id INT, price DOUBLE, region TEXT)");
+    Run("INSERT INTO sales VALUES (1, 5, 'east'), (2, 11, 'west'), "
+        "(3, 14, 'east'), (4, 2, 'north')");
+    Run("CREATE TABLE regions (name TEXT, manager TEXT)");
+    Run("INSERT INTO regions VALUES ('east', 'alice'), ('west', 'bob'), "
+        "('south', 'carol')");
+  }
+
+  ResultSet Run(const std::string& sql) {
+    auto result = exec_->Execute(sql, {});
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : ResultSet{};
+  }
+
+  Status RunError(const std::string& sql) {
+    auto result = exec_->Execute(sql, {});
+    EXPECT_FALSE(result.ok()) << sql << " unexpectedly succeeded";
+    return result.ok() ? Status::Ok() : result.status();
+  }
+
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(ExecSelectTest, SimpleProjectionAndFilter) {
+  ResultSet r = Run("SELECT id, price FROM sales WHERE price > 10");
+  EXPECT_EQ(r.schema.ToString(), "id INT, price DOUBLE");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 3);
+}
+
+TEST_F(ExecSelectTest, StarExpansion) {
+  ResultSet r = Run("SELECT * FROM sales WHERE id = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].size(), 3u);
+  EXPECT_EQ(r.rows[0][2].AsString(), "east");
+}
+
+TEST_F(ExecSelectTest, SelectWithoutFrom) {
+  ResultSet r = Run("SELECT 1 + 2 AS three, 'x' AS label");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.schema.column(0).name, "three");
+}
+
+TEST_F(ExecSelectTest, ArithmeticAndFunctions) {
+  ResultSet r = Run(
+      "SELECT id * 2, price / 2, UPPER(region), LENGTH(region), ABS(0 - id) "
+      "FROM sales WHERE id = 3");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 6);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 7.0);
+  EXPECT_EQ(r.rows[0][2].AsString(), "EAST");
+  EXPECT_EQ(r.rows[0][3].AsInt(), 4);
+  EXPECT_EQ(r.rows[0][4].AsInt(), 3);
+}
+
+TEST_F(ExecSelectTest, BetweenLikeIn) {
+  EXPECT_EQ(Run("SELECT id FROM sales WHERE price BETWEEN 5 AND 11").rows.size(),
+            2u);
+  EXPECT_EQ(
+      Run("SELECT id FROM sales WHERE price NOT BETWEEN 5 AND 11").rows.size(),
+      2u);
+  EXPECT_EQ(Run("SELECT id FROM sales WHERE region LIKE '%s%'").rows.size(),
+            3u);
+  EXPECT_EQ(Run("SELECT id FROM sales WHERE region NOT LIKE '%east%'")
+                .rows.size(),
+            2u);
+  EXPECT_EQ(Run("SELECT id FROM sales WHERE id IN (1, 3, 99)").rows.size(),
+            2u);
+  EXPECT_EQ(Run("SELECT id FROM sales WHERE id NOT IN (1, 3)").rows.size(),
+            2u);
+}
+
+TEST_F(ExecSelectTest, HashJoinOnEquiPredicate) {
+  ResultSet r = Run(
+      "SELECT s.id, r.manager FROM sales s, regions r "
+      "WHERE s.region = r.name ORDER BY s.id");
+  // north has no region row; south has no sales.
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "alice");
+  EXPECT_EQ(r.rows[1][1].AsString(), "bob");
+  EXPECT_EQ(r.rows[2][1].AsString(), "alice");
+}
+
+TEST_F(ExecSelectTest, ExplicitJoinSyntax) {
+  ResultSet r = Run(
+      "SELECT s.id FROM sales s JOIN regions r ON s.region = r.name "
+      "WHERE r.manager = 'alice'");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecSelectTest, CrossJoinWithResidual) {
+  // No equi predicate: nested loop with a non-equi residual.
+  ResultSet r = Run(
+      "SELECT s.id, r.name FROM sales s, regions r WHERE s.price > 10 AND "
+      "r.manager <> 'carol'");
+  EXPECT_EQ(r.rows.size(), 4u);  // 2 sales rows x 2 regions
+}
+
+TEST_F(ExecSelectTest, GlobalAggregates) {
+  ResultSet r = Run(
+      "SELECT count(*), sum(price), avg(price), min(price), max(price) "
+      "FROM sales");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 32.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 8.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][4].AsDouble(), 14.0);
+}
+
+TEST_F(ExecSelectTest, AggregateWithFilterMatchesPaperExample) {
+  // Example 4 from the paper: SELECT sum(price) FROM sales WHERE price > 10.
+  ResultSet r = Run("SELECT sum(price) AS ttl FROM sales WHERE price > 10");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 25.0);
+  EXPECT_EQ(r.schema.column(0).name, "ttl");
+}
+
+TEST_F(ExecSelectTest, GroupByWithHaving) {
+  ResultSet r = Run(
+      "SELECT region, count(*) AS n, sum(price) FROM sales GROUP BY region "
+      "HAVING count(*) > 1 ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "east");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 19.0);
+}
+
+TEST_F(ExecSelectTest, GroupByOnEmptyInputAndGlobalOnEmpty) {
+  Run("CREATE TABLE empty_t (x INT)");
+  EXPECT_EQ(Run("SELECT x, count(*) FROM empty_t GROUP BY x").rows.size(), 0u);
+  ResultSet global = Run("SELECT count(*) FROM empty_t");
+  ASSERT_EQ(global.rows.size(), 1u);
+  EXPECT_EQ(global.rows[0][0].AsInt(), 0);
+  ResultSet sum = Run("SELECT sum(x) FROM empty_t");
+  EXPECT_TRUE(sum.rows[0][0].is_null());
+}
+
+TEST_F(ExecSelectTest, DistinctMergesDuplicates) {
+  ResultSet r = Run("SELECT DISTINCT region FROM sales ORDER BY region");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "east");
+}
+
+TEST_F(ExecSelectTest, OrderByDirectionsAndOrdinals) {
+  ResultSet r = Run("SELECT id, price FROM sales ORDER BY price DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);
+  ResultSet o = Run("SELECT id, price FROM sales ORDER BY 2");
+  EXPECT_EQ(o.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(ExecSelectTest, LimitWithoutOrder) {
+  EXPECT_EQ(Run("SELECT id FROM sales LIMIT 3").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT id FROM sales LIMIT 0").rows.size(), 0u);
+}
+
+TEST_F(ExecSelectTest, NullSemantics) {
+  Run("CREATE TABLE n (a INT, b TEXT)");
+  Run("INSERT INTO n VALUES (1, 'x'), (NULL, 'y')");
+  EXPECT_EQ(Run("SELECT a FROM n WHERE a = 1").rows.size(), 1u);
+  // NULL never matches comparisons.
+  EXPECT_EQ(Run("SELECT a FROM n WHERE a <> 1").rows.size(), 0u);
+  EXPECT_EQ(Run("SELECT a FROM n WHERE a IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT a FROM n WHERE a IS NOT NULL").rows.size(), 1u);
+  ResultSet r = Run("SELECT a + 1 FROM n WHERE a IS NULL");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_EQ(Run("SELECT COALESCE(a, 42) FROM n WHERE a IS NULL")
+                .rows[0][0]
+                .AsInt(),
+            42);
+}
+
+TEST_F(ExecSelectTest, ProvPseudoColumns) {
+  ResultSet r = Run(
+      "SELECT prov_rowid, prov_v, id FROM sales WHERE prov_rowid = 2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 2);
+  // '*' must not leak the pseudo-columns.
+  ResultSet star = Run("SELECT * FROM sales WHERE prov_rowid = 2");
+  EXPECT_EQ(star.rows[0].size(), 3u);
+}
+
+TEST_F(ExecSelectTest, ErrorsSurfaceAsStatuses) {
+  EXPECT_EQ(RunError("SELECT missing FROM sales").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(RunError("SELECT id FROM nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(RunError("SELECT region + 1 FROM sales").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunError("SELECT id, count(*) FROM sales").code(),
+            StatusCode::kInvalidArgument);  // ungrouped column
+  EXPECT_EQ(RunError("SELECT id FROM sales HAVING id > 1").code(),
+            StatusCode::kInvalidArgument);
+  // Ambiguous unqualified column across two tables.
+  Run("CREATE TABLE sales2 (id INT)");
+  EXPECT_EQ(RunError("SELECT id FROM sales, sales2").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExecSelectTest, FingerprintDetectsDifferences) {
+  ResultSet a = Run("SELECT id FROM sales WHERE id <= 2");
+  ResultSet b = Run("SELECT id FROM sales WHERE id <= 2");
+  ResultSet c = Run("SELECT id FROM sales WHERE id <= 3");
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST_F(ExecSelectTest, ThreeWayJoin) {
+  Run("CREATE TABLE managers (name TEXT, level INT)");
+  Run("INSERT INTO managers VALUES ('alice', 3), ('bob', 2)");
+  ResultSet r = Run(
+      "SELECT s.id, m.level FROM sales s, regions r, managers m "
+      "WHERE s.region = r.name AND r.manager = m.name ORDER BY s.id");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+}
+
+}  // namespace
+}  // namespace ldv::exec

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "ldv/app.h"
+#include "ldv/manifest.h"
+#include "ldv/vm_image_model.h"
+#include "util/fsutil.h"
+
+namespace ldv {
+namespace {
+
+TEST(PackageModeTest, NamesRoundTrip) {
+  for (PackageMode mode :
+       {PackageMode::kServerIncluded, PackageMode::kServerExcluded,
+        PackageMode::kPtu, PackageMode::kVmImage}) {
+    auto parsed = ParsePackageMode(PackageModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(ParsePackageMode("zip").ok());
+}
+
+TEST(ManifestTest, JsonRoundTrip) {
+  PackageManifest m;
+  m.mode = PackageMode::kServerIncluded;
+  m.tables.push_back({"orders", "CREATE TABLE orders (o_orderkey INT);", 42});
+  m.tables.push_back({"lineitem", "CREATE TABLE lineitem (l_orderkey INT);",
+                      7});
+  m.files = {"/input/a.txt", "/input/b.txt"};
+  m.statements_recorded = 5;
+  m.processes = 2;
+  m.has_trace = true;
+  m.has_server_binary = true;
+
+  auto restored = PackageManifest::FromJson(m.ToJson());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->mode, PackageMode::kServerIncluded);
+  ASSERT_EQ(restored->tables.size(), 2u);
+  EXPECT_EQ(restored->tables[0].name, "orders");
+  EXPECT_EQ(restored->tables[0].rows, 42);
+  EXPECT_EQ(restored->files, m.files);
+  EXPECT_EQ(restored->statements_recorded, 5);
+  EXPECT_TRUE(restored->has_trace);
+  EXPECT_TRUE(restored->has_server_binary);
+  EXPECT_FALSE(restored->has_full_data);
+}
+
+TEST(ManifestTest, RejectsForeignJson) {
+  EXPECT_FALSE(PackageManifest::FromJson("{\"format\": \"zip\"}").ok());
+  EXPECT_FALSE(PackageManifest::FromJson("not json").ok());
+}
+
+TEST(ManifestTest, SaveLoadOnDisk) {
+  auto dir = MakeTempDir("ldv_manifest_");
+  ASSERT_TRUE(dir.ok());
+  PackageManifest m;
+  m.mode = PackageMode::kServerExcluded;
+  m.statements_recorded = 11;
+  ASSERT_TRUE(m.Save(*dir).ok());
+  auto loaded = PackageManifest::Load(*dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->mode, PackageMode::kServerExcluded);
+  EXPECT_EQ(loaded->statements_recorded, 11);
+  EXPECT_FALSE(PackageManifest::Load(*dir + "/nope").ok());
+  ASSERT_TRUE(RemoveAll(*dir).ok());
+}
+
+TEST(VmImageModelTest, SizesAndTimings) {
+  VmImageParams params;
+  params.scale = 0.01;
+  VmImageModel model(params);
+  // Base image scales: 7.2 GB * 0.01 = 72 MB.
+  EXPECT_EQ(model.ScaledBaseImageBytes(), 72000000);
+  EXPECT_EQ(model.ImageSizeBytes(10000000, 500000), 82500000);
+  EXPECT_DOUBLE_EQ(model.BootSeconds(), 0.4);
+  EXPECT_DOUBLE_EQ(model.ReplaySeconds(2.0), 2.3);
+  // The paper's headline: at scale 1 with a 1 GB DB the image is ~8.2 GB.
+  VmImageModel full{};
+  EXPECT_NEAR(static_cast<double>(full.ImageSizeBytes(1000000000, 0)),
+              8.2e9, 1e8);
+}
+
+}  // namespace
+}  // namespace ldv

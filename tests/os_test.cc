@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "os/ptrace_tracer.h"
+#include "os/sim_process.h"
+#include "os/vfs.h"
+#include "util/fsutil.h"
+
+namespace ldv::os {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("ldv_vfs_");
+    ASSERT_TRUE(dir.ok());
+    root_ = *dir;
+    vfs_ = std::make_unique<Vfs>(root_);
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(root_).ok()); }
+
+  std::string root_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_F(VfsTest, ReadWriteWithinSandbox) {
+  ASSERT_TRUE(vfs_->WriteFile("/data/in.txt", "hello").ok());
+  auto text = vfs_->ReadFile("/data/in.txt");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "hello");
+  EXPECT_TRUE(vfs_->Exists("/data/in.txt"));
+  EXPECT_FALSE(vfs_->Exists("/data/out.txt"));
+  EXPECT_EQ(*vfs_->FileSize("/data/in.txt"), 5);
+  ASSERT_TRUE(vfs_->AppendFile("/data/in.txt", " world").ok());
+  EXPECT_EQ(*vfs_->ReadFile("/data/in.txt"), "hello world");
+  auto all = vfs_->ListAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, std::vector<std::string>{"/data/in.txt"});
+}
+
+TEST_F(VfsTest, RejectsEscapes) {
+  EXPECT_FALSE(vfs_->HostPath("relative/path").ok());
+  EXPECT_FALSE(vfs_->HostPath("/data/../../etc/passwd").ok());
+  EXPECT_TRUE(vfs_->HostPath("/data/x").ok());
+  EXPECT_EQ(*vfs_->HostPath("/a/b"), root_ + "/a/b");
+}
+
+/// Collects every emitted event for inspection.
+class CapturingSink : public OsEventSink {
+ public:
+  void OnOsEvent(const OsEvent& event) override { events.push_back(event); }
+  std::vector<OsEvent> events;
+};
+
+class SimProcessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("ldv_sim_");
+    ASSERT_TRUE(dir.ok());
+    root_ = *dir;
+    vfs_ = std::make_unique<Vfs>(root_);
+    os_ = std::make_unique<SimOs>(vfs_.get(), &clock_, &sink_);
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(root_).ok()); }
+
+  std::string root_;
+  LogicalClock clock_;
+  CapturingSink sink_;
+  std::unique_ptr<Vfs> vfs_;
+  std::unique_ptr<SimOs> os_;
+};
+
+TEST_F(SimProcessTest, RootProcessAndSpawn) {
+  ProcessContext* root = os_->root();
+  EXPECT_EQ(root->pid(), 1);
+  EXPECT_EQ(os_->root(), root);  // idempotent
+  auto child = root->Spawn("halo-finder");
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ((*child)->pid(), 2);
+  ASSERT_EQ(sink_.events.size(), 2u);
+  EXPECT_EQ(sink_.events[0].kind, OsEvent::Kind::kProcessStart);
+  EXPECT_EQ(sink_.events[0].parent_pid, 0);
+  EXPECT_EQ(sink_.events[1].parent_pid, 1);
+  EXPECT_EQ(sink_.events[1].label, "halo-finder");
+  // Fork events are instantaneous points.
+  EXPECT_EQ(sink_.events[1].t.begin, sink_.events[1].t.end);
+}
+
+TEST_F(SimProcessTest, FileEventsCarryIntervalsAndBytes) {
+  ProcessContext* root = os_->root();
+  ASSERT_TRUE(root->WriteFile("/in.txt", "abcdef").ok());
+  auto data = root->ReadFile("/in.txt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "abcdef");
+  ASSERT_EQ(sink_.events.size(), 3u);  // start, write, read
+  const OsEvent& write = sink_.events[1];
+  const OsEvent& read = sink_.events[2];
+  EXPECT_EQ(write.kind, OsEvent::Kind::kFileWrite);
+  EXPECT_EQ(write.bytes, 6);
+  EXPECT_LT(write.t.begin, write.t.end);
+  EXPECT_EQ(read.kind, OsEvent::Kind::kFileRead);
+  // Logical time is totally ordered across events.
+  EXPECT_LT(write.t.end, read.t.begin);
+}
+
+TEST_F(SimProcessTest, ReadMissingFileFailsWithoutEvent) {
+  EXPECT_FALSE(os_->root()->ReadFile("/missing.txt").ok());
+  ASSERT_EQ(sink_.events.size(), 1u);  // only process start
+}
+
+TEST_F(SimProcessTest, ExitEmitsOnceAndBlocksSpawn) {
+  ProcessContext* root = os_->root();
+  root->Exit();
+  root->Exit();  // idempotent
+  int exits = 0;
+  for (const OsEvent& e : sink_.events) {
+    exits += e.kind == OsEvent::Kind::kProcessExit ? 1 : 0;
+  }
+  EXPECT_EQ(exits, 1);
+  EXPECT_FALSE(root->Spawn().ok());
+}
+
+TEST(SystemPathTest, ClassifiesInfrastructureNoise) {
+  EXPECT_TRUE(IsSystemPath("/proc/self/maps"));
+  EXPECT_TRUE(IsSystemPath("/lib/x86_64-linux-gnu/libc.so.6"));
+  EXPECT_TRUE(IsSystemPath("/usr/lib/locale/C.utf8"));
+  EXPECT_FALSE(IsSystemPath("/home/alice/data.csv"));
+  EXPECT_FALSE(IsSystemPath("/tmp/input.txt"));
+}
+
+TEST(PtraceTracerTest, TracesRealProcessTree) {
+  auto dir = MakeTempDir("ldv_ptrace_");
+  ASSERT_TRUE(dir.ok());
+  std::string input = JoinPath(*dir, "input.txt");
+  ASSERT_TRUE(WriteStringToFile(input, "traced content\n").ok());
+
+  PtraceTracer tracer;
+  auto report = tracer.Run({"/bin/cat", input});
+  if (!report.ok()) {
+    GTEST_SKIP() << "ptrace unavailable in this environment: "
+                 << report.status().ToString();
+  }
+  EXPECT_EQ(report->exit_code, 0);
+  bool saw_input = false;
+  for (const std::string& path : report->files_read) {
+    if (path == input) saw_input = true;
+  }
+  EXPECT_TRUE(saw_input) << "traced read set misses " << input;
+  EXPECT_FALSE(report->events.empty());
+  ASSERT_TRUE(RemoveAll(*dir).ok());
+}
+
+TEST(PtraceTracerTest, CapturesWritesAndForks) {
+  auto dir = MakeTempDir("ldv_ptrace2_");
+  ASSERT_TRUE(dir.ok());
+  std::string out = JoinPath(*dir, "out.txt");
+  PtraceTracer tracer;
+  // `sh -c` forks a child that writes a file.
+  auto report = tracer.Run({"/bin/sh", "-c", "echo hi > " + out});
+  if (!report.ok()) {
+    GTEST_SKIP() << "ptrace unavailable: " << report.status().ToString();
+  }
+  bool saw_write = false;
+  for (const std::string& path : report->files_written) {
+    if (path == out) saw_write = true;
+  }
+  EXPECT_TRUE(saw_write);
+  EXPECT_TRUE(FileExists(out));
+  ASSERT_TRUE(RemoveAll(*dir).ok());
+}
+
+TEST(PtraceTracerTest, EmptyArgvRejected) {
+  PtraceTracer tracer;
+  EXPECT_FALSE(tracer.Run({}).ok());
+}
+
+}  // namespace
+}  // namespace ldv::os

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "ldv/replay_db_client.h"
+#include "net/protocol.h"
+#include "util/fsutil.h"
+#include "util/serde.h"
+
+namespace ldv {
+namespace {
+
+using storage::Value;
+
+exec::ResultSet OneRowResult(int64_t v) {
+  exec::ResultSet r;
+  r.schema = storage::Schema({{"v", storage::ValueType::kInt64}});
+  r.rows.push_back({Value::Int(v)});
+  r.affected = 1;
+  return r;
+}
+
+/// Writes a replay log with the given (sql, pid, value) entries.
+std::string WriteLog(const std::string& dir,
+                     const std::vector<std::tuple<std::string, int64_t,
+                                                  int64_t>>& entries) {
+  BufferWriter log;
+  for (const auto& [sql, pid, value] : entries) {
+    net::DbRequest request;
+    request.sql = sql;
+    request.process_id = pid;
+    BufferWriter frame;
+    log.PutString(net::EncodeRequest(request));
+    log.PutString(net::EncodeResponse(Status::Ok(), OneRowResult(value)));
+  }
+  std::string path = JoinPath(dir, "replay.log");
+  EXPECT_TRUE(WriteStringToFile(path, log.data()).ok());
+  return path;
+}
+
+class ReplayLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("ldv_replaylog_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+  std::string dir_;
+};
+
+TEST_F(ReplayLogTest, InOrderReplay) {
+  std::string path = WriteLog(dir_, {{"SELECT 1", 1, 10},
+                                     {"SELECT 2", 1, 20},
+                                     {"SELECT 1", 1, 30}});
+  auto log = ReplayLog::Load(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->size(), 3);
+  // Repeated statements return successive recorded answers, in order.
+  EXPECT_EQ((*(*log)->Next("SELECT 1")).rows[0][0].AsInt(), 10);
+  EXPECT_EQ((*(*log)->Next("SELECT 2")).rows[0][0].AsInt(), 20);
+  EXPECT_EQ((*(*log)->Next("SELECT 1")).rows[0][0].AsInt(), 30);
+  EXPECT_EQ((*log)->replayed(), 3);
+}
+
+TEST_F(ReplayLogTest, ToleratesInterleavedProcessOrder) {
+  // Two processes' statements were recorded interleaved; replay may consume
+  // them in a different interleaving as long as each stream is in order.
+  std::string path = WriteLog(dir_, {{"SELECT a", 1, 1},
+                                     {"SELECT b", 2, 2},
+                                     {"SELECT a", 1, 3}});
+  auto log = ReplayLog::Load(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*(*log)->Next("SELECT b")).rows[0][0].AsInt(), 2);
+  EXPECT_EQ((*(*log)->Next("SELECT a")).rows[0][0].AsInt(), 1);
+  EXPECT_EQ((*(*log)->Next("SELECT a")).rows[0][0].AsInt(), 3);
+}
+
+TEST_F(ReplayLogTest, UnrecordedStatementIsAMismatch) {
+  std::string path = WriteLog(dir_, {{"SELECT 1", 1, 10}});
+  auto log = ReplayLog::Load(path);
+  ASSERT_TRUE(log.ok());
+  auto miss = (*log)->Next("SELECT 99");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kReplayMismatch);
+  // The recorded one is still available afterwards.
+  EXPECT_TRUE((*log)->Next("SELECT 1").ok());
+  // ... but not twice.
+  EXPECT_FALSE((*log)->Next("SELECT 1").ok());
+}
+
+TEST_F(ReplayLogTest, ClientAdapterDelegates) {
+  std::string path = WriteLog(dir_, {{"SELECT 1", 1, 42}});
+  auto log = ReplayLog::Load(path);
+  ASSERT_TRUE(log.ok());
+  ReplayDbClient client(log->get());
+  auto result = client.Query("SELECT 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt(), 42);
+}
+
+TEST_F(ReplayLogTest, CorruptLogFailsToLoad) {
+  std::string path = JoinPath(dir_, "bad.log");
+  ASSERT_TRUE(WriteStringToFile(path, "garbage bytes").ok());
+  EXPECT_FALSE(ReplayLog::Load(path).ok());
+  EXPECT_FALSE(ReplayLog::Load(JoinPath(dir_, "missing.log")).ok());
+}
+
+TEST_F(ReplayLogTest, EmptyLogReplaysNothing) {
+  std::string path = JoinPath(dir_, "empty.log");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto log = ReplayLog::Load(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ((*log)->size(), 0);
+  EXPECT_FALSE((*log)->Next("SELECT 1").ok());
+}
+
+}  // namespace
+}  // namespace ldv

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/csv.h"
+#include "util/fsutil.h"
+#include "util/rng.h"
+#include "util/serde.h"
+#include "util/strings.h"
+
+namespace ldv {
+namespace {
+
+TEST(StringsTest, CaseConversions) {
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+  EXPECT_EQ(ToUpper("AbC_1"), "ABC_1");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StringsTest, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_TRUE(StartsWith("prov_rowid", "prov_"));
+  EXPECT_TRUE(EndsWith("orders.csv", ".csv"));
+}
+
+TEST(StringsTest, ParseNumbers) {
+  EXPECT_EQ(*ParseInt64("  -42 "), -42);
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5e2"), 250.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringsTest, SqlLikeSemantics) {
+  EXPECT_TRUE(SqlLikeMatch("Customer#000001234", "%0000%"));
+  EXPECT_FALSE(SqlLikeMatch("Customer#123456789", "%0000%"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(SqlLikeMatch("hello", "h_lo"));
+  EXPECT_TRUE(SqlLikeMatch("abc", "%"));
+  EXPECT_TRUE(SqlLikeMatch("", "%"));
+  EXPECT_FALSE(SqlLikeMatch("", "_"));
+  EXPECT_TRUE(SqlLikeMatch("abc", "abc"));
+  EXPECT_TRUE(SqlLikeMatch("aXbXc", "a%b%c"));
+  EXPECT_FALSE(SqlLikeMatch("ab", "a%b%c"));
+  EXPECT_TRUE(SqlLikeMatch("needle in haystack", "%needle%"));
+}
+
+TEST(StringsTest, ZeroPad) {
+  EXPECT_EQ(ZeroPad(7, 9), "000000007");
+  EXPECT_EQ(ZeroPad(123456789, 9), "123456789");
+  EXPECT_EQ(ZeroPad(1234567890, 9), "1234567890");
+}
+
+TEST(StringsTest, Fnv1aIsStable) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = c.Uniform(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+  for (int i = 0; i < 100; ++i) {
+    double d = c.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  CsvWriter w;
+  w.AppendRow({"1", "plain", "with,comma", "with\"quote", "multi\nline", ""});
+  w.AppendRow({"2", "b", "", "", "", "x"});
+  auto rows = ParseCsv(w.data());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][2], "with,comma");
+  EXPECT_EQ((*rows)[0][3], "with\"quote");
+  EXPECT_EQ((*rows)[0][4], "multi\nline");
+  EXPECT_EQ((*rows)[0][5], "");
+  EXPECT_EQ((*rows)[1][0], "2");
+  EXPECT_EQ(w.row_count(), 2);
+}
+
+TEST(CsvTest, ParseHandlesCrlfAndErrors) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "d");
+  EXPECT_FALSE(ParseCsv("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsv("ab\"cd").ok());
+}
+
+TEST(SerdeTest, RoundTripAllTypes) {
+  BufferWriter w;
+  w.PutU8(7);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutVarint(-1234567890123LL);
+  w.PutVarint(0);
+  w.PutVarint(127);
+  w.PutDouble(3.14159);
+  w.PutString("hello world");
+  w.PutBool(true);
+
+  BufferReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEF);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.GetVarint(), -1234567890123LL);
+  EXPECT_EQ(*r.GetVarint(), 0);
+  EXPECT_EQ(*r.GetVarint(), 127);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 3.14159);
+  EXPECT_EQ(*r.GetString(), "hello world");
+  EXPECT_TRUE(*r.GetBool());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TruncationIsAnError) {
+  BufferWriter w;
+  w.PutString("abcdef");
+  std::string data = w.TakeData();
+  BufferReader r(data.substr(0, 3));
+  EXPECT_FALSE(r.GetString().ok());
+  BufferReader r2("");
+  EXPECT_FALSE(r2.GetU64().ok());
+  EXPECT_FALSE(r2.GetVarint().ok());
+}
+
+TEST(FsUtilTest, FileRoundTripAndTreeOps) {
+  auto dir = MakeTempDir("ldv_fsutil_");
+  ASSERT_TRUE(dir.ok());
+  std::string base = *dir;
+  ASSERT_TRUE(WriteStringToFile(JoinPath(base, "a/b/c.txt"), "hello").ok());
+  ASSERT_TRUE(AppendStringToFile(JoinPath(base, "a/b/c.txt"), " world").ok());
+  auto text = ReadFileToString(JoinPath(base, "a/b/c.txt"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "hello world");
+  EXPECT_TRUE(FileExists(JoinPath(base, "a/b/c.txt")));
+  EXPECT_FALSE(FileExists(JoinPath(base, "a/b/missing.txt")));
+  EXPECT_EQ(*FileSize(JoinPath(base, "a/b/c.txt")), 11);
+
+  ASSERT_TRUE(CopyTree(JoinPath(base, "a"), JoinPath(base, "a2")).ok());
+  EXPECT_TRUE(FileExists(JoinPath(base, "a2/b/c.txt")));
+  EXPECT_EQ(TreeSize(JoinPath(base, "a2")), 11);
+
+  auto listing = ListTree(base);
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 2u);
+
+  ASSERT_TRUE(RemoveAll(base).ok());
+  EXPECT_FALSE(DirExists(base));
+}
+
+}  // namespace
+}  // namespace ldv

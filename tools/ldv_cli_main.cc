@@ -1,0 +1,252 @@
+// ldv: command-line front end mirroring the prototype's ldv-audit /
+// ldv-exec workflow (paper §IX) for the TPC-H experiment application, plus
+// package inspection and CDE-style ptrace packaging of real commands.
+//
+//   ldv audit   --mode MODE --query Qx-y --out DIR [--sf SF] [--seed N]
+//   ldv replay  --package DIR --query Qx-y [--sf SF] [--seed N]
+//   ldv inspect --package DIR
+//   ldv trace-dot --package DIR
+//   ldv ptrace  --out DIR -- <command> [args...]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ldv/auditor.h"
+#include "ldv/packager.h"
+#include "ldv/replayer.h"
+#include "os/ptrace_tracer.h"
+#include "tpch/app.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+#include "trace/prov_export.h"
+#include "trace/serialize.h"
+#include "util/fsutil.h"
+#include "util/strings.h"
+
+namespace {
+
+int Fail(const ldv::Status& status) {
+  std::fprintf(stderr, "ldv: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  ldv audit   --mode server-included|server-excluded|ptu|vm-image\n"
+      "              --query Q1-1..Q4-5 --out DIR [--sf SF] [--seed N]\n"
+      "  ldv replay  --package DIR --query Qx-y [--sf SF] [--seed N]\n"
+      "  ldv inspect --package DIR\n"
+      "  ldv trace-dot --package DIR\n"
+      "  ldv trace-prov --package DIR      (W3C PROV-JSON export)\n"
+      "  ldv ptrace  --out DIR -- <command> [args...]\n");
+  return 2;
+}
+
+struct Flags {
+  std::map<std::string, std::string> named;
+  std::vector<std::string> rest;  // after "--"
+};
+
+Flags ParseFlags(int argc, char** argv, int start) {
+  Flags flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--") {
+      for (int k = i + 1; k < argc; ++k) flags.rest.push_back(argv[k]);
+      break;
+    }
+    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      flags.named[arg.substr(2)] = argv[++i];
+    }
+  }
+  return flags;
+}
+
+ldv::tpch::AppOptions MakeAppOptions(const ldv::tpch::QuerySpec& query,
+                                     double sf, uint64_t seed) {
+  ldv::tpch::AppOptions options;
+  options.query_sql = query.sql;
+  ldv::tpch::TpchSizes sizes = ldv::tpch::SizesFor(sf);
+  options.insert_orderkey_base = sizes.orders;
+  options.update_orderkey_max = sizes.orders;
+  options.customer_max = sizes.customers;
+  options.seed = seed;
+  return options;
+}
+
+void PrintTimings(const char* phase, const ldv::tpch::StepTimings& t) {
+  std::printf(
+      "%s timings: inserts=%.4fs first_select=%.4fs other_selects=%.4fs "
+      "updates=%.4fs rows=%lld fp=%llu\n",
+      phase, t.inserts_seconds, t.first_select_seconds,
+      t.other_selects_seconds, t.updates_seconds,
+      static_cast<long long>(t.rows_returned),
+      static_cast<unsigned long long>(t.result_fingerprint));
+}
+
+int CmdAudit(const Flags& flags) {
+  auto mode = ldv::ParsePackageMode(
+      flags.named.count("mode") ? flags.named.at("mode") : "server-included");
+  if (!mode.ok()) return Fail(mode.status());
+  auto query = ldv::tpch::FindQuery(
+      flags.named.count("query") ? flags.named.at("query") : "Q1-1");
+  if (!query.ok()) return Fail(query.status());
+  if (!flags.named.count("out")) return Usage();
+  double sf = flags.named.count("sf") ? std::atof(flags.named.at("sf").c_str())
+                                      : 0.005;
+  uint64_t seed = flags.named.count("seed")
+                      ? static_cast<uint64_t>(
+                            std::atoll(flags.named.at("seed").c_str()))
+                      : 7;
+
+  ldv::storage::Database db;
+  ldv::tpch::GenOptions gen;
+  gen.scale_factor = sf;
+  ldv::Status generated = ldv::tpch::Generate(&db, gen);
+  if (!generated.ok()) return Fail(generated);
+  std::printf("ldv: generated TPC-H sf=%.4f (%lld rows)\n", sf,
+              static_cast<long long>(db.TotalLiveRows()));
+
+  ldv::AuditOptions options;
+  options.mode = *mode;
+  options.package_dir = flags.named.at("out");
+  options.sandbox_root = options.package_dir + ".sandbox";
+  options.server_binary_path = ldv::FindLdvServerBinary();
+  ldv::Status made = ldv::MakeDirs(options.sandbox_root);
+  if (!made.ok()) return Fail(made);
+
+  ldv::tpch::StepTimings timings;
+  ldv::Auditor auditor(&db, options);
+  auto report =
+      auditor.Run(ldv::tpch::MakeExperimentApp(MakeAppOptions(*query, sf, seed),
+                                               &timings));
+  if (!report.ok()) return Fail(report.status());
+  PrintTimings("audit", timings);
+  std::printf(
+      "ldv: package %s mode=%s statements=%lld tuples=%lld trace=%lld nodes/"
+      "%lld edges (%.2f MB)\n",
+      report->package_dir.c_str(),
+      std::string(ldv::PackageModeName(*mode)).c_str(),
+      static_cast<long long>(report->statements_audited),
+      static_cast<long long>(report->tuples_persisted),
+      static_cast<long long>(report->trace_nodes),
+      static_cast<long long>(report->trace_edges),
+      static_cast<double>(ldv::TreeSize(report->package_dir)) / 1e6);
+  return 0;
+}
+
+int CmdReplay(const Flags& flags) {
+  if (!flags.named.count("package")) return Usage();
+  auto query = ldv::tpch::FindQuery(
+      flags.named.count("query") ? flags.named.at("query") : "Q1-1");
+  if (!query.ok()) return Fail(query.status());
+  double sf = flags.named.count("sf") ? std::atof(flags.named.at("sf").c_str())
+                                      : 0.005;
+  uint64_t seed = flags.named.count("seed")
+                      ? static_cast<uint64_t>(
+                            std::atoll(flags.named.at("seed").c_str()))
+                      : 7;
+
+  ldv::ReplayOptions options;
+  options.package_dir = flags.named.at("package");
+  options.scratch_dir = options.package_dir + ".scratch";
+  auto replayer = ldv::Replayer::Open(options);
+  if (!replayer.ok()) return Fail(replayer.status());
+  ldv::tpch::StepTimings timings;
+  auto report = (*replayer)->Run(
+      ldv::tpch::MakeExperimentApp(MakeAppOptions(*query, sf, seed),
+                                   &timings));
+  if (!report.ok()) return Fail(report.status());
+  PrintTimings("replay", timings);
+  std::printf("ldv: replayed mode=%s init=%.4fs restored=%lld replayed=%lld\n",
+              std::string(ldv::PackageModeName(report->mode)).c_str(),
+              report->init_seconds,
+              static_cast<long long>(report->restored_tuples),
+              static_cast<long long>(report->statements_replayed));
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  if (!flags.named.count("package")) return Usage();
+  auto info = ldv::InspectPackage(flags.named.at("package"));
+  if (!info.ok()) return Fail(info.status());
+  std::printf("mode:            %s\n",
+              std::string(ldv::PackageModeName(info->mode)).c_str());
+  std::printf("total:           %.3f MB\n",
+              static_cast<double>(info->total_bytes) / 1e6);
+  std::printf("app files:       %.3f MB\n",
+              static_cast<double>(info->app_files_bytes) / 1e6);
+  std::printf("server binary:   %.3f MB\n",
+              static_cast<double>(info->server_binary_bytes) / 1e6);
+  std::printf("tuple subset:    %.3f MB (%lld tuples)\n",
+              static_cast<double>(info->tuple_data_bytes) / 1e6,
+              static_cast<long long>(info->packaged_tuples));
+  std::printf("full data files: %.3f MB\n",
+              static_cast<double>(info->full_data_bytes) / 1e6);
+  std::printf("replay log:      %.3f MB\n",
+              static_cast<double>(info->replay_log_bytes) / 1e6);
+  std::printf("trace:           %.3f MB\n",
+              static_cast<double>(info->trace_bytes) / 1e6);
+  std::printf("vm image:        %.3f MB\n",
+              static_cast<double>(info->vm_image_bytes) / 1e6);
+  return 0;
+}
+
+int CmdTraceDot(const Flags& flags) {
+  if (!flags.named.count("package")) return Usage();
+  auto bytes = ldv::ReadFileToString(ldv::JoinPath(
+      flags.named.at("package"), std::string(ldv::kTraceFile)));
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto graph = ldv::trace::DeserializeTrace(*bytes);
+  if (!graph.ok()) return Fail(graph.status());
+  std::fputs(graph->ToDot().c_str(), stdout);
+  return 0;
+}
+
+int CmdTraceProv(const Flags& flags) {
+  if (!flags.named.count("package")) return Usage();
+  auto bytes = ldv::ReadFileToString(ldv::JoinPath(
+      flags.named.at("package"), std::string(ldv::kTraceFile)));
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto graph = ldv::trace::DeserializeTrace(*bytes);
+  if (!graph.ok()) return Fail(graph.status());
+  std::fputs(ldv::trace::ExportProvJson(*graph).c_str(), stdout);
+  return 0;
+}
+
+int CmdPtrace(const Flags& flags) {
+  if (!flags.named.count("out") || flags.rest.empty()) return Usage();
+  ldv::os::PtraceTracer tracer;
+  auto report = tracer.Run(flags.rest);
+  if (!report.ok()) return Fail(report.status());
+  auto package = ldv::BuildCdePackage(*report, flags.named.at("out"));
+  if (!package.ok()) return Fail(package.status());
+  std::printf(
+      "ldv: traced %zu events, exit=%d; packaged %lld files (%.3f MB) into "
+      "%s\n",
+      report->events.size(), report->exit_code,
+      static_cast<long long>(package->files_copied),
+      static_cast<double>(package->bytes_copied) / 1e6,
+      package->package_dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "audit") return CmdAudit(flags);
+  if (command == "replay") return CmdReplay(flags);
+  if (command == "inspect") return CmdInspect(flags);
+  if (command == "trace-dot") return CmdTraceDot(flags);
+  if (command == "trace-prov") return CmdTraceProv(flags);
+  if (command == "ptrace") return CmdPtrace(flags);
+  return Usage();
+}
