@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_contents.dir/bench_table3_contents.cc.o"
+  "CMakeFiles/bench_table3_contents.dir/bench_table3_contents.cc.o.d"
+  "bench_table3_contents"
+  "bench_table3_contents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_contents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vmi_comparison.dir/bench_vmi_comparison.cc.o"
+  "CMakeFiles/bench_vmi_comparison.dir/bench_vmi_comparison.cc.o.d"
+  "bench_vmi_comparison"
+  "bench_vmi_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vmi_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_finder.dir/halo_finder.cpp.o"
+  "CMakeFiles/halo_finder.dir/halo_finder.cpp.o.d"
+  "halo_finder"
+  "halo_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

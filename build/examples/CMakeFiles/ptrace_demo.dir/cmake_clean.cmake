@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrace_demo.dir/ptrace_demo.cpp.o"
+  "CMakeFiles/ptrace_demo.dir/ptrace_demo.cpp.o.d"
+  "ptrace_demo"
+  "ptrace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_repro.dir/tpch_repro.cpp.o"
+  "CMakeFiles/tpch_repro.dir/tpch_repro.cpp.o.d"
+  "tpch_repro"
+  "tpch_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

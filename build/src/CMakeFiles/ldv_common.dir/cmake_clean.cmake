@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_common.dir/common/clock.cc.o"
+  "CMakeFiles/ldv_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/ldv_common.dir/common/json.cc.o"
+  "CMakeFiles/ldv_common.dir/common/json.cc.o.d"
+  "CMakeFiles/ldv_common.dir/common/logging.cc.o"
+  "CMakeFiles/ldv_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ldv_common.dir/common/status.cc.o"
+  "CMakeFiles/ldv_common.dir/common/status.cc.o.d"
+  "libldv_common.a"
+  "libldv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

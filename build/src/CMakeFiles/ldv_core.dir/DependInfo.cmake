@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ldv/auditing_db_client.cc" "src/CMakeFiles/ldv_core.dir/ldv/auditing_db_client.cc.o" "gcc" "src/CMakeFiles/ldv_core.dir/ldv/auditing_db_client.cc.o.d"
+  "/root/repo/src/ldv/auditor.cc" "src/CMakeFiles/ldv_core.dir/ldv/auditor.cc.o" "gcc" "src/CMakeFiles/ldv_core.dir/ldv/auditor.cc.o.d"
+  "/root/repo/src/ldv/manifest.cc" "src/CMakeFiles/ldv_core.dir/ldv/manifest.cc.o" "gcc" "src/CMakeFiles/ldv_core.dir/ldv/manifest.cc.o.d"
+  "/root/repo/src/ldv/packager.cc" "src/CMakeFiles/ldv_core.dir/ldv/packager.cc.o" "gcc" "src/CMakeFiles/ldv_core.dir/ldv/packager.cc.o.d"
+  "/root/repo/src/ldv/replay_db_client.cc" "src/CMakeFiles/ldv_core.dir/ldv/replay_db_client.cc.o" "gcc" "src/CMakeFiles/ldv_core.dir/ldv/replay_db_client.cc.o.d"
+  "/root/repo/src/ldv/replayer.cc" "src/CMakeFiles/ldv_core.dir/ldv/replayer.cc.o" "gcc" "src/CMakeFiles/ldv_core.dir/ldv/replayer.cc.o.d"
+  "/root/repo/src/ldv/vm_image_model.cc" "src/CMakeFiles/ldv_core.dir/ldv/vm_image_model.cc.o" "gcc" "src/CMakeFiles/ldv_core.dir/ldv/vm_image_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ldv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

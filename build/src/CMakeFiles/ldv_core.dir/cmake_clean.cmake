@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_core.dir/ldv/auditing_db_client.cc.o"
+  "CMakeFiles/ldv_core.dir/ldv/auditing_db_client.cc.o.d"
+  "CMakeFiles/ldv_core.dir/ldv/auditor.cc.o"
+  "CMakeFiles/ldv_core.dir/ldv/auditor.cc.o.d"
+  "CMakeFiles/ldv_core.dir/ldv/manifest.cc.o"
+  "CMakeFiles/ldv_core.dir/ldv/manifest.cc.o.d"
+  "CMakeFiles/ldv_core.dir/ldv/packager.cc.o"
+  "CMakeFiles/ldv_core.dir/ldv/packager.cc.o.d"
+  "CMakeFiles/ldv_core.dir/ldv/replay_db_client.cc.o"
+  "CMakeFiles/ldv_core.dir/ldv/replay_db_client.cc.o.d"
+  "CMakeFiles/ldv_core.dir/ldv/replayer.cc.o"
+  "CMakeFiles/ldv_core.dir/ldv/replayer.cc.o.d"
+  "CMakeFiles/ldv_core.dir/ldv/vm_image_model.cc.o"
+  "CMakeFiles/ldv_core.dir/ldv/vm_image_model.cc.o.d"
+  "libldv_core.a"
+  "libldv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

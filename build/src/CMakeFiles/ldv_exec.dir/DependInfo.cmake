@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/ldv_exec.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/ldv_exec.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/ldv_exec.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/ldv_exec.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/ldv_exec.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/ldv_exec.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/planner.cc" "src/CMakeFiles/ldv_exec.dir/exec/planner.cc.o" "gcc" "src/CMakeFiles/ldv_exec.dir/exec/planner.cc.o.d"
+  "/root/repo/src/exec/reenactment.cc" "src/CMakeFiles/ldv_exec.dir/exec/reenactment.cc.o" "gcc" "src/CMakeFiles/ldv_exec.dir/exec/reenactment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ldv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/ldv_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/ldv_exec.dir/exec/expression.cc.o"
+  "CMakeFiles/ldv_exec.dir/exec/expression.cc.o.d"
+  "CMakeFiles/ldv_exec.dir/exec/operators.cc.o"
+  "CMakeFiles/ldv_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/ldv_exec.dir/exec/planner.cc.o"
+  "CMakeFiles/ldv_exec.dir/exec/planner.cc.o.d"
+  "CMakeFiles/ldv_exec.dir/exec/reenactment.cc.o"
+  "CMakeFiles/ldv_exec.dir/exec/reenactment.cc.o.d"
+  "libldv_exec.a"
+  "libldv_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/db_client.cc" "src/CMakeFiles/ldv_net.dir/net/db_client.cc.o" "gcc" "src/CMakeFiles/ldv_net.dir/net/db_client.cc.o.d"
+  "/root/repo/src/net/db_server.cc" "src/CMakeFiles/ldv_net.dir/net/db_server.cc.o" "gcc" "src/CMakeFiles/ldv_net.dir/net/db_server.cc.o.d"
+  "/root/repo/src/net/protocol.cc" "src/CMakeFiles/ldv_net.dir/net/protocol.cc.o" "gcc" "src/CMakeFiles/ldv_net.dir/net/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ldv_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

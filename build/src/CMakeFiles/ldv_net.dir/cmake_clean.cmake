@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_net.dir/net/db_client.cc.o"
+  "CMakeFiles/ldv_net.dir/net/db_client.cc.o.d"
+  "CMakeFiles/ldv_net.dir/net/db_server.cc.o"
+  "CMakeFiles/ldv_net.dir/net/db_server.cc.o.d"
+  "CMakeFiles/ldv_net.dir/net/protocol.cc.o"
+  "CMakeFiles/ldv_net.dir/net/protocol.cc.o.d"
+  "libldv_net.a"
+  "libldv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_os.dir/os/ptrace_tracer.cc.o"
+  "CMakeFiles/ldv_os.dir/os/ptrace_tracer.cc.o.d"
+  "CMakeFiles/ldv_os.dir/os/sim_process.cc.o"
+  "CMakeFiles/ldv_os.dir/os/sim_process.cc.o.d"
+  "CMakeFiles/ldv_os.dir/os/vfs.cc.o"
+  "CMakeFiles/ldv_os.dir/os/vfs.cc.o.d"
+  "libldv_os.a"
+  "libldv_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/ldv_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/ldv_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/ldv_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/ldv_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/ldv_sql.dir/sql/parser.cc.o.d"
+  "CMakeFiles/ldv_sql.dir/sql/token.cc.o"
+  "CMakeFiles/ldv_sql.dir/sql/token.cc.o.d"
+  "libldv_sql.a"
+  "libldv_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldv_sql.a"
+)

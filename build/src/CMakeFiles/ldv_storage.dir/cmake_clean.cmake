@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_storage.dir/storage/database.cc.o"
+  "CMakeFiles/ldv_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/ldv_storage.dir/storage/persistence.cc.o"
+  "CMakeFiles/ldv_storage.dir/storage/persistence.cc.o.d"
+  "CMakeFiles/ldv_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/ldv_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/ldv_storage.dir/storage/table.cc.o"
+  "CMakeFiles/ldv_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/ldv_storage.dir/storage/value.cc.o"
+  "CMakeFiles/ldv_storage.dir/storage/value.cc.o.d"
+  "libldv_storage.a"
+  "libldv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_tpch.dir/tpch/app.cc.o"
+  "CMakeFiles/ldv_tpch.dir/tpch/app.cc.o.d"
+  "CMakeFiles/ldv_tpch.dir/tpch/generator.cc.o"
+  "CMakeFiles/ldv_tpch.dir/tpch/generator.cc.o.d"
+  "CMakeFiles/ldv_tpch.dir/tpch/queries.cc.o"
+  "CMakeFiles/ldv_tpch.dir/tpch/queries.cc.o.d"
+  "libldv_tpch.a"
+  "libldv_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/graph.cc" "src/CMakeFiles/ldv_trace.dir/trace/graph.cc.o" "gcc" "src/CMakeFiles/ldv_trace.dir/trace/graph.cc.o.d"
+  "/root/repo/src/trace/inference.cc" "src/CMakeFiles/ldv_trace.dir/trace/inference.cc.o" "gcc" "src/CMakeFiles/ldv_trace.dir/trace/inference.cc.o.d"
+  "/root/repo/src/trace/model.cc" "src/CMakeFiles/ldv_trace.dir/trace/model.cc.o" "gcc" "src/CMakeFiles/ldv_trace.dir/trace/model.cc.o.d"
+  "/root/repo/src/trace/prov_export.cc" "src/CMakeFiles/ldv_trace.dir/trace/prov_export.cc.o" "gcc" "src/CMakeFiles/ldv_trace.dir/trace/prov_export.cc.o.d"
+  "/root/repo/src/trace/serialize.cc" "src/CMakeFiles/ldv_trace.dir/trace/serialize.cc.o" "gcc" "src/CMakeFiles/ldv_trace.dir/trace/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ldv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_trace.dir/trace/graph.cc.o"
+  "CMakeFiles/ldv_trace.dir/trace/graph.cc.o.d"
+  "CMakeFiles/ldv_trace.dir/trace/inference.cc.o"
+  "CMakeFiles/ldv_trace.dir/trace/inference.cc.o.d"
+  "CMakeFiles/ldv_trace.dir/trace/model.cc.o"
+  "CMakeFiles/ldv_trace.dir/trace/model.cc.o.d"
+  "CMakeFiles/ldv_trace.dir/trace/prov_export.cc.o"
+  "CMakeFiles/ldv_trace.dir/trace/prov_export.cc.o.d"
+  "CMakeFiles/ldv_trace.dir/trace/serialize.cc.o"
+  "CMakeFiles/ldv_trace.dir/trace/serialize.cc.o.d"
+  "libldv_trace.a"
+  "libldv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

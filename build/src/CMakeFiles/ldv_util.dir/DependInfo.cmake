@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/ldv_util.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/ldv_util.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/fsutil.cc" "src/CMakeFiles/ldv_util.dir/util/fsutil.cc.o" "gcc" "src/CMakeFiles/ldv_util.dir/util/fsutil.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/ldv_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/ldv_util.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/serde.cc" "src/CMakeFiles/ldv_util.dir/util/serde.cc.o" "gcc" "src/CMakeFiles/ldv_util.dir/util/serde.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/ldv_util.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/ldv_util.dir/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ldv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

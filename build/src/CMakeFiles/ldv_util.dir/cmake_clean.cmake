@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_util.dir/util/csv.cc.o"
+  "CMakeFiles/ldv_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/ldv_util.dir/util/fsutil.cc.o"
+  "CMakeFiles/ldv_util.dir/util/fsutil.cc.o.d"
+  "CMakeFiles/ldv_util.dir/util/rng.cc.o"
+  "CMakeFiles/ldv_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/ldv_util.dir/util/serde.cc.o"
+  "CMakeFiles/ldv_util.dir/util/serde.cc.o.d"
+  "CMakeFiles/ldv_util.dir/util/strings.cc.o"
+  "CMakeFiles/ldv_util.dir/util/strings.cc.o.d"
+  "libldv_util.a"
+  "libldv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_dml_test.dir/exec_dml_test.cc.o"
+  "CMakeFiles/exec_dml_test.dir/exec_dml_test.cc.o.d"
+  "exec_dml_test"
+  "exec_dml_test.pdb"
+  "exec_dml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_dml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

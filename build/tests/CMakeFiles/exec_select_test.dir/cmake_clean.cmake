@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_select_test.dir/exec_select_test.cc.o"
+  "CMakeFiles/exec_select_test.dir/exec_select_test.cc.o.d"
+  "exec_select_test"
+  "exec_select_test.pdb"
+  "exec_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

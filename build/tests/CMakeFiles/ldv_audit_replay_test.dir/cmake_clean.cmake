@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_audit_replay_test.dir/ldv_audit_replay_test.cc.o"
+  "CMakeFiles/ldv_audit_replay_test.dir/ldv_audit_replay_test.cc.o.d"
+  "ldv_audit_replay_test"
+  "ldv_audit_replay_test.pdb"
+  "ldv_audit_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_audit_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_log_test.dir/replay_log_test.cc.o"
+  "CMakeFiles/replay_log_test.dir/replay_log_test.cc.o.d"
+  "replay_log_test"
+  "replay_log_test.pdb"
+  "replay_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_select_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_dml_test[1]_include.cmake")
+include("/root/repo/build/tests/lineage_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/inference_test[1]_include.cmake")
+include("/root/repo/build/tests/ldv_audit_replay_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_test[1]_include.cmake")
+include("/root/repo/build/tests/manifest_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_features_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_log_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv.dir/ldv_cli_main.cc.o"
+  "CMakeFiles/ldv.dir/ldv_cli_main.cc.o.d"
+  "ldv"
+  "ldv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_server.dir/ldv_server_main.cc.o"
+  "CMakeFiles/ldv_server.dir/ldv_server_main.cc.o.d"
+  "ldv_server"
+  "ldv_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
