@@ -234,7 +234,8 @@ bench/CMakeFiles/bench_table3_contents.dir/bench_table3_contents.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/protocol.h \
  /root/repo/src/os/sim_process.h /root/repo/src/os/vfs.h \
- /root/repo/src/ldv/manifest.h /root/repo/src/trace/graph.h \
+ /root/repo/src/ldv/manifest.h /root/repo/src/net/retrying_db_client.h \
+ /root/repo/src/util/rng.h /root/repo/src/trace/graph.h \
  /root/repo/src/trace/model.h /root/repo/src/ldv/replayer.h \
  /root/repo/src/ldv/replay_db_client.h \
  /root/repo/src/ldv/vm_image_model.h /root/repo/src/tpch/app.h \

@@ -231,7 +231,8 @@ examples/CMakeFiles/halo_finder.dir/halo_finder.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/protocol.h \
  /root/repo/src/os/sim_process.h /root/repo/src/os/vfs.h \
- /root/repo/src/ldv/manifest.h /root/repo/src/trace/graph.h \
+ /root/repo/src/ldv/manifest.h /root/repo/src/net/retrying_db_client.h \
+ /root/repo/src/util/rng.h /root/repo/src/trace/graph.h \
  /root/repo/src/trace/model.h /root/repo/src/ldv/replayer.h \
  /root/repo/src/ldv/replay_db_client.h /root/repo/src/trace/inference.h \
  /root/repo/src/trace/serialize.h /root/repo/src/util/fsutil.h \

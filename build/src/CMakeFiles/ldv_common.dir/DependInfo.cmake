@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/clock.cc" "src/CMakeFiles/ldv_common.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/ldv_common.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/fault.cc" "src/CMakeFiles/ldv_common.dir/common/fault.cc.o" "gcc" "src/CMakeFiles/ldv_common.dir/common/fault.cc.o.d"
   "/root/repo/src/common/json.cc" "src/CMakeFiles/ldv_common.dir/common/json.cc.o" "gcc" "src/CMakeFiles/ldv_common.dir/common/json.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/ldv_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ldv_common.dir/common/logging.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/ldv_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ldv_common.dir/common/status.cc.o.d"

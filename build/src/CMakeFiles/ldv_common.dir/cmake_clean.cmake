@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ldv_common.dir/common/clock.cc.o"
   "CMakeFiles/ldv_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/ldv_common.dir/common/fault.cc.o"
+  "CMakeFiles/ldv_common.dir/common/fault.cc.o.d"
   "CMakeFiles/ldv_common.dir/common/json.cc.o"
   "CMakeFiles/ldv_common.dir/common/json.cc.o.d"
   "CMakeFiles/ldv_common.dir/common/logging.cc.o"

@@ -234,5 +234,6 @@ src/CMakeFiles/ldv_core.dir/ldv/auditing_db_client.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ldv/manifest.h \
+ /root/repo/src/net/retrying_db_client.h /root/repo/src/util/rng.h \
  /root/repo/src/trace/graph.h /root/repo/src/trace/model.h \
  /root/repo/src/sql/parser.h

@@ -231,7 +231,8 @@ src/CMakeFiles/ldv_core.dir/ldv/auditor.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/protocol.h \
  /root/repo/src/os/sim_process.h /root/repo/src/os/vfs.h \
- /root/repo/src/ldv/manifest.h /root/repo/src/trace/graph.h \
+ /root/repo/src/ldv/manifest.h /root/repo/src/net/retrying_db_client.h \
+ /root/repo/src/util/rng.h /root/repo/src/trace/graph.h \
  /root/repo/src/trace/model.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/db_client.cc" "src/CMakeFiles/ldv_net.dir/net/db_client.cc.o" "gcc" "src/CMakeFiles/ldv_net.dir/net/db_client.cc.o.d"
   "/root/repo/src/net/db_server.cc" "src/CMakeFiles/ldv_net.dir/net/db_server.cc.o" "gcc" "src/CMakeFiles/ldv_net.dir/net/db_server.cc.o.d"
   "/root/repo/src/net/protocol.cc" "src/CMakeFiles/ldv_net.dir/net/protocol.cc.o" "gcc" "src/CMakeFiles/ldv_net.dir/net/protocol.cc.o.d"
+  "/root/repo/src/net/retrying_db_client.cc" "src/CMakeFiles/ldv_net.dir/net/retrying_db_client.cc.o" "gcc" "src/CMakeFiles/ldv_net.dir/net/retrying_db_client.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ldv_net.dir/net/db_server.cc.o.d"
   "CMakeFiles/ldv_net.dir/net/protocol.cc.o"
   "CMakeFiles/ldv_net.dir/net/protocol.cc.o.d"
+  "CMakeFiles/ldv_net.dir/net/retrying_db_client.cc.o"
+  "CMakeFiles/ldv_net.dir/net/retrying_db_client.cc.o.d"
   "libldv_net.a"
   "libldv_net.pdb"
 )

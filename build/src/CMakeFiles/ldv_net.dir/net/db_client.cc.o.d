@@ -234,4 +234,5 @@ src/CMakeFiles/ldv_net.dir/net/db_client.cc.o: \
  /usr/include/x86_64-linux-gnu/asm/sockios.h \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
- /usr/include/x86_64-linux-gnu/sys/un.h
+ /usr/include/x86_64-linux-gnu/sys/un.h /root/repo/src/common/fault.h \
+ /usr/include/c++/12/atomic

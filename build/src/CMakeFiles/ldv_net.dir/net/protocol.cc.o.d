@@ -229,4 +229,5 @@ src/CMakeFiles/ldv_net.dir/net/protocol.cc.o: \
  /usr/include/asm-generic/bitsperlong.h \
  /usr/include/x86_64-linux-gnu/asm/sockios.h \
  /usr/include/asm-generic/sockios.h \
- /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h
+ /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
+ /root/repo/src/common/fault.h /usr/include/c++/12/atomic

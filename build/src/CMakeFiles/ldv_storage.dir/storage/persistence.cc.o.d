@@ -213,4 +213,5 @@ src/CMakeFiles/ldv_storage.dir/storage/persistence.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/storage/schema.h \
  /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
- /root/repo/src/common/json.h /root/repo/src/util/fsutil.h
+ /root/repo/src/common/json.h /root/repo/src/util/crc32.h \
+ /usr/include/c++/12/cstddef /root/repo/src/util/fsutil.h

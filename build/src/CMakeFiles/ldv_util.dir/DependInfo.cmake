@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/crc32.cc" "src/CMakeFiles/ldv_util.dir/util/crc32.cc.o" "gcc" "src/CMakeFiles/ldv_util.dir/util/crc32.cc.o.d"
   "/root/repo/src/util/csv.cc" "src/CMakeFiles/ldv_util.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/ldv_util.dir/util/csv.cc.o.d"
   "/root/repo/src/util/fsutil.cc" "src/CMakeFiles/ldv_util.dir/util/fsutil.cc.o" "gcc" "src/CMakeFiles/ldv_util.dir/util/fsutil.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/CMakeFiles/ldv_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/ldv_util.dir/util/rng.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/ldv_util.dir/util/crc32.cc.o"
+  "CMakeFiles/ldv_util.dir/util/crc32.cc.o.d"
   "CMakeFiles/ldv_util.dir/util/csv.cc.o"
   "CMakeFiles/ldv_util.dir/util/csv.cc.o.d"
   "CMakeFiles/ldv_util.dir/util/fsutil.cc.o"

@@ -308,16 +308,18 @@ tests/CMakeFiles/ldv_audit_replay_test.dir/ldv_audit_replay_test.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/protocol.h \
  /root/repo/src/os/sim_process.h /root/repo/src/os/vfs.h \
- /root/repo/src/ldv/manifest.h /root/repo/src/trace/graph.h \
+ /root/repo/src/ldv/manifest.h /root/repo/src/net/retrying_db_client.h \
+ /root/repo/src/util/rng.h /root/repo/src/trace/graph.h \
  /root/repo/src/trace/model.h /root/repo/src/ldv/replayer.h \
  /root/repo/src/ldv/replay_db_client.h /root/repo/src/net/db_server.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/trace/inference.h /root/repo/src/trace/serialize.h \
- /root/repo/src/util/csv.h /root/repo/src/util/fsutil.h \
- /root/repo/src/util/rng.h /root/repo/src/util/strings.h
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/trace/inference.h \
+ /root/repo/src/trace/serialize.h /root/repo/src/util/csv.h \
+ /root/repo/src/util/fsutil.h /root/repo/src/util/strings.h

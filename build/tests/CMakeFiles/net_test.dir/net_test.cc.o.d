@@ -319,4 +319,7 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
  /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
  /root/repo/src/net/protocol.h /root/repo/src/net/db_server.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/net/retrying_db_client.h /root/repo/src/util/rng.h \
  /root/repo/src/util/fsutil.h

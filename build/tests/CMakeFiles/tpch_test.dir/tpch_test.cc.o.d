@@ -308,7 +308,8 @@ tests/CMakeFiles/tpch_test.dir/tpch_test.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/protocol.h \
  /root/repo/src/os/sim_process.h /root/repo/src/os/vfs.h \
- /root/repo/src/ldv/manifest.h /root/repo/src/trace/graph.h \
+ /root/repo/src/ldv/manifest.h /root/repo/src/net/retrying_db_client.h \
+ /root/repo/src/util/rng.h /root/repo/src/trace/graph.h \
  /root/repo/src/trace/model.h /root/repo/src/ldv/replayer.h \
  /root/repo/src/ldv/replay_db_client.h /root/repo/src/tpch/app.h \
  /root/repo/src/tpch/generator.h /root/repo/src/tpch/queries.h \

@@ -12,6 +12,7 @@ include("/root/repo/build/tests/exec_select_test[1]_include.cmake")
 include("/root/repo/build/tests/exec_dml_test[1]_include.cmake")
 include("/root/repo/build/tests/lineage_test[1]_include.cmake")
 include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
 include("/root/repo/build/tests/os_test[1]_include.cmake")
 include("/root/repo/build/tests/trace_test[1]_include.cmake")
 include("/root/repo/build/tests/inference_test[1]_include.cmake")

@@ -1,0 +1,222 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace ldv {
+
+namespace {
+
+/// splitmix64: tiny, high-quality stream generator. The injector cannot use
+/// util/rng.h (util depends on common), so it keeps its own generator.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double ToUnitDouble(uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+uint64_t HashPointName(std::string_view name) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::enabled_{false};
+
+namespace {
+
+struct PointState {
+  FaultPointConfig config;
+  bool configured = false;
+  int64_t calls = 0;
+  int64_t injected = 0;
+  uint64_t rng = 0;
+};
+
+struct InjectorState {
+  std::mutex mu;
+  uint64_t seed = 0;
+  std::map<std::string, PointState, std::less<>> points;
+
+  PointState& PointFor(std::string_view name) {
+    auto it = points.find(name);
+    if (it == points.end()) {
+      it = points.emplace(std::string(name), PointState{}).first;
+      it->second.rng = seed ^ HashPointName(name);
+    }
+    return it->second;
+  }
+};
+
+InjectorState* GlobalState() {
+  static auto* state = new InjectorState();  // leaked: outlives all threads
+  return state;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static auto* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Enable(uint64_t seed) {
+  InjectorState* s = GlobalState();
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->seed = seed;
+    for (auto& [name, point] : s->points) {
+      point.rng = seed ^ HashPointName(name);
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  Disable();
+  InjectorState* s = GlobalState();
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->points.clear();
+  s->seed = 0;
+}
+
+void FaultInjector::Configure(const std::string& point,
+                              const FaultPointConfig& config) {
+  InjectorState* s = GlobalState();
+  std::lock_guard<std::mutex> lock(s->mu);
+  PointState& state = s->PointFor(point);
+  state.config = config;
+  state.configured = true;
+  // A fresh schedule restarts the fail-after window from this moment.
+  state.calls = 0;
+}
+
+void FaultInjector::Clear(const std::string& point) {
+  InjectorState* s = GlobalState();
+  std::lock_guard<std::mutex> lock(s->mu);
+  auto it = s->points.find(point);
+  if (it != s->points.end()) {
+    it->second.config = FaultPointConfig{};
+    it->second.configured = false;
+  }
+}
+
+Status FaultInjector::ConfigureFromSpec(std::string_view spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(';', start);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry needs <point>=<cfg>: " +
+                                     std::string(entry));
+    }
+    std::string point(entry.substr(0, eq));
+    FaultPointConfig config;
+    std::string_view rest = entry.substr(eq + 1);
+    size_t field_start = 0;
+    while (field_start <= rest.size()) {
+      size_t field_end = rest.find(',', field_start);
+      if (field_end == std::string_view::npos) field_end = rest.size();
+      std::string_view field = rest.substr(field_start, field_end - field_start);
+      field_start = field_end + 1;
+      if (field.empty()) continue;
+      size_t colon = field.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("fault spec field needs <kind>:<value>: " +
+                                       std::string(field));
+      }
+      std::string kind(field.substr(0, colon));
+      std::string value(field.substr(colon + 1));
+      char* parse_end = nullptr;
+      if (kind == "p") {
+        config.failure_probability = std::strtod(value.c_str(), &parse_end);
+      } else if (kind == "after") {
+        config.fail_after_calls = std::strtoll(value.c_str(), &parse_end, 10);
+      } else if (kind == "times") {
+        config.fail_times = std::strtoll(value.c_str(), &parse_end, 10);
+      } else if (kind == "lat") {
+        config.latency_micros = std::strtoll(value.c_str(), &parse_end, 10);
+      } else {
+        return Status::InvalidArgument("unknown fault spec kind: " + kind);
+      }
+      if (parse_end == value.c_str() || *parse_end != '\0') {
+        return Status::InvalidArgument("bad fault spec value: " + value);
+      }
+    }
+    Configure(point, config);
+  }
+  return Status::Ok();
+}
+
+int64_t FaultInjector::CallCount(const std::string& point) const {
+  InjectorState* s = GlobalState();
+  std::lock_guard<std::mutex> lock(s->mu);
+  auto it = s->points.find(point);
+  return it == s->points.end() ? 0 : it->second.calls;
+}
+
+int64_t FaultInjector::InjectedCount(const std::string& point) const {
+  InjectorState* s = GlobalState();
+  std::lock_guard<std::mutex> lock(s->mu);
+  auto it = s->points.find(point);
+  return it == s->points.end() ? 0 : it->second.injected;
+}
+
+Status FaultInjector::Check(const char* point) {
+  if (!enabled()) return Status::Ok();
+  InjectorState* s = GlobalState();
+  int64_t latency_micros = 0;
+  bool fail = false;
+  StatusCode code = StatusCode::kIOError;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    PointState& state = s->PointFor(point);
+    int64_t call_index = state.calls++;
+    if (!state.configured) return Status::Ok();
+    latency_micros = state.config.latency_micros;
+    code = state.config.code;
+    if (state.config.fail_after_calls >= 0 &&
+        call_index >= state.config.fail_after_calls &&
+        call_index <
+            state.config.fail_after_calls + state.config.fail_times) {
+      fail = true;
+    }
+    if (!fail && state.config.failure_probability > 0 &&
+        ToUnitDouble(SplitMix64(&state.rng)) <
+            state.config.failure_probability) {
+      fail = true;
+    }
+    if (fail) ++state.injected;
+  }
+  if (latency_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_micros));
+  }
+  if (fail) {
+    return Status(code,
+                  "injected fault at " + std::string(point));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ldv

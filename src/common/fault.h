@@ -1,0 +1,98 @@
+#ifndef LDV_COMMON_FAULT_H_
+#define LDV_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ldv {
+
+/// Configuration of one named fault-injection point.
+struct FaultPointConfig {
+  /// Probability in [0, 1] that any given call through the point fails.
+  /// Draws come from the injector's seeded per-point generator.
+  double failure_probability = 0;
+  /// When >= 0 the point succeeds for this many calls, then fails the next
+  /// `fail_times` calls, then succeeds again. Independent of (and in
+  /// addition to) `failure_probability`.
+  int64_t fail_after_calls = -1;
+  int64_t fail_times = 1;
+  /// Artificial delay added to every call through the point.
+  int64_t latency_micros = 0;
+  /// Status code carried by injected failures.
+  StatusCode code = StatusCode::kIOError;
+};
+
+/// Process-wide deterministic fault injector. Production code declares named
+/// injection points (`net.send`, `net.recv`, `engine.execute`, `fs.write`,
+/// `fs.rename`, ...) via LDV_FAULT_POINT; tests and the CLI configure
+/// failure probability, fail-after-N-calls schedules, and latency per point.
+///
+/// Disabled by default: the LDV_FAULT_POINT fast path is a single relaxed
+/// atomic load, and building with -DLDV_DISABLE_FAULT_INJECTION compiles the
+/// points out entirely. All state is guarded by one mutex; probability draws
+/// use an independent splitmix64 stream per point derived from the seed, so
+/// single-threaded runs are bit-reproducible.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms injection with a deterministic seed. Clears nothing: points
+  /// configured earlier stay configured.
+  void Enable(uint64_t seed);
+  /// Disarms injection (configurations and counters are kept).
+  void Disable();
+  /// Disarms and drops every configuration and counter.
+  void Reset();
+
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void Configure(const std::string& point, const FaultPointConfig& config);
+  void Clear(const std::string& point);
+
+  /// Configures points from a CLI spec: `;`-separated entries of the form
+  ///   <point>=<kind>:<value>[,<kind>:<value>...]
+  /// with kinds `p` (failure probability), `after` (fail after N calls),
+  /// `times` (failures per `after` trigger), `lat` (latency, microseconds).
+  /// Example: "net.send=p:0.3;net.recv=p:0.3;fs.rename=after:2,times:1"
+  Status ConfigureFromSpec(std::string_view spec);
+
+  /// Calls observed at `point` since the last Reset (0 if never hit).
+  int64_t CallCount(const std::string& point) const;
+  /// Failures injected at `point` since the last Reset.
+  int64_t InjectedCount(const std::string& point) const;
+
+  /// Slow path behind CheckFault: counts the call, applies latency, and
+  /// decides whether to inject a failure.
+  Status Check(const char* point);
+
+ private:
+  FaultInjector() = default;
+  static std::atomic<bool> enabled_;
+};
+
+/// Returns OK with a single atomic load when injection is disabled.
+inline Status CheckFault(const char* point) {
+  if (!FaultInjector::enabled()) return Status::Ok();
+  return FaultInjector::Instance().Check(point);
+}
+
+}  // namespace ldv
+
+/// Declares a named injection point inside a function returning Status or
+/// Result<T>: propagates an injected failure to the caller. Compiles to
+/// nothing under LDV_DISABLE_FAULT_INJECTION.
+#ifdef LDV_DISABLE_FAULT_INJECTION
+#define LDV_FAULT_POINT(point) \
+  do {                         \
+  } while (false)
+#else
+#define LDV_FAULT_POINT(point) LDV_RETURN_IF_ERROR(::ldv::CheckFault(point))
+#endif
+
+#endif  // LDV_COMMON_FAULT_H_

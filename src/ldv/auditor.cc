@@ -61,10 +61,12 @@ Result<net::DbClient*> Auditor::OpenDbConnection(os::ProcessContext& proc) {
   // A fresh connection per process; the auditing layer assigns the unique
   // process id used to link DB activity to the OS trace (§VII-C).
   if (!options_.db_socket_path.empty()) {
-    LDV_ASSIGN_OR_RETURN(
-        std::unique_ptr<net::SocketDbClient> socket_client,
-        net::SocketDbClient::Connect(options_.db_socket_path));
-    backends_.push_back(std::move(socket_client));
+    // Per-connection jitter streams: otherwise every connection would back
+    // off in lockstep under correlated failures.
+    net::RetryPolicy policy = options_.db_retry;
+    policy.seed += static_cast<uint64_t>(proc.pid());
+    backends_.push_back(
+        net::RetryingDbClient::ForSocket(options_.db_socket_path, policy));
   } else {
     backends_.push_back(std::make_unique<net::LocalDbClient>(&engine_));
   }

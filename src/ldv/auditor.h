@@ -13,6 +13,7 @@
 #include "ldv/app.h"
 #include "ldv/manifest.h"
 #include "net/db_client.h"
+#include "net/retrying_db_client.h"
 #include "os/sim_process.h"
 #include "os/vfs.h"
 #include "storage/database.h"
@@ -45,6 +46,11 @@ struct AuditOptions {
   /// instead of the in-process engine. The server must serve the same
   /// database passed to the Auditor.
   std::string db_socket_path;
+  /// Socket connections are wrapped in a RetryingDbClient with this policy,
+  /// so transient transport failures (connection resets, server restarts,
+  /// injected faults) do not abort the audited run. Set
+  /// `db_retry.max_attempts = 1` to disable retries.
+  net::RetryPolicy db_retry;
 };
 
 /// Statistics of one audited run.

@@ -6,9 +6,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/fault.h"
+
 namespace ldv::net {
 
 Result<exec::ResultSet> EngineHandle::Execute(const DbRequest& request) {
+  LDV_FAULT_POINT("engine.execute");
   std::lock_guard<std::mutex> lock(mu_);
   exec::ExecOptions options;
   options.process_id = request.process_id;
@@ -16,8 +19,27 @@ Result<exec::ResultSet> EngineHandle::Execute(const DbRequest& request) {
   return executor_.Execute(request.sql, options);
 }
 
-SocketDbClient::~SocketDbClient() {
-  if (fd_ >= 0) ::close(fd_);
+SocketDbClient::~SocketDbClient() { Close(); }
+
+SocketDbClient::SocketDbClient(SocketDbClient&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+SocketDbClient& SocketDbClient::operator=(SocketDbClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void SocketDbClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 Result<std::unique_ptr<SocketDbClient>> SocketDbClient::Connect(
@@ -32,7 +54,7 @@ Result<std::unique_ptr<SocketDbClient>> SocketDbClient::Connect(
     ::close(fd);
     return Status::InvalidArgument("socket path too long: " + socket_path);
   }
-  strcpy(addr.sun_path, socket_path.c_str());
+  memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd);
     return Status::IOError("connect " + socket_path + ": " + strerror(errno));
@@ -41,6 +63,7 @@ Result<std::unique_ptr<SocketDbClient>> SocketDbClient::Connect(
 }
 
 Result<exec::ResultSet> SocketDbClient::Execute(const DbRequest& request) {
+  if (fd_ < 0) return Status::IOError("socket client is closed");
   LDV_RETURN_IF_ERROR(SendFrame(fd_, EncodeRequest(request)));
   LDV_ASSIGN_OR_RETURN(std::string payload, RecvFrame(fd_));
   return DecodeResponse(payload);

@@ -64,10 +64,16 @@ class LocalDbClient final : public DbClient {
   EngineHandle* engine_;
 };
 
-/// Connects to a DbServer over a Unix-domain socket.
+/// Connects to a DbServer over a Unix-domain socket. Move-only; a moved-from
+/// client holds no descriptor and reports itself closed on Execute.
 class SocketDbClient final : public DbClient {
  public:
   ~SocketDbClient() override;
+
+  SocketDbClient(const SocketDbClient&) = delete;
+  SocketDbClient& operator=(const SocketDbClient&) = delete;
+  SocketDbClient(SocketDbClient&& other) noexcept;
+  SocketDbClient& operator=(SocketDbClient&& other) noexcept;
 
   /// Connects to the server listening at `socket_path`.
   static Result<std::unique_ptr<SocketDbClient>> Connect(
@@ -75,9 +81,12 @@ class SocketDbClient final : public DbClient {
 
   Result<exec::ResultSet> Execute(const DbRequest& request) override;
 
+  /// Closes the connection (idempotent); Execute afterwards returns IOError.
+  void Close();
+
  private:
   explicit SocketDbClient(int fd) : fd_(fd) {}
-  int fd_;
+  int fd_ = -1;
 };
 
 }  // namespace ldv::net

@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -10,8 +11,11 @@
 
 namespace ldv::net {
 
-DbServer::DbServer(EngineHandle* engine, std::string socket_path)
-    : engine_(engine), socket_path_(std::move(socket_path)) {}
+DbServer::DbServer(EngineHandle* engine, std::string socket_path,
+                   DbServerOptions options)
+    : engine_(engine),
+      socket_path_(std::move(socket_path)),
+      options_(options) {}
 
 DbServer::~DbServer() { Stop(); }
 
@@ -25,15 +29,16 @@ Status DbServer::Start() {
   if (socket_path_.size() >= sizeof(addr.sun_path)) {
     return Status::InvalidArgument("socket path too long: " + socket_path_);
   }
-  strcpy(addr.sun_path, socket_path_.c_str());
+  memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
   ::unlink(socket_path_.c_str());
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
     return Status::IOError("bind " + socket_path_ + ": " + strerror(errno));
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
     return Status::IOError(std::string("listen: ") + strerror(errno));
   }
+  draining_.store(false);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -41,51 +46,182 @@ Status DbServer::Start() {
 
 void DbServer::Stop() {
   bool was_running = running_.exchange(false);
+  // Graceful drain: reject requests that arrive from here on; requests
+  // already executing finish and their responses are still delivered.
+  draining_.store(true);
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
   if (was_running && accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    threads.swap(connection_threads_);
+    // Wake connection threads blocked in recv; the write side stays open so
+    // an in-flight response can still be sent.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, conn] : connections_) {
+      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RD);
+    }
   }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
+  std::map<int64_t, Connection> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(connections_);
+    finished_.clear();
+  }
+  for (auto& [id, conn] : conns) {
+    if (conn.thread.joinable()) conn.thread.join();
+    if (conn.fd >= 0) ::close(conn.fd);
   }
   ::unlink(socket_path_.c_str());
 }
 
+int64_t DbServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return static_cast<int64_t>(connections_.size());
+}
+
+void DbServer::ApplyIoTimeouts(int fd) {
+  if (options_.io_timeout_micros <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(options_.io_timeout_micros / 1'000'000);
+  tv.tv_usec =
+      static_cast<suseconds_t>(options_.io_timeout_micros % 1'000'000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void DbServer::ReapFinished() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      to_join.push_back(std::move(it->second.thread));
+      connections_.erase(it);
+    }
+    finished_.clear();
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
 void DbServer::AcceptLoop() {
   while (running_.load()) {
+    ReapFinished();  // joins threads of connections that already hung up
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener closed by Stop()
     }
-    std::lock_guard<std::mutex> lock(threads_mu_);
-    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    ApplyIoTimeouts(fd);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (options_.max_connections > 0 &&
+        static_cast<int>(connections_.size()) >= options_.max_connections) {
+      // Clean refusal: the client gets a decodable protocol error instead
+      // of a hang or a silent close, and can back off and retry.
+      ++rejected_connections_;
+      (void)SendFrame(
+          fd, EncodeResponse(
+                  Status::IOError("server overloaded: too many connections"),
+                  {}));
+      ::close(fd);
+      continue;
+    }
+    int64_t id = ++next_connection_id_;
+    ++total_connections_;
+    Connection& conn = connections_[id];
+    conn.fd = fd;
+    conn.thread = std::thread([this, id, fd] { ServeConnection(id, fd); });
   }
 }
 
-void DbServer::ServeConnection(int fd) {
+std::string DbServer::ExecuteDeduped(const DbRequest& request) {
+  const bool use_dedup =
+      options_.dedup_capacity > 0 &&
+      (request.process_id != 0 || request.query_id != 0);
+  const DedupKey key{request.process_id, request.query_id, request.sql};
+  if (use_dedup) {
+    std::unique_lock<std::mutex> lock(dedup_mu_);
+    auto it = dedup_.find(key);
+    if (it != dedup_.end()) {
+      // A duplicate of a request that executed (or is executing) on another
+      // connection — the client retried after losing the response. Wait for
+      // the recorded response instead of executing twice.
+      dedup_cv_.wait(lock, [&] {
+        auto i = dedup_.find(key);
+        return i == dedup_.end() || i->second.done;
+      });
+      auto done = dedup_.find(key);
+      if (done != dedup_.end()) {
+        ++deduped_requests_;
+        return done->second.response;
+      }
+      // Evicted while waiting: execute afresh below.
+    }
+    dedup_.emplace(key, DedupEntry{});  // in-progress marker
+  }
+
+  Result<exec::ResultSet> result = engine_->Execute(request);
+  std::string response = result.ok()
+                             ? EncodeResponse(Status::Ok(), *result)
+                             : EncodeResponse(result.status(), {});
+
+  if (use_dedup) {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    auto it = dedup_.find(key);
+    if (it != dedup_.end()) {
+      it->second.done = true;
+      it->second.response = response;
+      dedup_order_.push_back(key);
+      while (dedup_order_.size() > options_.dedup_capacity) {
+        dedup_.erase(dedup_order_.front());
+        dedup_order_.pop_front();
+      }
+    }
+    dedup_cv_.notify_all();
+  }
+  return response;
+}
+
+void DbServer::ServeConnection(int64_t id, int fd) {
   while (true) {
     Result<std::string> frame = RecvFrame(fd);
-    if (!frame.ok()) break;  // client disconnected
-    Result<DbRequest> request = DecodeRequest(*frame);
+    if (!frame.ok()) {
+      if (IsOversizedFrameError(frame.status())) {
+        // A forged/corrupt length prefix: answer with a protocol error so
+        // the client sees a reason, then drop the connection (the stream
+        // cannot be resynchronized past an unread payload).
+        (void)SendFrame(fd, EncodeResponse(frame.status(), {}));
+      }
+      break;  // client disconnected, timed out, or sent garbage framing
+    }
     std::string response;
+    if (draining_.load()) {
+      response = EncodeResponse(
+          Status::IOError("server draining: request rejected"), {});
+      (void)SendFrame(fd, response);
+      break;
+    }
+    Result<DbRequest> request = DecodeRequest(*frame);
     if (!request.ok()) {
       response = EncodeResponse(request.status(), {});
     } else {
-      Result<exec::ResultSet> result = engine_->Execute(*request);
-      response = result.ok() ? EncodeResponse(Status::Ok(), *result)
-                             : EncodeResponse(result.status(), {});
+      response = ExecuteDeduped(*request);
     }
     if (!SendFrame(fd, response).ok()) break;
   }
-  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  auto it = connections_.find(id);
+  if (it != connections_.end() && it->second.fd >= 0) {
+    ::close(it->second.fd);
+    it->second.fd = -1;
+  }
+  // Stop() may have taken ownership of the map; a stale id in finished_ is
+  // ignored by ReapFinished.
+  finished_.push_back(id);
 }
 
 }  // namespace ldv::net

@@ -2,9 +2,15 @@
 #define LDV_NET_DB_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -12,13 +18,37 @@
 
 namespace ldv::net {
 
+/// Operational knobs of DbServer.
+struct DbServerOptions {
+  /// Connections served concurrently; further ones get a clean
+  /// "server overloaded" protocol error response instead of a hang.
+  int max_connections = 64;
+  /// SO_RCVTIMEO/SO_SNDTIMEO applied to every connection fd, so a hung or
+  /// vanished peer cannot pin a connection thread forever. 0 disables.
+  int64_t io_timeout_micros = 30'000'000;
+  /// Entries of the at-most-once response cache keyed by
+  /// (process_id, query_id, sql). A retried request that already executed gets
+  /// its recorded response instead of executing twice — this is what makes
+  /// client retries of DML safe for audited workloads. 0 disables.
+  size_t dedup_capacity = 4096;
+  int listen_backlog = 16;
+};
+
 /// The DB server process analog: accepts connections on a Unix-domain
 /// socket, decodes requests, executes them against the shared engine, and
-/// streams back encoded responses. One thread per connection; the engine
-/// handle serializes execution.
+/// streams back encoded responses. One thread per connection, reaped as
+/// connections finish; the engine handle serializes execution.
+///
+/// Resilience behavior (see DESIGN.md "Failure model & recovery"):
+///   - per-connection send/recv timeouts,
+///   - max-connections cap with an explicit overload error response,
+///   - (process_id, query_id) response dedup for exactly-once retries,
+///   - graceful drain on Stop(): in-flight requests finish, subsequent
+///     requests get a "server draining" error, then threads are joined.
 class DbServer {
  public:
-  DbServer(EngineHandle* engine, std::string socket_path);
+  DbServer(EngineHandle* engine, std::string socket_path,
+           DbServerOptions options = {});
   ~DbServer();
 
   DbServer(const DbServer&) = delete;
@@ -27,22 +57,70 @@ class DbServer {
   /// Binds, listens and spawns the accept loop.
   Status Start();
 
-  /// Stops accepting, closes the listener and joins all threads.
+  /// Stops accepting, drains in-flight requests, joins all threads.
   void Stop();
 
   const std::string& socket_path() const { return socket_path_; }
 
+  /// Connections currently being served.
+  int64_t active_connections() const;
+  /// Connections accepted since Start().
+  int64_t total_connections() const { return total_connections_.load(); }
+  /// Connections refused with the overload error since Start().
+  int64_t rejected_connections() const {
+    return rejected_connections_.load();
+  }
+  /// Requests answered from the dedup cache instead of re-executing.
+  int64_t deduped_requests() const { return deduped_requests_.load(); }
+
  private:
+  struct Connection {
+    std::thread thread;
+    int fd = -1;
+  };
+
+  /// Dedup cache entry; `done` flips once the response is recorded, so a
+  /// concurrent duplicate waits instead of double-executing.
+  struct DedupEntry {
+    bool done = false;
+    std::string response;
+  };
+  /// (process_id, query_id, sql): the ids alone are not unique — the
+  /// auditing client tags a DML statement and its reenactment query with
+  /// the same query id — so the statement text disambiguates. A retry
+  /// resends identical text and still hits the cache.
+  using DedupKey = std::tuple<int64_t, int64_t, std::string>;
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(int64_t id, int fd);
+  /// Joins threads of connections that finished serving.
+  void ReapFinished();
+  void ApplyIoTimeouts(int fd);
+  /// Executes `request`, deduplicating on (process_id, query_id, sql) when
+  /// the request carries ids; returns the encoded response frame.
+  std::string ExecuteDeduped(const DbRequest& request);
 
   EngineHandle* engine_;
   std::string socket_path_;
+  DbServerOptions options_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   std::thread accept_thread_;
-  std::vector<std::thread> connection_threads_;
-  std::mutex threads_mu_;
+
+  mutable std::mutex conn_mu_;
+  std::map<int64_t, Connection> connections_;
+  std::vector<int64_t> finished_;  // ids whose thread is ready to join
+  int64_t next_connection_id_ = 0;
+
+  std::mutex dedup_mu_;
+  std::condition_variable dedup_cv_;
+  std::map<DedupKey, DedupEntry> dedup_;
+  std::deque<DedupKey> dedup_order_;  // FIFO eviction of completed entries
+
+  std::atomic<int64_t> total_connections_{0};
+  std::atomic<int64_t> rejected_connections_{0};
+  std::atomic<int64_t> deduped_requests_{0};
 };
 
 }  // namespace ldv::net

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/fault.h"
 #include "util/serde.h"
 
 namespace ldv::net {
@@ -183,6 +184,12 @@ Result<ResultSet> DecodeResponse(std::string_view bytes) {
 }
 
 Status SendFrame(int fd, std::string_view payload) {
+  LDV_FAULT_POINT("net.send");
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "frame payload too large: " + std::to_string(payload.size()) +
+        " bytes (max " + std::to_string(kMaxFrameBytes) + ")");
+  }
   uint32_t len = static_cast<uint32_t>(payload.size());
   char header[4];
   for (int i = 0; i < 4; ++i) header[i] = static_cast<char>(len >> (8 * i));
@@ -200,7 +207,17 @@ Status SendFrame(int fd, std::string_view payload) {
   return Status::Ok();
 }
 
+namespace {
+constexpr char kOversizedFrameMsg[] = "oversized frame";
+}  // namespace
+
+bool IsOversizedFrameError(const Status& status) {
+  return status.code() == StatusCode::kIOError &&
+         status.message().rfind(kOversizedFrameMsg, 0) == 0;
+}
+
 Result<std::string> RecvFrame(int fd) {
+  LDV_FAULT_POINT("net.recv");
   auto read_exact = [fd](char* out, size_t n) -> Status {
     size_t got = 0;
     while (got < n) {
@@ -220,6 +237,13 @@ Result<std::string> RecvFrame(int fd) {
   for (int i = 0; i < 4; ++i) {
     len |= static_cast<uint32_t>(static_cast<unsigned char>(header[i]))
            << (8 * i);
+  }
+  if (len > kMaxFrameBytes) {
+    // The prefix is attacker/corruption-controlled: refuse before the
+    // std::string allocation, not after a multi-GiB new[] attempt.
+    return Status::IOError(std::string(kOversizedFrameMsg) + ": " +
+                           std::to_string(len) + " byte length prefix (max " +
+                           std::to_string(kMaxFrameBytes) + ")");
   }
   std::string payload(len, '\0');
   if (len > 0) LDV_RETURN_IF_ERROR(read_exact(payload.data(), len));

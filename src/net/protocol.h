@@ -30,10 +30,23 @@ Result<exec::ResultSet> DecodeResponse(std::string_view bytes);
 void EncodeResultSet(const exec::ResultSet& result, BufferWriter* w);
 Result<exec::ResultSet> DecodeResultSet(BufferReader* r);
 
+/// Hard cap on a single frame's payload. The 4-byte length prefix arrives
+/// from the peer (or from a corrupted stream), so it must never be trusted
+/// as an allocation size: a forged multi-GiB prefix is rejected up front.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
 /// Frame I/O over a connected stream socket: 4-byte little-endian length
-/// prefix followed by the payload.
+/// prefix followed by the payload. Fault points `net.send` / `net.recv`
+/// fire before the first syscall, so an injected failure never leaves a
+/// half-written frame on the wire. Frames above kMaxFrameBytes are refused
+/// on both sides (see IsOversizedFrameError).
 Status SendFrame(int fd, std::string_view payload);
 Result<std::string> RecvFrame(int fd);
+
+/// True when `status` is RecvFrame's oversized-length-prefix rejection. The
+/// server uses this to send a protocol error response before dropping the
+/// connection (the stream cannot be resynchronized past an unread payload).
+bool IsOversizedFrameError(const Status& status);
 
 }  // namespace ldv::net
 

@@ -1,0 +1,84 @@
+#include "net/retrying_db_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace ldv::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+RetryingDbClient::RetryingDbClient(std::unique_ptr<DbClient> initial,
+                                   Factory factory, RetryPolicy policy)
+    : client_(std::move(initial)),
+      factory_(std::move(factory)),
+      policy_(policy),
+      rng_(policy.seed) {}
+
+std::unique_ptr<RetryingDbClient> RetryingDbClient::ForSocket(
+    std::string socket_path, RetryPolicy policy) {
+  Factory factory = [socket_path]() -> Result<std::unique_ptr<DbClient>> {
+    LDV_ASSIGN_OR_RETURN(std::unique_ptr<SocketDbClient> client,
+                         SocketDbClient::Connect(socket_path));
+    return std::unique_ptr<DbClient>(std::move(client));
+  };
+  return std::make_unique<RetryingDbClient>(nullptr, std::move(factory),
+                                            policy);
+}
+
+bool RetryingDbClient::IsRetryable(const Status& status) {
+  // IOError is the transport taxonomy: socket failures, injected faults,
+  // decode failures from torn streams, server overload/drain rejections.
+  // Every other code is a definitive engine answer.
+  return status.code() == StatusCode::kIOError;
+}
+
+Result<exec::ResultSet> RetryingDbClient::Execute(const DbRequest& request) {
+  const Clock::time_point deadline =
+      Clock::now() +
+      std::chrono::microseconds(policy_.request_deadline_micros);
+  Status last = Status::IOError("no attempt made");
+  int64_t backoff_micros = policy_.initial_backoff_micros;
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (client_ == nullptr) {
+      if (factory_ == nullptr) {
+        return Status::IOError("client lost and no reconnect factory");
+      }
+      auto fresh = factory_();
+      ++reconnects_;
+      if (fresh.ok()) {
+        client_ = std::move(*fresh);
+      } else {
+        last = fresh.status();
+      }
+    }
+    if (client_ != nullptr) {
+      ++attempts_;
+      Result<exec::ResultSet> result = client_->Execute(request);
+      if (result.ok() || !IsRetryable(result.status())) return result;
+      last = result.status();
+      // A transport error leaves the connection in an unknown framing
+      // state; drop it and reconnect on the next attempt.
+      client_.reset();
+    }
+    // Capped exponential backoff with jitter before the next attempt.
+    double jitter_factor =
+        1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    auto sleep_micros = static_cast<int64_t>(
+        static_cast<double>(backoff_micros) * jitter_factor);
+    sleep_micros = std::max<int64_t>(sleep_micros, 0);
+    if (Clock::now() + std::chrono::microseconds(sleep_micros) >= deadline) {
+      break;  // the deadline would expire before the next attempt
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+    backoff_micros = std::min<int64_t>(
+        static_cast<int64_t>(static_cast<double>(backoff_micros) *
+                             policy_.backoff_multiplier),
+        policy_.max_backoff_micros);
+  }
+  return last.WithContext("request failed after retries");
+}
+
+}  // namespace ldv::net

@@ -1,0 +1,81 @@
+#ifndef LDV_NET_RETRYING_DB_CLIENT_H_
+#define LDV_NET_RETRYING_DB_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/db_client.h"
+#include "util/rng.h"
+
+namespace ldv::net {
+
+/// Retry/backoff policy for RetryingDbClient. Defaults are tuned for a
+/// local Unix-domain socket: short initial backoff, capped exponential
+/// growth, generous attempt budget (transient fault storms in the
+/// fault-injection harness can fail many consecutive attempts).
+struct RetryPolicy {
+  /// Total tries per request (first attempt included).
+  int max_attempts = 64;
+  int64_t initial_backoff_micros = 200;
+  int64_t max_backoff_micros = 20'000;
+  double backoff_multiplier = 2.0;
+  /// Backoff is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.5;
+  /// Wall-clock budget per request; attempts stop once it is exhausted.
+  int64_t request_deadline_micros = 30'000'000;
+  /// Seed of the jitter stream (deterministic per client).
+  uint64_t seed = 0x1D5EED;
+};
+
+/// Decorator adding fault tolerance to any DbClient (paper §VII-C layer):
+/// transport-level failures (IOError: connection reset, injected socket
+/// faults, server overload/drain rejections) are retried with capped
+/// exponential backoff and jitter until the per-request deadline; engine
+/// errors (parse errors, missing tables, constraint violations) pass
+/// through untouched. After a transport failure the underlying client is
+/// discarded and re-created through the factory — for SocketDbClient this
+/// is a transparent reconnect, so a server restart between requests is
+/// invisible to the application.
+///
+/// Exactly-once caveat: a retried request may have already executed if the
+/// failure hit after delivery (e.g. the response frame was lost). DbServer
+/// deduplicates on (process_id, query_id, sql), so audited workloads — which
+/// tag every statement with ids — keep exactly-once semantics across
+/// retries; untagged requests (both ids zero) are at-least-once.
+///
+/// Not thread-safe (same contract as the clients it wraps).
+class RetryingDbClient final : public DbClient {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<DbClient>>()>;
+
+  /// Wraps `initial` (may be null: the first request connects via factory).
+  RetryingDbClient(std::unique_ptr<DbClient> initial, Factory factory,
+                   RetryPolicy policy = {});
+
+  /// Convenience: a retrying client over a SocketDbClient to `socket_path`.
+  static std::unique_ptr<RetryingDbClient> ForSocket(std::string socket_path,
+                                                     RetryPolicy policy = {});
+
+  Result<exec::ResultSet> Execute(const DbRequest& request) override;
+
+  /// Attempts actually issued to the wrapped client (>= requests served).
+  int64_t attempts() const { return attempts_; }
+  /// Times the wrapped client was (re)created through the factory.
+  int64_t reconnects() const { return reconnects_; }
+
+ private:
+  static bool IsRetryable(const Status& status);
+
+  std::unique_ptr<DbClient> client_;
+  Factory factory_;
+  RetryPolicy policy_;
+  Rng rng_;
+  int64_t attempts_ = 0;
+  int64_t reconnects_ = 0;
+};
+
+}  // namespace ldv::net
+
+#endif  // LDV_NET_RETRYING_DB_CLIENT_H_

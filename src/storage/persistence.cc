@@ -1,10 +1,86 @@
 #include "storage/persistence.h"
 
+#include <vector>
+
 #include "common/json.h"
+#include "util/crc32.h"
 #include "util/fsutil.h"
 #include "util/serde.h"
 
 namespace ldv::storage {
+
+namespace {
+
+/// Current catalog.json format. Format 1 (the original) listed table names
+/// as plain strings and stored raw `.tbl` payloads; format 2 lists
+/// {name, file, crc32, bytes} objects, appends a CRC-32 trailer to each
+/// payload, and writes every file via temp + fsync + rename with a
+/// generation-numbered name so an interrupted save can never corrupt the
+/// previously committed state.
+constexpr int64_t kCatalogFormat = 2;
+
+std::string TableFileName(const std::string& table, int64_t generation) {
+  // Generation 1 keeps the historical bare name; rewrites get a suffixed
+  // name so the catalog rename stays the single commit point (old data
+  // files are never overwritten in place).
+  if (generation <= 1) return table + ".tbl";
+  return table + ".g" + std::to_string(generation) + ".tbl";
+}
+
+std::string CrcTrailer(uint32_t crc) {
+  char trailer[4];
+  for (int i = 0; i < 4; ++i) {
+    trailer[i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  return std::string(trailer, 4);
+}
+
+uint32_t ReadCrcTrailer(std::string_view trailer) {
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<uint32_t>(static_cast<unsigned char>(trailer[i]))
+           << (8 * i);
+  }
+  return crc;
+}
+
+struct CatalogEntry {
+  std::string name;
+  std::string file;
+  bool has_crc = false;
+  uint32_t crc32 = 0;
+};
+
+Result<std::vector<CatalogEntry>> ParseCatalogTables(const Json& catalog) {
+  const Json* tables = catalog.Find("tables");
+  if (tables == nullptr || !tables->is_array()) {
+    return Status::IOError("catalog.json missing tables array");
+  }
+  std::vector<CatalogEntry> entries;
+  for (const Json& item : tables->AsArray()) {
+    CatalogEntry entry;
+    if (item.is_object()) {
+      entry.name = item.GetString("name", "");
+      if (entry.name.empty()) {
+        return Status::IOError("catalog.json table entry missing name");
+      }
+      entry.file = item.GetString("file", entry.name + ".tbl");
+      const Json* crc = item.Find("crc32");
+      if (crc != nullptr) {
+        entry.has_crc = true;
+        entry.crc32 = static_cast<uint32_t>(crc->AsInt());
+      }
+    } else {
+      // Format-1 catalog: bare table name, raw payload without trailer.
+      entry.name = item.AsString();
+      entry.file = entry.name + ".tbl";
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
 
 std::string SerializeTable(const Table& table) {
   BufferWriter w;
@@ -47,32 +123,87 @@ Status DeserializeTableInto(Database* db, const std::string& name,
 
 Status SaveDatabase(const Database& db, const std::string& dir) {
   LDV_RETURN_IF_ERROR(MakeDirs(dir));
+  // A rewrite of an existing directory bumps the generation so new data
+  // files never overwrite the committed ones; the catalog rename below is
+  // the single commit point.
+  int64_t generation = 1;
+  const std::string catalog_path = JoinPath(dir, "catalog.json");
+  if (FileExists(catalog_path)) {
+    LDV_ASSIGN_OR_RETURN(std::string old_text, ReadFileToString(catalog_path));
+    LDV_ASSIGN_OR_RETURN(Json old_catalog, Json::Parse(old_text));
+    generation = old_catalog.GetInt("generation", 1) + 1;
+  }
+
   Json catalog = Json::MakeObject();
   Json tables = Json::MakeArray();
+  std::vector<std::string> live_files;
   for (const std::string& name : db.TableNames()) {
     const Table* table = db.FindTable(name);
-    LDV_RETURN_IF_ERROR(WriteStringToFile(JoinPath(dir, name + ".tbl"),
-                                          SerializeTable(*table)));
-    tables.Append(Json::MakeString(name));
+    std::string payload = SerializeTable(*table);
+    uint32_t crc = Crc32(payload);
+    std::string file = TableFileName(name, generation);
+    payload.append(CrcTrailer(crc));
+    LDV_RETURN_IF_ERROR(AtomicWriteFile(JoinPath(dir, file), payload));
+    Json entry = Json::MakeObject();
+    entry.Set("name", Json::MakeString(name));
+    entry.Set("file", Json::MakeString(file));
+    entry.Set("crc32", Json::MakeInt(static_cast<int64_t>(crc)));
+    entry.Set("bytes", Json::MakeInt(static_cast<int64_t>(payload.size())));
+    tables.Append(std::move(entry));
+    live_files.push_back(std::move(file));
   }
+  catalog.Set("format", Json::MakeInt(kCatalogFormat));
+  catalog.Set("generation", Json::MakeInt(generation));
   catalog.Set("tables", std::move(tables));
   catalog.Set("stmt_seq", Json::MakeInt(db.current_statement_seq()));
-  return WriteStringToFile(JoinPath(dir, "catalog.json"), catalog.Dump(true));
+  LDV_RETURN_IF_ERROR(AtomicWriteFile(catalog_path, catalog.Dump(true)));
+
+  // Committed: garbage-collect data files of earlier generations. Failures
+  // here are harmless (orphans are ignored by LoadDatabase and collected by
+  // the next save), so errors are not propagated.
+  auto listed = ListTree(dir);
+  if (listed.ok()) {
+    for (const std::string& file : *listed) {
+      if (file.size() < 4 || file.substr(file.size() - 4) != ".tbl") continue;
+      bool referenced = false;
+      for (const std::string& live : live_files) referenced |= (file == live);
+      if (!referenced) (void)RemoveAll(JoinPath(dir, file));
+    }
+  }
+  return Status::Ok();
 }
 
 Status LoadDatabase(Database* db, const std::string& dir) {
   LDV_ASSIGN_OR_RETURN(std::string catalog_text,
                        ReadFileToString(JoinPath(dir, "catalog.json")));
   LDV_ASSIGN_OR_RETURN(Json catalog, Json::Parse(catalog_text));
-  const Json* tables = catalog.Find("tables");
-  if (tables == nullptr || !tables->is_array()) {
-    return Status::IOError("catalog.json missing tables array");
-  }
-  for (const Json& name_json : tables->AsArray()) {
-    const std::string& name = name_json.AsString();
-    LDV_ASSIGN_OR_RETURN(std::string bytes,
-                         ReadFileToString(JoinPath(dir, name + ".tbl")));
-    LDV_RETURN_IF_ERROR(DeserializeTableInto(db, name, bytes));
+  LDV_ASSIGN_OR_RETURN(std::vector<CatalogEntry> entries,
+                       ParseCatalogTables(catalog));
+  for (const CatalogEntry& entry : entries) {
+    const std::string path = JoinPath(dir, entry.file);
+    if (!FileExists(path)) {
+      return Status::NotFound("table '" + entry.name +
+                              "': missing data file " + entry.file);
+    }
+    LDV_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+    std::string_view payload(bytes);
+    if (entry.has_crc) {
+      if (bytes.size() < 4) {
+        return Status::IOError("table '" + entry.name + "': data file " +
+                               entry.file + " is truncated (" +
+                               std::to_string(bytes.size()) + " bytes)");
+      }
+      payload = std::string_view(bytes).substr(0, bytes.size() - 4);
+      uint32_t stored = ReadCrcTrailer(
+          std::string_view(bytes).substr(bytes.size() - 4));
+      uint32_t computed = Crc32(payload);
+      if (stored != computed || stored != entry.crc32) {
+        return Status::IOError(
+            "table '" + entry.name + "': checksum mismatch in " + entry.file +
+            " (file is corrupt or truncated)");
+      }
+    }
+    LDV_RETURN_IF_ERROR(DeserializeTableInto(db, entry.name, payload));
   }
   db->set_statement_seq(catalog.GetInt("stmt_seq", 0));
   return Status::Ok();

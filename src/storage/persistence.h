@@ -13,9 +13,16 @@ namespace ldv::storage {
 /// PTU-style packages copy these files verbatim; loading them is the fast
 /// path a PTU replay uses, in contrast to the server-included package path
 /// that re-inserts the relevant tuples through SQL (§VIII).
+///
+/// Saves are crash-safe: every file is written via temp + fsync + rename,
+/// table payloads carry a CRC-32 trailer recorded in catalog.json, rewrites
+/// use generation-numbered file names, and the catalog rename is the single
+/// commit point — an interrupted save leaves the previous state loadable.
 Status SaveDatabase(const Database& db, const std::string& dir);
 
 /// Loads a directory produced by SaveDatabase into an empty Database.
+/// Distinguishes a missing data file (NotFound, names the table) from a
+/// corrupt or truncated one (IOError on checksum mismatch).
 Status LoadDatabase(Database* db, const std::string& dir);
 
 /// Serializes one table (schema + live rows with identities) to bytes.

@@ -1,0 +1,40 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace ldv {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t state = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    state = (state >> 8) ^ kTable[(state ^ bytes[i]) & 0xFF];
+  }
+  return state ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(std::string_view data) {
+  return Crc32Update(0, data.data(), data.size());
+}
+
+}  // namespace ldv

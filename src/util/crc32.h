@@ -1,0 +1,24 @@
+#ifndef LDV_UTIL_CRC32_H_
+#define LDV_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ldv {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum appended to
+/// persisted `.tbl` payloads and recorded in catalog.json so a truncated or
+/// bit-flipped data file is detected at load time instead of silently
+/// deserializing as wrong data.
+
+/// One-shot checksum of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Incremental form: feed `crc` the previous return value (0 to start).
+/// Crc32(a + b) == Crc32Update(Crc32(a), b).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n);
+
+}  // namespace ldv
+
+#endif  // LDV_UTIL_CRC32_H_

@@ -1,14 +1,19 @@
 #include "util/fsutil.h"
 
+#include <fcntl.h>
 #include <stdlib.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+
+#include "common/fault.h"
 
 namespace ldv {
 
@@ -46,12 +51,66 @@ Status EnsureParentDirs(const std::string& path) {
 }  // namespace
 
 Status WriteStringToFile(const std::string& path, std::string_view data) {
+  LDV_FAULT_POINT("fs.write");
   LDV_RETURN_IF_ERROR(EnsureParentDirs(path));
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open for write: " + path);
   out.write(data.data(), static_cast<std::streamsize>(data.size()));
   out.flush();
   if (!out) return Status::IOError("short write: " + path);
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  LDV_FAULT_POINT("fs.write");
+  LDV_RETURN_IF_ERROR(EnsureParentDirs(path));
+  // Unique temp name in the same directory so the final rename cannot cross
+  // filesystems; pid + counter keeps concurrent writers apart.
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(counter.fetch_add(1));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + tmp + ": " + std::strerror(errno));
+  }
+  auto fail = [&](const std::string& what) {
+    Status status = Status::IOError(what + " " + tmp + ": " +
+                                    std::strerror(errno));
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  };
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) return fail("fsync");
+  if (::close(fd) != 0) {
+    fd = -1;
+    return fail("close");
+  }
+  fd = -1;
+  Status injected = CheckFault("fs.rename");
+  if (!injected.ok()) {
+    ::unlink(tmp.c_str());
+    return injected;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) return fail("rename to");
+  // Durability of the rename itself: fsync the containing directory
+  // (best-effort — some filesystems refuse O_RDONLY directory fds).
+  fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) {
+    int dirfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dirfd >= 0) {
+      ::fsync(dirfd);
+      ::close(dirfd);
+    }
+  }
   return Status::Ok();
 }
 

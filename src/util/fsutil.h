@@ -19,6 +19,13 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Writes (creates/truncates) the file with `data`, creating parent dirs.
 Status WriteStringToFile(const std::string& path, std::string_view data);
 
+/// Crash-safe write: the data goes to a unique temp file in the target's
+/// directory, is flushed with fsync(2), and is renamed over `path` (with a
+/// best-effort directory fsync). A crash or injected fault at any step
+/// leaves either the old file or no file — never a torn one. Fault points:
+/// `fs.write` before the write, `fs.rename` before the commit rename.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
 /// Appends `data`, creating the file and parent dirs if needed.
 Status AppendStringToFile(const std::string& path, std::string_view data);
 

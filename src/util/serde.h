@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "common/result.h"
@@ -38,6 +39,12 @@ class BufferWriter {
 class BufferReader {
  public:
   explicit BufferReader(std::string_view data) : data_(data) {}
+  // The reader only views the buffer; a temporary string would dangle.
+  template <typename S,
+            typename = std::enable_if_t<
+                std::is_same_v<std::remove_cvref_t<S>, std::string> &&
+                !std::is_lvalue_reference_v<S>>>
+  explicit BufferReader(S&&) = delete;
 
   Result<uint8_t> GetU8();
   Result<uint32_t> GetU32();

@@ -1,0 +1,516 @@
+#include <gtest/gtest.h>
+
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "ldv/auditor.h"
+#include "ldv/replayer.h"
+#include "net/db_server.h"
+#include "net/protocol.h"
+#include "net/retrying_db_client.h"
+#include "storage/persistence.h"
+#include "util/fsutil.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace ldv {
+namespace {
+
+using storage::Database;
+using storage::Value;
+using storage::ValueType;
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behavior.
+// ---------------------------------------------------------------------------
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledInjectorIsFreeOfSideEffects) {
+  FaultInjector& inj = FaultInjector::Instance();
+  inj.Reset();
+  FaultPointConfig always;
+  always.failure_probability = 1.0;
+  inj.Configure("unit.point", always);
+  // Not enabled: every check passes without even counting the call.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(CheckFault("unit.point").ok());
+  EXPECT_EQ(inj.CallCount("unit.point"), 0);
+  EXPECT_EQ(inj.InjectedCount("unit.point"), 0);
+}
+
+TEST_F(FaultInjectorTest, FailAfterWindowFiresExactly) {
+  FaultInjector& inj = FaultInjector::Instance();
+  inj.Reset();
+  inj.Enable(1);
+  FaultPointConfig config;
+  config.fail_after_calls = 3;
+  config.fail_times = 2;
+  inj.Configure("unit.after", config);
+  std::vector<bool> failed;
+  for (int i = 0; i < 8; ++i) {
+    failed.push_back(!CheckFault("unit.after").ok());
+  }
+  EXPECT_EQ(failed, (std::vector<bool>{false, false, false, true, true, false,
+                                       false, false}));
+  EXPECT_EQ(inj.CallCount("unit.after"), 8);
+  EXPECT_EQ(inj.InjectedCount("unit.after"), 2);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityDrawsAreSeedDeterministic) {
+  FaultInjector& inj = FaultInjector::Instance();
+  auto run = [&inj](uint64_t seed) {
+    inj.Reset();
+    inj.Enable(seed);
+    FaultPointConfig config;
+    config.failure_probability = 0.3;
+    inj.Configure("unit.p", config);
+    std::vector<int> failures;
+    for (int i = 0; i < 500; ++i) {
+      if (!CheckFault("unit.p").ok()) failures.push_back(i);
+    }
+    return failures;
+  };
+  std::vector<int> first = run(0xF00D);
+  std::vector<int> second = run(0xF00D);
+  EXPECT_EQ(first, second);  // bit-reproducible for a fixed seed
+  // Roughly 30% of 500 calls fail.
+  EXPECT_GT(first.size(), 100u);
+  EXPECT_LT(first.size(), 220u);
+  // A different seed gives a different failure pattern.
+  EXPECT_NE(first, run(0xBEEF));
+}
+
+TEST_F(FaultInjectorTest, SpecConfiguresMultiplePoints) {
+  FaultInjector& inj = FaultInjector::Instance();
+  inj.Reset();
+  ASSERT_TRUE(
+      inj.ConfigureFromSpec("net.send=p:1.0;fs.rename=after:0,times:2").ok());
+  inj.Enable(1);
+  EXPECT_FALSE(CheckFault("net.send").ok());
+  EXPECT_FALSE(CheckFault("fs.rename").ok());
+  EXPECT_FALSE(CheckFault("fs.rename").ok());
+  EXPECT_TRUE(CheckFault("fs.rename").ok());  // window exhausted
+  // Unconfigured points pass through untouched.
+  EXPECT_TRUE(CheckFault("net.recv").ok());
+}
+
+TEST_F(FaultInjectorTest, MalformedSpecsAreRejected) {
+  FaultInjector& inj = FaultInjector::Instance();
+  EXPECT_FALSE(inj.ConfigureFromSpec("nokindvalue").ok());
+  EXPECT_FALSE(inj.ConfigureFromSpec("x=zz:1").ok());
+  EXPECT_FALSE(inj.ConfigureFromSpec("x=p:notanumber").ok());
+  EXPECT_FALSE(inj.ConfigureFromSpec("=p:0.5").ok());
+  EXPECT_FALSE(inj.ConfigureFromSpec("x=p").ok());
+}
+
+TEST_F(FaultInjectorTest, InjectedFailureNamesThePoint) {
+  FaultInjector& inj = FaultInjector::Instance();
+  inj.Reset();
+  inj.Enable(1);
+  FaultPointConfig config;
+  config.fail_after_calls = 0;
+  inj.Configure("unit.msg", config);
+  Status s = CheckFault("unit.msg");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("unit.msg"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe persistence: an interrupted save must leave the previous state
+// loadable, and corruption must be detected (not silently loaded).
+// ---------------------------------------------------------------------------
+
+class CrashSafePersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("ldv_crash_");
+    ASSERT_TRUE(dir.ok());
+    base_ = *dir;
+    data_ = base_ + "/data";
+    Populate(&db_, 10);
+  }
+
+  void TearDown() override {
+    FaultInjector::Instance().Reset();
+    ASSERT_TRUE(RemoveAll(base_).ok());
+  }
+
+  static void Populate(Database* db, int rows) {
+    auto items = db->CreateTable("items", storage::Schema({
+                                              {"id", ValueType::kInt64},
+                                              {"val", ValueType::kInt64},
+                                          }));
+    ASSERT_TRUE(items.ok());
+    int64_t seq = db->NextStatementSeq();
+    for (int i = 1; i <= rows; ++i) {
+      ASSERT_TRUE(
+          (*items)->Insert({Value::Int(i), Value::Int(i * 10)}, seq).ok());
+    }
+  }
+
+  void Mutate() {
+    int64_t seq = db_.NextStatementSeq();
+    ASSERT_TRUE(db_.FindTable("items")
+                    ->Insert({Value::Int(99), Value::Int(990)}, seq)
+                    .ok());
+  }
+
+  /// Deterministic byte-level snapshot of the items table.
+  static std::string Snapshot(const Database& db) {
+    return storage::SerializeTable(*db.FindTable("items"));
+  }
+
+  std::string base_;
+  std::string data_;
+  Database db_;
+};
+
+TEST_F(CrashSafePersistenceTest, SaveDiesAtFirstRenameKeepsPreviousState) {
+  ASSERT_TRUE(storage::SaveDatabase(db_, data_).ok());
+  std::string before = Snapshot(db_);
+
+  Mutate();
+  FaultInjector& inj = FaultInjector::Instance();
+  ASSERT_TRUE(inj.ConfigureFromSpec("fs.rename=after:0,times:100").ok());
+  inj.Enable(42);
+  EXPECT_FALSE(storage::SaveDatabase(db_, data_).ok());
+  inj.Reset();
+
+  Database loaded;
+  ASSERT_TRUE(storage::LoadDatabase(&loaded, data_).ok());
+  EXPECT_EQ(Snapshot(loaded), before);  // checksum-clean previous state
+}
+
+TEST_F(CrashSafePersistenceTest, SaveDiesAtCatalogCommitKeepsPreviousState) {
+  ASSERT_TRUE(storage::SaveDatabase(db_, data_).ok());
+  std::string before = Snapshot(db_);
+
+  // One table: rename #0 is the data file, rename #1 is the catalog — the
+  // commit point. The new-generation data file lands, but the catalog still
+  // references the old one.
+  Mutate();
+  FaultInjector& inj = FaultInjector::Instance();
+  ASSERT_TRUE(inj.ConfigureFromSpec("fs.rename=after:1,times:1").ok());
+  inj.Enable(42);
+  EXPECT_FALSE(storage::SaveDatabase(db_, data_).ok());
+  inj.Reset();
+
+  Database loaded;
+  ASSERT_TRUE(storage::LoadDatabase(&loaded, data_).ok());
+  EXPECT_EQ(Snapshot(loaded), before);
+}
+
+TEST_F(CrashSafePersistenceTest, RewriteAdvancesGenerationAndCollectsOld) {
+  ASSERT_TRUE(storage::SaveDatabase(db_, data_).ok());
+  EXPECT_TRUE(FileExists(data_ + "/items.tbl"));
+
+  Mutate();
+  ASSERT_TRUE(storage::SaveDatabase(db_, data_).ok());
+  EXPECT_TRUE(FileExists(data_ + "/items.g2.tbl"));
+  EXPECT_FALSE(FileExists(data_ + "/items.tbl"));  // old generation GC'd
+
+  Database loaded;
+  ASSERT_TRUE(storage::LoadDatabase(&loaded, data_).ok());
+  EXPECT_EQ(Snapshot(loaded), Snapshot(db_));
+}
+
+TEST_F(CrashSafePersistenceTest, CorruptDataFileIsReportedWithTableName) {
+  ASSERT_TRUE(storage::SaveDatabase(db_, data_).ok());
+  auto payload = ReadFileToString(data_ + "/items.tbl");
+  ASSERT_TRUE(payload.ok());
+  ASSERT_GE(payload->size(), 8u);
+  (*payload)[payload->size() / 2] ^= 0x5A;  // flip one byte mid-payload
+  ASSERT_TRUE(WriteStringToFile(data_ + "/items.tbl", *payload).ok());
+
+  Database loaded;
+  Status s = storage::LoadDatabase(&loaded, data_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("items"), std::string::npos);
+  EXPECT_NE(s.message().find("checksum mismatch"), std::string::npos);
+}
+
+TEST_F(CrashSafePersistenceTest, TruncatedDataFileIsReported) {
+  ASSERT_TRUE(storage::SaveDatabase(db_, data_).ok());
+  auto payload = ReadFileToString(data_ + "/items.tbl");
+  ASSERT_TRUE(payload.ok());
+
+  // Shorter than the CRC trailer itself.
+  ASSERT_TRUE(WriteStringToFile(data_ + "/items.tbl", "xy").ok());
+  Database loaded1;
+  Status s = storage::LoadDatabase(&loaded1, data_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("items"), std::string::npos);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+
+  // Tail chopped off: the trailer no longer matches the content.
+  ASSERT_TRUE(WriteStringToFile(data_ + "/items.tbl",
+                                payload->substr(0, payload->size() - 20))
+                  .ok());
+  Database loaded2;
+  s = storage::LoadDatabase(&loaded2, data_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_NE(s.message().find("items"), std::string::npos);
+}
+
+TEST_F(CrashSafePersistenceTest, MissingDataFileIsNotFound) {
+  ASSERT_TRUE(storage::SaveDatabase(db_, data_).ok());
+  ASSERT_TRUE(RemoveAll(data_ + "/items.tbl").ok());
+  Database loaded;
+  Status s = storage::LoadDatabase(&loaded, data_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("items"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Frame guard: a forged length prefix must be rejected up front, never used
+// as an allocation size.
+// ---------------------------------------------------------------------------
+
+TEST(FrameGuardTest, RecvFrameRejectsForgedGiantLengthPrefix) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // 0xC0000000 = 3 GiB, little-endian on the wire.
+  const unsigned char prefix[4] = {0x00, 0x00, 0x00, 0xC0};
+  ASSERT_EQ(::send(fds[0], prefix, sizeof(prefix), 0), 4);
+  auto got = net::RecvFrame(fds[1]);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(net::IsOversizedFrameError(got.status()));
+  EXPECT_NE(got.status().message().find("oversized frame"), std::string::npos);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FrameGuardTest, SendFrameRefusesOversizedPayload) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string big(static_cast<size_t>(net::kMaxFrameBytes) + 1, 'x');
+  Status s = net::SendFrame(fds[0], big);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FrameGuardTest, ServerAnswersForgedPrefixWithErrorThenDrops) {
+  auto dir = MakeTempDir("ldv_frame_");
+  ASSERT_TRUE(dir.ok());
+  Database db;
+  net::EngineHandle engine(&db);
+  net::DbServer server(&engine, *dir + "/db.sock");
+  ASSERT_TRUE(server.Start().ok());
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::string path = server.socket_path();
+  ASSERT_LT(path.size(), sizeof(addr.sun_path));
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  const unsigned char prefix[4] = {0x00, 0x00, 0x00, 0xC0};  // 3 GiB claim
+  ASSERT_EQ(::send(fd, prefix, sizeof(prefix), 0), 4);
+  auto response = net::RecvFrame(fd);
+  ASSERT_TRUE(response.ok());  // the server still answered
+  auto decoded = net::DecodeResponse(*response);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("oversized frame"),
+            std::string::npos);
+  // The stream cannot be resynchronized, so the server then hangs up.
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+  server.Stop();
+  ASSERT_TRUE(RemoveAll(*dir).ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end resilience: an audited workload over a faulty socket completes
+// through the retrying client and produces exactly the fault-free results.
+// ---------------------------------------------------------------------------
+
+class FaultedAuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("ldv_fault_e2e_");
+    ASSERT_TRUE(dir.ok());
+    base_ = *dir;
+    ASSERT_TRUE(MakeDirs(base_ + "/sandbox").ok());
+  }
+
+  void TearDown() override {
+    FaultInjector::Instance().Reset();
+    ASSERT_TRUE(RemoveAll(base_).ok());
+  }
+
+  static void Populate(Database* db) {
+    auto items = db->CreateTable("items", storage::Schema({
+                                              {"id", ValueType::kInt64},
+                                              {"val", ValueType::kInt64},
+                                              {"tag", ValueType::kString},
+                                          }));
+    ASSERT_TRUE(items.ok());
+    int64_t seq = db->NextStatementSeq();
+    for (int i = 1; i <= 20; ++i) {
+      ASSERT_TRUE((*items)
+                      ->Insert({Value::Int(i), Value::Int(i * 7 % 100),
+                                Value::Str("pre")},
+                               seq)
+                      .ok());
+    }
+  }
+
+  /// 200-statement deterministic workload mixing DML and fingerprinted
+  /// queries.
+  static AppFn Workload(uint64_t* fingerprint_out) {
+    return [fingerprint_out](AppEnv& env) -> Status {
+      os::ProcessContext& proc = env.root_process();
+      LDV_ASSIGN_OR_RETURN(net::DbClient * db, env.OpenDbConnection(proc));
+      Rng rng(0xAB5EED);
+      uint64_t fp = 0;
+      for (int i = 0; i < 200; ++i) {
+        int64_t choice = rng.Uniform(0, 3);
+        if (choice == 0) {
+          LDV_RETURN_IF_ERROR(
+              db->Query(StrFormat("INSERT INTO items VALUES (%lld, %lld, 'w')",
+                                  static_cast<long long>(1000 + i),
+                                  static_cast<long long>(rng.Uniform(0, 500))))
+                  .status());
+        } else if (choice == 1) {
+          LDV_RETURN_IF_ERROR(
+              db->Query(StrFormat(
+                            "UPDATE items SET val = val + 3 WHERE id = %lld",
+                            static_cast<long long>(rng.Uniform(1, 20))))
+                  .status());
+        } else {
+          int64_t lo = rng.Uniform(0, 80);
+          LDV_ASSIGN_OR_RETURN(
+              exec::ResultSet r,
+              db->Query(StrFormat(
+                  "SELECT id, val FROM items WHERE val BETWEEN %lld AND %lld",
+                  static_cast<long long>(lo), static_cast<long long>(lo + 30))));
+          fp ^= r.Fingerprint() + static_cast<uint64_t>(i);
+        }
+      }
+      if (fingerprint_out != nullptr) *fingerprint_out = fp;
+      return Status::Ok();
+    };
+  }
+
+  /// Socket-backed audit of Workload against a fresh database, optionally
+  /// under an armed fault spec. Faults are disarmed before the server stops.
+  void RunAudit(const std::string& name, const std::string& fault_spec,
+                uint64_t* fp) {
+    Database db;
+    Populate(&db);
+    net::EngineHandle engine(&db);
+    net::DbServer server(&engine, base_ + "/" + name + ".sock");
+    ASSERT_TRUE(server.Start().ok());
+
+    AuditOptions options;
+    options.mode = PackageMode::kServerIncluded;
+    options.package_dir = base_ + "/packages/" + name;
+    options.sandbox_root = base_ + "/sandbox";
+    options.db_socket_path = server.socket_path();
+
+    FaultInjector& inj = FaultInjector::Instance();
+    if (!fault_spec.empty()) {
+      ASSERT_TRUE(inj.ConfigureFromSpec(fault_spec).ok());
+      inj.Enable(0xD15EA5E);
+    }
+    Status run_status;
+    int64_t injected = 0;
+    {
+      Auditor auditor(&db, options);
+      auto report = auditor.Run(Workload(fp));
+      run_status = report.ok() ? Status::Ok() : report.status();
+    }
+    injected =
+        inj.InjectedCount("net.send") + inj.InjectedCount("net.recv");
+    inj.Reset();
+    server.Stop();
+    ASSERT_TRUE(run_status.ok()) << run_status.ToString();
+    if (!fault_spec.empty()) {
+      EXPECT_GT(injected, 0) << "fault spec armed but nothing fired";
+    }
+  }
+
+  std::string base_;
+};
+
+TEST_F(FaultedAuditTest, AuditedWorkloadSurvivesSocketFaultStorm) {
+  uint64_t clean_fp = 0;
+  RunAudit("clean", "", &clean_fp);
+
+  uint64_t fault_fp = 1;
+  RunAudit("fault", "net.send=p:0.3;net.recv=p:0.3", &fault_fp);
+  EXPECT_EQ(fault_fp, clean_fp);
+
+  // The package audited under fire replays (fault-free) to the same results.
+  ReplayOptions options;
+  options.package_dir = base_ + "/packages/fault";
+  options.scratch_dir = base_ + "/scratch";
+  auto replayer = Replayer::Open(options);
+  ASSERT_TRUE(replayer.ok()) << replayer.status().ToString();
+  uint64_t replay_fp = 2;
+  auto report = (*replayer)->Run(Workload(&replay_fp));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(replay_fp, clean_fp);
+}
+
+TEST_F(FaultedAuditTest, RetryingClientCompletesUnderFaultStorm) {
+  Database db;
+  Populate(&db);
+  net::EngineHandle engine(&db);
+  net::DbServer server(&engine, base_ + "/storm.sock");
+  ASSERT_TRUE(server.Start().ok());
+
+  FaultInjector& inj = FaultInjector::Instance();
+  ASSERT_TRUE(inj.ConfigureFromSpec("net.send=p:0.3;net.recv=p:0.3").ok());
+  inj.Enable(7);
+
+  auto client = net::RetryingDbClient::ForSocket(server.socket_path());
+  for (int i = 0; i < 50; ++i) {
+    auto r = client->Query("SELECT count(*) FROM items");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows[0][0].AsInt(), 20);
+  }
+  EXPECT_GT(client->attempts(), 50);  // some attempts were retries
+  EXPECT_GT(client->reconnects(), 0);
+
+  inj.Reset();
+  server.Stop();
+}
+
+TEST_F(FaultedAuditTest, EngineErrorsAreNotRetried) {
+  Database db;
+  Populate(&db);
+  net::EngineHandle engine(&db);
+  net::DbServer server(&engine, base_ + "/pass.sock");
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = net::RetryingDbClient::ForSocket(server.socket_path());
+  auto r = client->Query("SELECT * FROM no_such_table");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client->attempts(), 1);  // engine errors pass through untouched
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ldv

@@ -131,7 +131,8 @@ TEST(SerdeTest, TruncationIsAnError) {
   BufferWriter w;
   w.PutString("abcdef");
   std::string data = w.TakeData();
-  BufferReader r(data.substr(0, 3));
+  const std::string truncated = data.substr(0, 3);
+  BufferReader r(truncated);
   EXPECT_FALSE(r.GetString().ok());
   BufferReader r2("");
   EXPECT_FALSE(r2.GetU64().ok());

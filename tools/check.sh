@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build and run the full test suite twice — once
+# plain, once instrumented with AddressSanitizer + UndefinedBehaviorSanitizer
+# (see the LDV_SANITIZE option in the top-level CMakeLists.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== asan+ubsan build =="
+cmake -B build-san -S . -DLDV_SANITIZE=address,undefined >/dev/null
+cmake --build build-san -j
+(cd build-san && ctest --output-on-failure -j)
+
+echo "check.sh: plain and sanitizer suites both passed"

@@ -3,10 +3,18 @@
 // package inspection and CDE-style ptrace packaging of real commands.
 //
 //   ldv audit   --mode MODE --query Qx-y --out DIR [--sf SF] [--seed N]
+//               [--db-socket PATH] [--retries N] [--retry-deadline-ms N]
+//               [--fault SPEC] [--fault-seed N]
 //   ldv replay  --package DIR --query Qx-y [--sf SF] [--seed N]
 //   ldv inspect --package DIR
 //   ldv trace-dot --package DIR
 //   ldv ptrace  --out DIR -- <command> [args...]
+//
+// `--db-socket` audits over a live DB server socket (start one with
+// ldv_server); the connection is wrapped in the retrying client, so the
+// audit survives transient transport failures. `--fault` arms the in-process
+// fault injector (spec grammar in common/fault.h), e.g. for rehearsing a
+// flaky-network audit: --fault "net.send=p:0.2;net.recv=p:0.2".
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "ldv/auditor.h"
 #include "ldv/packager.h"
 #include "ldv/replayer.h"
@@ -39,6 +48,8 @@ int Usage() {
       "usage:\n"
       "  ldv audit   --mode server-included|server-excluded|ptu|vm-image\n"
       "              --query Q1-1..Q4-5 --out DIR [--sf SF] [--seed N]\n"
+      "              [--db-socket PATH] [--retries N]\n"
+      "              [--retry-deadline-ms N] [--fault SPEC] [--fault-seed N]\n"
       "  ldv replay  --package DIR --query Qx-y [--sf SF] [--seed N]\n"
       "  ldv inspect --package DIR\n"
       "  ldv trace-dot --package DIR\n"
@@ -65,6 +76,24 @@ Flags ParseFlags(int argc, char** argv, int start) {
     }
   }
   return flags;
+}
+
+/// Arms the process-wide fault injector from --fault/--fault-seed. Returns
+/// non-OK on a malformed spec.
+ldv::Status ArmFaultsFromFlags(const Flags& flags) {
+  if (!flags.named.count("fault")) return ldv::Status::Ok();
+  ldv::FaultInjector& injector = ldv::FaultInjector::Instance();
+  LDV_RETURN_IF_ERROR(injector.ConfigureFromSpec(flags.named.at("fault")));
+  uint64_t fault_seed =
+      flags.named.count("fault-seed")
+          ? static_cast<uint64_t>(
+                std::atoll(flags.named.at("fault-seed").c_str()))
+          : 42;
+  injector.Enable(fault_seed);
+  std::printf("ldv: fault injection armed (%s, seed=%llu)\n",
+              flags.named.at("fault").c_str(),
+              static_cast<unsigned long long>(fault_seed));
+  return ldv::Status::Ok();
 }
 
 ldv::tpch::AppOptions MakeAppOptions(const ldv::tpch::QuerySpec& query,
@@ -117,6 +146,18 @@ int CmdAudit(const Flags& flags) {
   options.package_dir = flags.named.at("out");
   options.sandbox_root = options.package_dir + ".sandbox";
   options.server_binary_path = ldv::FindLdvServerBinary();
+  if (flags.named.count("db-socket")) {
+    options.db_socket_path = flags.named.at("db-socket");
+  }
+  if (flags.named.count("retries")) {
+    options.db_retry.max_attempts = std::atoi(flags.named.at("retries").c_str());
+  }
+  if (flags.named.count("retry-deadline-ms")) {
+    options.db_retry.request_deadline_micros =
+        std::atoll(flags.named.at("retry-deadline-ms").c_str()) * 1000;
+  }
+  ldv::Status armed = ArmFaultsFromFlags(flags);
+  if (!armed.ok()) return Fail(armed);
   ldv::Status made = ldv::MakeDirs(options.sandbox_root);
   if (!made.ok()) return Fail(made);
 

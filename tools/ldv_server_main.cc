@@ -5,9 +5,15 @@
 //
 // Usage:
 //   ldv_server --socket /tmp/ldv.sock [--data DIR] [--tpch SF] [--seed N]
+//              [--max-conns N] [--io-timeout-ms N]
+//              [--fault SPEC] [--fault-seed N]
 //
-//   --data DIR   load (and on shutdown save) the native data files in DIR
-//   --tpch SF    populate a fresh TPC-H database at scale factor SF
+//   --data DIR        load (and on shutdown save) the native data files in DIR
+//   --tpch SF         populate a fresh TPC-H database at scale factor SF
+//   --max-conns N     refuse connections past N with a protocol error
+//   --io-timeout-ms N per-connection socket send/recv timeout
+//   --fault SPEC      arm the fault injector, e.g. "net.send=p:0.1;net.recv=p:0.1"
+//   --fault-seed N    seed of the injector's deterministic streams
 
 #include <signal.h>
 
@@ -17,6 +23,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "net/db_server.h"
 #include "storage/persistence.h"
@@ -39,8 +46,11 @@ int Fail(const ldv::Status& status) {
 int main(int argc, char** argv) {
   std::string socket_path = "/tmp/ldv.sock";
   std::string data_dir;
+  std::string fault_spec;
   double tpch_sf = 0;
   uint64_t seed = 42;
+  uint64_t fault_seed = 42;
+  ldv::net::DbServerOptions server_options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -54,15 +64,34 @@ int main(int argc, char** argv) {
       tpch_sf = std::atof(next());
     } else if (arg == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--max-conns") {
+      server_options.max_connections = std::atoi(next());
+    } else if (arg == "--io-timeout-ms") {
+      server_options.io_timeout_micros = std::atoll(next()) * 1000;
+    } else if (arg == "--fault") {
+      fault_spec = next();
+    } else if (arg == "--fault-seed") {
+      fault_seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ldv_server --socket PATH [--data DIR] [--tpch SF] "
-          "[--seed N]\n");
+          "[--seed N] [--max-conns N] [--io-timeout-ms N] [--fault SPEC] "
+          "[--fault-seed N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "ldv_server: unknown flag %s\n", arg.c_str());
       return 2;
     }
+  }
+
+  if (!fault_spec.empty()) {
+    ldv::FaultInjector& injector = ldv::FaultInjector::Instance();
+    ldv::Status configured = injector.ConfigureFromSpec(fault_spec);
+    if (!configured.ok()) return Fail(configured);
+    injector.Enable(fault_seed);
+    std::printf("ldv_server: fault injection armed (%s, seed=%llu)\n",
+                fault_spec.c_str(),
+                static_cast<unsigned long long>(fault_seed));
   }
 
   ldv::storage::Database db;
@@ -82,7 +111,7 @@ int main(int argc, char** argv) {
   }
 
   ldv::net::EngineHandle engine(&db);
-  ldv::net::DbServer server(&engine, socket_path);
+  ldv::net::DbServer server(&engine, socket_path, server_options);
   ldv::Status started = server.Start();
   if (!started.ok()) return Fail(started);
   std::printf("ldv_server: listening on %s\n", socket_path.c_str());
@@ -94,6 +123,9 @@ int main(int argc, char** argv) {
     nanosleep(&ts, nullptr);
   }
   server.Stop();
+  // Saves must not be sabotaged by an armed injector: the data files are the
+  // durable state the next start loads.
+  ldv::FaultInjector::Instance().Disable();
   if (!data_dir.empty()) {
     ldv::Status saved = ldv::storage::SaveDatabase(db, data_dir);
     if (!saved.ok()) return Fail(saved);
