@@ -14,6 +14,7 @@
 #include "ldv/auditor.h"
 #include "ldv/replayer.h"
 #include "ldv/vm_image_model.h"
+#include "obs/metrics.h"
 #include "tpch/app.h"
 #include "tpch/generator.h"
 #include "tpch/queries.h"
@@ -75,6 +76,31 @@ inline tpch::AppOptions MakeAppOptions(const tpch::QuerySpec& query,
 
 inline std::string BenchServerBinary(const std::string& workdir);
 
+/// RAII: snapshots the global metrics registry on construction and prints
+/// the per-metric delta on destruction, so every benchmark cell reports what
+/// the run actually did (statements audited, retries, fault injections, ...).
+class MetricsDelta {
+ public:
+  explicit MetricsDelta(std::string label)
+      : label_(std::move(label)),
+        before_(obs::MetricsRegistry::Global().Snapshot()) {}
+
+  MetricsDelta(const MetricsDelta&) = delete;
+  MetricsDelta& operator=(const MetricsDelta&) = delete;
+
+  ~MetricsDelta() {
+    std::string report =
+        obs::MetricsRegistry::Global().Snapshot().DeltaReport(before_);
+    if (!report.empty()) {
+      std::printf("metrics delta [%s]:\n%s", label_.c_str(), report.c_str());
+    }
+  }
+
+ private:
+  std::string label_;
+  obs::MetricsSnapshot before_;
+};
+
 /// Runs audit + replay of the experiment app for one query under one mode.
 /// Fails loudly (aborts) on any error or on replay divergence — a benchmark
 /// must not silently measure a broken pipeline.
@@ -95,6 +121,7 @@ inline RunResult RunExperiment(PackageMode mode, const tpch::QuerySpec& query,
 
   std::string name =
       query.id + "_" + std::string(PackageModeName(mode));
+  MetricsDelta metrics_delta(name);
   AuditOptions audit;
   audit.mode = mode;
   audit.package_dir = workdir + "/pkg_" + name;
@@ -167,6 +194,7 @@ inline tpch::StepTimings RunUnaudited(const tpch::QuerySpec& query,
   };
 
   std::string sandbox = workdir + "/plain_" + query.id;
+  MetricsDelta metrics_delta("plain_" + query.id);
   LDV_CHECK_OK(MakeDirs(sandbox));
   PlainEnv env(&engine, sandbox);
   tpch::StepTimings timings;

@@ -221,6 +221,7 @@ bench/CMakeFiles/bench_fig9_package_size.dir/bench_fig9_package_size.cc.o: \
  /root/repo/src/storage/database.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/table.h \
+ /root/repo/src/obs/profile.h /root/repo/src/common/json.h \
  /root/repo/src/ldv/app.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
@@ -232,6 +233,7 @@ bench/CMakeFiles/bench_fig9_package_size.dir/bench_fig9_package_size.cc.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/protocol.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
  /root/repo/src/os/sim_process.h /root/repo/src/os/vfs.h \
  /root/repo/src/ldv/manifest.h /root/repo/src/net/retrying_db_client.h \
  /root/repo/src/util/rng.h /root/repo/src/trace/graph.h \

@@ -202,9 +202,6 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/exec/executor.h \
- /root/repo/src/common/result.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/status.h /root/repo/src/exec/operators.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -218,13 +215,21 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/common/result.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/common/status.h /root/repo/src/exec/operators.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/exec/expression.h /root/repo/src/sql/ast.h \
  /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
  /root/repo/src/util/serde.h /root/repo/src/storage/database.h \
- /root/repo/src/storage/table.h /root/repo/src/net/protocol.h \
+ /root/repo/src/storage/table.h /root/repo/src/obs/profile.h \
+ /root/repo/src/common/json.h /root/repo/src/net/protocol.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/span.h \
  /root/repo/src/sql/parser.h /root/repo/src/tpch/generator.h \
  /root/repo/src/tpch/queries.h /root/repo/src/trace/inference.h \
  /root/repo/src/trace/graph.h /root/repo/src/os/sim_process.h \

@@ -199,26 +199,30 @@ bench/CMakeFiles/bench_table2_selectivity.dir/bench_table2_selectivity.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/result.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/json.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/status.h /root/repo/src/exec/executor.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/exec/operators.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/exec/operators.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/exec/expression.h \
- /root/repo/src/sql/ast.h /root/repo/src/storage/schema.h \
- /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
- /root/repo/src/storage/database.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/table.h \
- /root/repo/src/net/protocol.h /root/repo/src/tpch/generator.h \
+ /root/repo/src/exec/expression.h /root/repo/src/sql/ast.h \
+ /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
+ /root/repo/src/util/serde.h /root/repo/src/storage/database.h \
+ /root/repo/src/storage/table.h /root/repo/src/obs/profile.h \
+ /root/repo/src/net/protocol.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /root/repo/src/tpch/generator.h \
  /root/repo/src/tpch/queries.h /root/repo/bench/harness.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \

@@ -218,22 +218,24 @@ src/CMakeFiles/ldv_core.dir/ldv/auditing_db_client.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/json.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/exec/executor.h \
  /root/repo/src/exec/operators.h /root/repo/src/exec/expression.h \
  /root/repo/src/sql/ast.h /root/repo/src/storage/schema.h \
  /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
- /root/repo/src/storage/database.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/table.h \
- /root/repo/src/net/protocol.h /root/repo/src/os/sim_process.h \
- /root/repo/src/common/clock.h /root/repo/src/os/vfs.h \
- /root/repo/src/ldv/auditor.h /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
+ /root/repo/src/obs/profile.h /root/repo/src/net/protocol.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /root/repo/src/os/sim_process.h /root/repo/src/common/clock.h \
+ /root/repo/src/os/vfs.h /root/repo/src/ldv/auditor.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/ldv/manifest.h \
  /root/repo/src/net/retrying_db_client.h /root/repo/src/util/rng.h \
  /root/repo/src/trace/graph.h /root/repo/src/trace/model.h \
- /root/repo/src/sql/parser.h
+ /root/repo/src/obs/span.h /root/repo/src/sql/parser.h

@@ -219,13 +219,15 @@ src/CMakeFiles/ldv_core.dir/ldv/manifest.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/json.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/exec/executor.h \
  /root/repo/src/exec/operators.h /root/repo/src/exec/expression.h \
  /root/repo/src/sql/ast.h /root/repo/src/storage/schema.h \
  /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
- /root/repo/src/storage/database.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/table.h \
- /root/repo/src/net/protocol.h /root/repo/src/os/sim_process.h \
- /root/repo/src/common/clock.h /root/repo/src/os/vfs.h \
- /root/repo/src/common/json.h /root/repo/src/util/fsutil.h
+ /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
+ /root/repo/src/obs/profile.h /root/repo/src/net/protocol.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /root/repo/src/os/sim_process.h /root/repo/src/common/clock.h \
+ /root/repo/src/os/vfs.h /root/repo/src/util/fsutil.h

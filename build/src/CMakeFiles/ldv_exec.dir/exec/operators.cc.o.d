@@ -219,4 +219,6 @@ src/CMakeFiles/ldv_exec.dir/exec/operators.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/clock.h /root/repo/src/obs/span.h \
+ /usr/include/c++/12/atomic /root/repo/src/common/json.h \
  /root/repo/src/util/strings.h

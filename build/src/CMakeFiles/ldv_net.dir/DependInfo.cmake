@@ -19,6 +19,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/ldv_exec.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/ldv_sql.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/ldv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/ldv_util.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/ldv_common.dir/DependInfo.cmake"
   )

@@ -215,9 +215,9 @@ src/CMakeFiles/ldv_net.dir/net/db_server.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/status.h \
- /root/repo/src/net/db_client.h /root/repo/src/common/result.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional \
+ /root/repo/src/net/db_client.h /root/repo/src/common/json.h \
+ /root/repo/src/common/result.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/exec/executor.h /root/repo/src/exec/operators.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -226,7 +226,8 @@ src/CMakeFiles/ldv_net.dir/net/db_server.cc.o: \
  /root/repo/src/exec/expression.h /root/repo/src/sql/ast.h \
  /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
  /root/repo/src/util/serde.h /root/repo/src/storage/database.h \
- /root/repo/src/storage/table.h /root/repo/src/net/protocol.h \
+ /root/repo/src/storage/table.h /root/repo/src/obs/profile.h \
+ /root/repo/src/net/protocol.h /root/repo/src/obs/metrics.h \
  /usr/include/string.h /usr/include/strings.h \
  /usr/include/x86_64-linux-gnu/sys/socket.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_iovec.h \
@@ -244,7 +245,7 @@ src/CMakeFiles/ldv_net.dir/net/db_server.cc.o: \
  /usr/include/x86_64-linux-gnu/asm/sockios.h \
  /usr/include/asm-generic/sockios.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_osockaddr.h \
- /usr/include/x86_64-linux-gnu/sys/un.h /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/x86_64-linux-gnu/sys/un.h /root/repo/src/common/clock.h \
+ /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/span.h

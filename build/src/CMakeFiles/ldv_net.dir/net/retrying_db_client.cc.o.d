@@ -212,26 +212,27 @@ src/CMakeFiles/ldv_net.dir/net/retrying_db_client.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/result.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/json.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /root/repo/src/common/status.h \
  /root/repo/src/exec/executor.h /root/repo/src/exec/operators.h \
  /root/repo/src/exec/expression.h /root/repo/src/sql/ast.h \
  /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
  /root/repo/src/util/serde.h /root/repo/src/storage/database.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/table.h \
- /root/repo/src/net/protocol.h /root/repo/src/util/rng.h \
+ /root/repo/src/storage/table.h /root/repo/src/obs/profile.h \
+ /root/repo/src/net/protocol.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/atomic /root/repo/src/util/rng.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/metrics.cc" "src/CMakeFiles/ldv_obs.dir/obs/metrics.cc.o" "gcc" "src/CMakeFiles/ldv_obs.dir/obs/metrics.cc.o.d"
+  "/root/repo/src/obs/profile.cc" "src/CMakeFiles/ldv_obs.dir/obs/profile.cc.o" "gcc" "src/CMakeFiles/ldv_obs.dir/obs/profile.cc.o.d"
+  "/root/repo/src/obs/span.cc" "src/CMakeFiles/ldv_obs.dir/obs/span.cc.o" "gcc" "src/CMakeFiles/ldv_obs.dir/obs/span.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ldv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ldv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

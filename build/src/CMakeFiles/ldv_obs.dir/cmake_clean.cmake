@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldv_obs.dir/obs/metrics.cc.o"
+  "CMakeFiles/ldv_obs.dir/obs/metrics.cc.o.d"
+  "CMakeFiles/ldv_obs.dir/obs/profile.cc.o"
+  "CMakeFiles/ldv_obs.dir/obs/profile.cc.o.d"
+  "CMakeFiles/ldv_obs.dir/obs/span.cc.o"
+  "CMakeFiles/ldv_obs.dir/obs/span.cc.o.d"
+  "libldv_obs.a"
+  "libldv_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldv_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

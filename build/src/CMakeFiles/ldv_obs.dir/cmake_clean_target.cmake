@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldv_obs.a"
+)

@@ -217,13 +217,16 @@ src/CMakeFiles/ldv_tpch.dir/tpch/app.cc.o: /root/repo/src/tpch/app.cc \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/json.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/exec/executor.h \
  /root/repo/src/exec/operators.h /root/repo/src/exec/expression.h \
  /root/repo/src/sql/ast.h /root/repo/src/storage/schema.h \
  /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
- /root/repo/src/storage/database.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/table.h \
- /root/repo/src/net/protocol.h /root/repo/src/os/sim_process.h \
- /root/repo/src/common/clock.h /root/repo/src/os/vfs.h \
- /root/repo/src/util/rng.h /root/repo/src/util/strings.h
+ /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
+ /root/repo/src/obs/profile.h /root/repo/src/net/protocol.h \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/atomic \
+ /root/repo/src/os/sim_process.h /root/repo/src/common/clock.h \
+ /root/repo/src/os/vfs.h /root/repo/src/util/rng.h \
+ /root/repo/src/util/strings.h

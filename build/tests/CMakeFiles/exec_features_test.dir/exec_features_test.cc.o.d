@@ -298,4 +298,5 @@ tests/CMakeFiles/exec_features_test.dir/exec_features_test.cc.o: \
  /root/repo/src/exec/operators.h /root/repo/src/exec/expression.h \
  /root/repo/src/sql/ast.h /root/repo/src/storage/schema.h \
  /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
- /root/repo/src/storage/database.h /root/repo/src/storage/table.h
+ /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
+ /root/repo/src/obs/profile.h /root/repo/src/common/json.h

@@ -296,12 +296,13 @@ tests/CMakeFiles/manifest_test.dir/manifest_test.cc.o: \
  /root/repo/src/common/result.h /root/repo/src/common/status.h \
  /root/repo/src/net/db_client.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/exec/executor.h \
- /root/repo/src/exec/operators.h /root/repo/src/exec/expression.h \
- /root/repo/src/sql/ast.h /root/repo/src/storage/schema.h \
- /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
- /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
- /root/repo/src/net/protocol.h /root/repo/src/os/sim_process.h \
- /root/repo/src/common/clock.h /root/repo/src/os/vfs.h \
- /root/repo/src/ldv/manifest.h /root/repo/src/ldv/vm_image_model.h \
- /root/repo/src/util/fsutil.h
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/json.h \
+ /root/repo/src/exec/executor.h /root/repo/src/exec/operators.h \
+ /root/repo/src/exec/expression.h /root/repo/src/sql/ast.h \
+ /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
+ /root/repo/src/util/serde.h /root/repo/src/storage/database.h \
+ /root/repo/src/storage/table.h /root/repo/src/obs/profile.h \
+ /root/repo/src/net/protocol.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/os/sim_process.h /root/repo/src/common/clock.h \
+ /root/repo/src/os/vfs.h /root/repo/src/ldv/manifest.h \
+ /root/repo/src/ldv/vm_image_model.h /root/repo/src/util/fsutil.h

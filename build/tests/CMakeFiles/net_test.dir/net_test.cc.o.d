@@ -312,14 +312,16 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/net/db_client.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/result.h \
- /root/repo/src/common/status.h /root/repo/src/exec/executor.h \
- /root/repo/src/exec/operators.h /root/repo/src/exec/expression.h \
- /root/repo/src/sql/ast.h /root/repo/src/storage/schema.h \
- /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
- /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
- /root/repo/src/net/protocol.h /root/repo/src/net/db_server.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/json.h \
+ /root/repo/src/common/result.h /root/repo/src/common/status.h \
+ /root/repo/src/exec/executor.h /root/repo/src/exec/operators.h \
+ /root/repo/src/exec/expression.h /root/repo/src/sql/ast.h \
+ /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
+ /root/repo/src/util/serde.h /root/repo/src/storage/database.h \
+ /root/repo/src/storage/table.h /root/repo/src/obs/profile.h \
+ /root/repo/src/net/protocol.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/net/db_server.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/retrying_db_client.h /root/repo/src/util/rng.h \
- /root/repo/src/util/fsutil.h
+ /root/repo/src/obs/span.h /root/repo/src/util/fsutil.h

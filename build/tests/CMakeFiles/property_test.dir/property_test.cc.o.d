@@ -314,5 +314,6 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/sql/ast.h /root/repo/src/storage/schema.h \
  /root/repo/src/storage/value.h /root/repo/src/util/serde.h \
  /root/repo/src/storage/database.h /root/repo/src/storage/table.h \
+ /root/repo/src/obs/profile.h /root/repo/src/common/json.h \
  /root/repo/src/sql/parser.h /root/repo/src/util/csv.h \
  /root/repo/src/util/rng.h /root/repo/src/util/strings.h

@@ -303,14 +303,15 @@ tests/CMakeFiles/tpch_test.dir/tpch_test.cc.o: \
  /root/repo/src/exec/expression.h /root/repo/src/sql/ast.h \
  /root/repo/src/storage/schema.h /root/repo/src/storage/value.h \
  /root/repo/src/util/serde.h /root/repo/src/storage/database.h \
- /root/repo/src/storage/table.h /root/repo/src/ldv/app.h \
+ /root/repo/src/storage/table.h /root/repo/src/obs/profile.h \
+ /root/repo/src/common/json.h /root/repo/src/ldv/app.h \
  /root/repo/src/net/db_client.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/protocol.h \
- /root/repo/src/os/sim_process.h /root/repo/src/os/vfs.h \
- /root/repo/src/ldv/manifest.h /root/repo/src/net/retrying_db_client.h \
- /root/repo/src/util/rng.h /root/repo/src/trace/graph.h \
- /root/repo/src/trace/model.h /root/repo/src/ldv/replayer.h \
- /root/repo/src/ldv/replay_db_client.h /root/repo/src/tpch/app.h \
- /root/repo/src/tpch/generator.h /root/repo/src/tpch/queries.h \
- /root/repo/src/util/fsutil.h
+ /root/repo/src/obs/metrics.h /root/repo/src/os/sim_process.h \
+ /root/repo/src/os/vfs.h /root/repo/src/ldv/manifest.h \
+ /root/repo/src/net/retrying_db_client.h /root/repo/src/util/rng.h \
+ /root/repo/src/trace/graph.h /root/repo/src/trace/model.h \
+ /root/repo/src/ldv/replayer.h /root/repo/src/ldv/replay_db_client.h \
+ /root/repo/src/tpch/app.h /root/repo/src/tpch/generator.h \
+ /root/repo/src/tpch/queries.h /root/repo/src/util/fsutil.h

@@ -20,5 +20,6 @@ include("/root/repo/build/tests/ldv_audit_replay_test[1]_include.cmake")
 include("/root/repo/build/tests/tpch_test[1]_include.cmake")
 include("/root/repo/build/tests/manifest_test[1]_include.cmake")
 include("/root/repo/build/tests/exec_features_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/replay_log_test[1]_include.cmake")

@@ -183,6 +183,17 @@ int64_t FaultInjector::InjectedCount(const std::string& point) const {
   return it == s->points.end() ? 0 : it->second.injected;
 }
 
+std::vector<FaultPointStats> FaultInjector::PointStats() const {
+  InjectorState* s = GlobalState();
+  std::lock_guard<std::mutex> lock(s->mu);
+  std::vector<FaultPointStats> stats;
+  stats.reserve(s->points.size());
+  for (const auto& [name, state] : s->points) {
+    stats.push_back(FaultPointStats{name, state.calls, state.injected});
+  }
+  return stats;
+}
+
 Status FaultInjector::Check(const char* point) {
   if (!enabled()) return Status::Ok();
   InjectorState* s = GlobalState();

@@ -5,10 +5,19 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
 namespace ldv {
+
+/// Counters for one injection point, as returned by
+/// FaultInjector::PointStats().
+struct FaultPointStats {
+  std::string point;
+  int64_t calls = 0;
+  int64_t injected = 0;
+};
 
 /// Configuration of one named fault-injection point.
 struct FaultPointConfig {
@@ -66,6 +75,11 @@ class FaultInjector {
   int64_t CallCount(const std::string& point) const;
   /// Failures injected at `point` since the last Reset.
   int64_t InjectedCount(const std::string& point) const;
+
+  /// Call/injection counters for every point seen since the last Reset,
+  /// sorted by point name. Lets the observability layer export coverage
+  /// without common/fault depending on it.
+  std::vector<FaultPointStats> PointStats() const;
 
   /// Slow path behind CheckFault: counts the call, applies latency, and
   /// decides whether to inject a failure.

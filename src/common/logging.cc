@@ -10,6 +10,7 @@ namespace ldv {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int64_t (*)()> g_span_id_provider{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -37,6 +38,17 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+int LogThreadOrdinal() {
+  static std::atomic<int> next_ordinal{0};
+  thread_local const int ordinal =
+      next_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void SetLogSpanIdProvider(int64_t (*provider)()) {
+  g_span_id_provider.store(provider, std::memory_order_relaxed);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -45,7 +57,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelName(level) << " t" << LogThreadOrdinal();
+  if (auto* provider = g_span_id_provider.load(std::memory_order_relaxed)) {
+    if (int64_t span_id = provider(); span_id != 0) {
+      stream_ << " s" << span_id;
+    }
+  }
+  stream_ << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

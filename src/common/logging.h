@@ -12,6 +12,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Small dense id for the calling thread (the process's first thread gets 0).
+/// Stable for the thread's lifetime; shown as `tN` in log prefixes so
+/// concurrent connection threads are distinguishable, and reused as the
+/// `tid` in trace events so logs and traces line up.
+int LogThreadOrdinal();
+
+/// Installs a callback returning the active trace span id for the calling
+/// thread (0 = none). When set and non-zero, log prefixes gain `sN`. Pass
+/// nullptr to remove. Installed by obs::TraceRecorder::Enable(); the
+/// indirection keeps common/logging below the observability layer.
+void SetLogSpanIdProvider(int64_t (*provider)());
+
 namespace internal {
 
 /// Stream-style log sink; writes one line to stderr on destruction.

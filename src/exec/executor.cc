@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/clock.h"
+#include "common/logging.h"
 #include "exec/planner.h"
 #include "exec/reenactment.h"
 #include "sql/parser.h"
@@ -57,6 +59,23 @@ bool ExprHasSubquery(const sql::Expr& expr) {
   return false;
 }
 
+/// Copies labels and accumulated OpStats out of an executed plan tree.
+obs::OperatorProfile ProfileFromPlan(const PlanNode& node) {
+  obs::OperatorProfile op;
+  op.label = node.label();
+  op.detail = node.detail();
+  const OpStats& stats = node.stats();
+  op.rows_out = stats.rows_out;
+  op.invocations = stats.invocations;
+  op.wall_nanos = stats.wall_nanos;
+  op.build_nanos = stats.build_nanos;
+  op.probe_nanos = stats.probe_nanos;
+  for (const PlanNode* child : node.children()) {
+    op.children.push_back(ProfileFromPlan(*child));
+  }
+  return op;
+}
+
 bool SelectHasSubquery(const sql::SelectStmt& select) {
   for (const auto& item : select.items) {
     if (ExprHasSubquery(*item.expr)) return true;
@@ -89,6 +108,7 @@ Result<ResultSet> Executor::Execute(std::string_view sql,
 
 Result<ResultSet> Executor::ExecuteParsed(const Statement& stmt,
                                           const ExecOptions& options) {
+  if (stmt.explain) return ExecExplain(stmt, options);
   switch (stmt.kind) {
     case StatementKind::kSelect:
       return ExecSelect(*stmt.select, stmt.provenance, options);
@@ -254,13 +274,22 @@ Result<ResultSet> Executor::ExecSelect(const sql::SelectStmt& select,
   ExecContext ctx;
   ctx.db = db_;
   ctx.track_lineage = provenance;
+  ctx.profile = options.profile;
   ctx.query_id = options.query_id;
   ctx.process_id = options.process_id;
+  const int64_t exec_start = options.profile ? NowNanos() : 0;
   LDV_ASSIGN_OR_RETURN(Batch batch, plan.root->Execute(&ctx));
   ResultSet result;
   result.schema = std::move(plan.output_schema);
   result.rows = std::move(batch.rows);
   result.affected = static_cast<int64_t>(result.rows.size());
+  if (options.profile) {
+    auto profile = std::make_shared<obs::QueryProfile>();
+    profile->root = ProfileFromPlan(*plan.root);
+    profile->total_nanos = NowNanos() - exec_start;
+    profile->rows_returned = static_cast<int64_t>(result.rows.size());
+    result.profile = std::move(profile);
+  }
   if (provenance) {
     result.has_provenance = true;
     result.lineage = std::move(batch.lineage);
@@ -286,6 +315,49 @@ Result<ResultSet> Executor::ExecSelect(const sql::SelectStmt& select,
     result.prov_tuples = CollectProvTuples(ctx, *db_);
   }
   return result;
+}
+
+Result<ResultSet> Executor::ExecExplain(const Statement& stmt,
+                                        const ExecOptions& options) {
+  if (stmt.kind != StatementKind::kSelect) {
+    return Status::NotSupported("EXPLAIN supports SELECT statements only");
+  }
+
+  ResultSet out;
+  out.schema = storage::Schema(
+      {storage::Column{"QUERY PLAN", storage::ValueType::kString}});
+
+  obs::QueryProfile profile;
+  if (stmt.analyze) {
+    ExecOptions profiled = options;
+    profiled.profile = true;
+    LDV_ASSIGN_OR_RETURN(ResultSet executed,
+                         ExecSelect(*stmt.select, stmt.provenance, profiled));
+    LDV_CHECK(executed.profile != nullptr);
+    profile = *executed.profile;
+    out.profile = std::move(executed.profile);
+  } else {
+    // Plain EXPLAIN: plan but do not run the outer query. Uncorrelated
+    // subqueries still execute, since planning needs their values.
+    const sql::SelectStmt* effective = stmt.select.get();
+    std::unique_ptr<sql::SelectStmt> flattened;
+    LineageSet ambient_lineage;
+    std::vector<ProvTupleRecord> ambient;
+    if (SelectHasSubquery(*stmt.select)) {
+      LDV_ASSIGN_OR_RETURN(flattened,
+                           FlattenSelect(*stmt.select, /*provenance=*/false,
+                                         options, &ambient_lineage, &ambient));
+      effective = flattened.get();
+    }
+    LDV_ASSIGN_OR_RETURN(SelectPlan plan, PlanSelect(db_, *effective));
+    profile.root = ProfileFromPlan(*plan.root);
+  }
+
+  for (std::string& line : profile.ToTextLines(stmt.analyze)) {
+    out.rows.push_back({Value::Str(std::move(line))});
+  }
+  out.affected = static_cast<int64_t>(out.rows.size());
+  return out;
 }
 
 Result<ResultSet> Executor::ExecInsert(const sql::InsertStmt& insert,

@@ -1,12 +1,14 @@
 #ifndef LDV_EXEC_EXECUTOR_H_
 #define LDV_EXEC_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "exec/operators.h"
+#include "obs/profile.h"
 #include "sql/ast.h"
 #include "storage/database.h"
 
@@ -46,6 +48,10 @@ struct ResultSet {
   std::vector<DmlRecord> dml;
   int64_t affected = 0;
   bool has_provenance = false;
+  /// Per-operator execution statistics, set when the statement ran with
+  /// ExecOptions::profile (EXPLAIN ANALYZE). Not serialized over the wire;
+  /// remote clients see the rendered QUERY PLAN rows instead.
+  std::shared_ptr<const obs::QueryProfile> profile;
 
   /// Deterministic fingerprint of schema+rows, used by replay equivalence
   /// tests.
@@ -57,6 +63,8 @@ struct ResultSet {
 struct ExecOptions {
   int64_t query_id = 0;
   int64_t process_id = 0;
+  /// Collect per-operator stats and attach a QueryProfile to the result.
+  bool profile = false;
 };
 
 /// The query/DML engine over one Database. Statements carrying the
@@ -78,6 +86,11 @@ class Executor {
  private:
   Result<ResultSet> ExecSelect(const sql::SelectStmt& select, bool provenance,
                                const ExecOptions& options);
+  /// EXPLAIN [ANALYZE] <select>: returns one "QUERY PLAN" text column, one
+  /// row per plan-tree line (Postgres style). ANALYZE executes the query
+  /// with profiling and attaches the structured profile to the result.
+  Result<ResultSet> ExecExplain(const sql::Statement& stmt,
+                                const ExecOptions& options);
   Result<ResultSet> ExecInsert(const sql::InsertStmt& insert, bool provenance,
                                const ExecOptions& options);
   Result<ResultSet> ExecCreateTable(const sql::CreateTableStmt& create);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/clock.h"
+#include "obs/span.h"
 #include "util/strings.h"
 
 namespace ldv::exec {
@@ -12,6 +14,36 @@ using storage::Tuple;
 using storage::TupleVid;
 using storage::Value;
 using storage::ValueType;
+
+// ---------------------------------------------------------------------------
+// PlanNode instrumentation
+// ---------------------------------------------------------------------------
+
+Result<Batch> PlanNode::Execute(ExecContext* ctx) {
+  if (!ctx->profile && !obs::TraceRecorder::enabled()) {
+    return ExecuteImpl(ctx);
+  }
+  return ExecuteInstrumented(ctx);
+}
+
+Result<Batch> PlanNode::ExecuteInstrumented(ExecContext* ctx) {
+  obs::Span span(label(), "exec");
+  if (span.recording()) {
+    std::string d = detail();
+    if (!d.empty()) span.AddArg("detail", d);
+  }
+  const int64_t start = NowNanos();
+  Result<Batch> result = ExecuteImpl(ctx);
+  stats_.wall_nanos += NowNanos() - start;
+  ++stats_.invocations;
+  if (result.ok()) {
+    stats_.rows_out += static_cast<int64_t>(result->rows.size());
+    if (span.recording()) {
+      span.AddArg("rows_out", std::to_string(result->rows.size()));
+    }
+  }
+  return result;
+}
 
 void MergeLineage(LineageSet* dst, const LineageSet& src) {
   if (src.empty()) return;
@@ -28,7 +60,7 @@ void MergeLineage(LineageSet* dst, const LineageSet& src) {
 
 ScanNode::ScanNode(storage::Table* table, const std::string& alias,
                    bool expose_prov_columns)
-    : table_(table), expose_prov_columns_(expose_prov_columns) {
+    : table_(table), alias_(alias), expose_prov_columns_(expose_prov_columns) {
   for (const storage::Column& c : table->schema().columns()) {
     scope_.Add({alias, c.name, c.type, /*hidden=*/false});
   }
@@ -69,7 +101,14 @@ Status ScanNode::EmitRow(ExecContext* ctx, RowVersion* row, Batch* out) {
   return Status::Ok();
 }
 
-Result<Batch> ScanNode::Execute(ExecContext* ctx) {
+std::string ScanNode::detail() const {
+  std::string d = table_->name();
+  if (!alias_.empty() && alias_ != table_->name()) d += " AS " + alias_;
+  if (has_index_probe()) d += " [index probe]";
+  return d;
+}
+
+Result<Batch> ScanNode::ExecuteImpl(ExecContext* ctx) {
   Batch out;
   if (has_index_probe() && table_->HasIndexOn(probe_column_)) {
     // Point lookup through the hash index; rowid order keeps emission order
@@ -104,10 +143,22 @@ JoinNode::JoinNode(std::unique_ptr<PlanNode> left,
   scope_ = Scope::Concat(left_->scope(), right_->scope());
 }
 
-Result<Batch> JoinNode::Execute(ExecContext* ctx) {
+std::string JoinNode::detail() const {
+  std::string d;
+  if (left_outer_) d = "left outer";
+  if (!key_pairs_.empty()) {
+    if (!d.empty()) d += ", ";
+    d += std::to_string(key_pairs_.size()) + " key" +
+         (key_pairs_.size() == 1 ? "" : "s");
+  }
+  return d;
+}
+
+Result<Batch> JoinNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch left, left_->Execute(ctx));
   LDV_ASSIGN_OR_RETURN(Batch right, right_->Execute(ctx));
   const bool lineage = ctx->track_lineage;
+  const bool timing = ctx->profile;
   const size_t right_width =
       static_cast<size_t>(right_->scope().num_columns());
   Batch out;
@@ -161,9 +212,12 @@ Result<Batch> JoinNode::Execute(ExecContext* ctx) {
     }
     return key;
   };
+  const int64_t build_start = timing ? NowNanos() : 0;
   for (size_t ri = 0; ri < right.rows.size(); ++ri) {
     build.emplace(storage::HashTuple(key_of(right.rows[ri], true)), ri);
   }
+  const int64_t probe_start = timing ? NowNanos() : 0;
+  if (timing) stats_.build_nanos += probe_start - build_start;
   for (size_t li = 0; li < left.rows.size(); ++li) {
     Tuple probe = key_of(left.rows[li], false);
     bool null_key = false;
@@ -195,6 +249,7 @@ Result<Batch> JoinNode::Execute(ExecContext* ctx) {
     }
     if (left_outer_ && !matched) emit_unmatched(li);
   }
+  if (timing) stats_.probe_nanos += NowNanos() - probe_start;
   return out;
 }
 
@@ -208,7 +263,7 @@ FilterNode::FilterNode(std::unique_ptr<PlanNode> child,
   scope_ = child_->scope();
 }
 
-Result<Batch> FilterNode::Execute(ExecContext* ctx) {
+Result<Batch> FilterNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
   Batch out;
   for (size_t i = 0; i < in.rows.size(); ++i) {
@@ -233,7 +288,7 @@ ProjectNode::ProjectNode(std::unique_ptr<PlanNode> child,
   }
 }
 
-Result<Batch> ProjectNode::Execute(ExecContext* ctx) {
+Result<Batch> ProjectNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
   Batch out;
   out.rows.reserve(in.rows.size());
@@ -353,7 +408,12 @@ Value Finalize(const AggState& state, const AggregateSpec& spec) {
 
 }  // namespace
 
-Result<Batch> AggregateNode::Execute(ExecContext* ctx) {
+std::string AggregateNode::detail() const {
+  return std::to_string(group_exprs_.size()) + " group keys, " +
+         std::to_string(aggs_.size()) + " aggregates";
+}
+
+Result<Batch> AggregateNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
   const bool lineage = ctx->track_lineage;
   // Group index: key hash -> candidate group ids (chained for collisions).
@@ -434,7 +494,7 @@ DistinctNode::DistinctNode(std::unique_ptr<PlanNode> child)
   scope_ = child_->scope();
 }
 
-Result<Batch> DistinctNode::Execute(ExecContext* ctx) {
+Result<Batch> DistinctNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
   std::unordered_multimap<uint64_t, size_t> seen;  // hash -> out index
   Batch out;
@@ -470,7 +530,13 @@ SortLimitNode::SortLimitNode(std::unique_ptr<PlanNode> child,
   scope_ = child_->scope();
 }
 
-Result<Batch> SortLimitNode::Execute(ExecContext* ctx) {
+std::string SortLimitNode::detail() const {
+  std::string d = std::to_string(keys_.size()) + " sort keys";
+  if (limit_.has_value()) d += ", limit " + std::to_string(*limit_);
+  return d;
+}
+
+Result<Batch> SortLimitNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
   std::vector<size_t> order(in.rows.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;

@@ -29,6 +29,9 @@ struct ExecContext {
   storage::Database* db = nullptr;
   /// Perm-style provenance computation requested for this statement.
   bool track_lineage = false;
+  /// Collect per-operator execution statistics (EXPLAIN ANALYZE). Off by
+  /// default so the instrumentation costs a single branch per operator.
+  bool profile = false;
   /// Identifiers the auditing client assigned (paper §VII-C); stamped into
   /// the prov_usedby / prov_p metadata of every tuple a lineage-tracked scan
   /// reads.
@@ -44,16 +47,52 @@ struct ExecContext {
       prov_tuples;
 };
 
+/// Execution statistics one operator accumulates while profiling or tracing
+/// is on. Plan trees are built per statement, so counts start at zero.
+struct OpStats {
+  int64_t rows_out = 0;
+  int64_t invocations = 0;
+  /// Inclusive wall time (children included), like EXPLAIN ANALYZE.
+  int64_t wall_nanos = 0;
+  /// Hash-join only: time spent building the hash table vs. probing it
+  /// (children excluded). Zero for every other operator.
+  int64_t build_nanos = 0;
+  int64_t probe_nanos = 0;
+};
+
 /// Base class of the materialized operator tree. Execute() returns the full
 /// result; schema()/scope() describe the output layout.
 class PlanNode {
  public:
   virtual ~PlanNode() = default;
-  virtual Result<Batch> Execute(ExecContext* ctx) = 0;
+
+  /// Runs the operator. When neither profiling (ctx->profile) nor tracing
+  /// (obs::TraceRecorder) is active this is a single predicted branch in
+  /// front of the operator logic; otherwise it times the call, accumulates
+  /// `stats()` and emits an "exec" trace span.
+  Result<Batch> Execute(ExecContext* ctx);
+
   const Scope& scope() const { return scope_; }
 
+  /// Operator name shown in EXPLAIN output and trace spans ("HashJoin",
+  /// "Scan", ...).
+  virtual std::string label() const = 0;
+  /// Operator-specific annotation (table name, join keys, ...); may be "".
+  virtual std::string detail() const { return ""; }
+  /// Child operators in plan order, for profile-tree extraction.
+  virtual std::vector<const PlanNode*> children() const { return {}; }
+
+  const OpStats& stats() const { return stats_; }
+
  protected:
+  /// The operator logic; subclasses implement this instead of Execute().
+  virtual Result<Batch> ExecuteImpl(ExecContext* ctx) = 0;
+
   Scope scope_;
+  OpStats stats_;
+
+ private:
+  Result<Batch> ExecuteInstrumented(ExecContext* ctx);
 };
 
 /// Sequential scan with optional pushed-down filter. When lineage tracking
@@ -81,15 +120,20 @@ class ScanNode final : public PlanNode {
   }
   bool has_index_probe() const { return probe_column_ >= 0; }
 
-  Result<Batch> Execute(ExecContext* ctx) override;
-
   bool exposes_prov_columns() const { return expose_prov_columns_; }
   const storage::Table* table() const { return table_; }
+
+  std::string label() const override { return "Scan"; }
+  std::string detail() const override;
+
+ protected:
+  Result<Batch> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   Status EmitRow(ExecContext* ctx, storage::RowVersion* row, Batch* out);
 
   storage::Table* table_;
+  std::string alias_;
   bool expose_prov_columns_;
   std::unique_ptr<BoundExpr> filter_;
   int probe_column_ = -1;
@@ -109,7 +153,16 @@ class JoinNode final : public PlanNode {
     residual_ = std::move(residual);
   }
 
-  Result<Batch> Execute(ExecContext* ctx) override;
+  std::string label() const override {
+    return key_pairs_.empty() ? "NestedLoopJoin" : "HashJoin";
+  }
+  std::string detail() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ protected:
+  Result<Batch> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   std::unique_ptr<PlanNode> left_;
@@ -125,7 +178,14 @@ class FilterNode final : public PlanNode {
  public:
   FilterNode(std::unique_ptr<PlanNode> child,
              std::unique_ptr<BoundExpr> predicate);
-  Result<Batch> Execute(ExecContext* ctx) override;
+
+  std::string label() const override { return "Filter"; }
+  std::vector<const PlanNode*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Result<Batch> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   std::unique_ptr<PlanNode> child_;
@@ -138,7 +198,14 @@ class ProjectNode final : public PlanNode {
   ProjectNode(std::unique_ptr<PlanNode> child,
               std::vector<std::unique_ptr<BoundExpr>> exprs,
               std::vector<std::string> names);
-  Result<Batch> Execute(ExecContext* ctx) override;
+
+  std::string label() const override { return "Project"; }
+  std::vector<const PlanNode*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Result<Batch> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   std::unique_ptr<PlanNode> child_;
@@ -163,7 +230,15 @@ class AggregateNode final : public PlanNode {
   AggregateNode(std::unique_ptr<PlanNode> child,
                 std::vector<std::unique_ptr<BoundExpr>> group_exprs,
                 std::vector<AggregateSpec> aggs);
-  Result<Batch> Execute(ExecContext* ctx) override;
+
+  std::string label() const override { return "Aggregate"; }
+  std::string detail() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Result<Batch> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   std::unique_ptr<PlanNode> child_;
@@ -176,7 +251,14 @@ class AggregateNode final : public PlanNode {
 class DistinctNode final : public PlanNode {
  public:
   explicit DistinctNode(std::unique_ptr<PlanNode> child);
-  Result<Batch> Execute(ExecContext* ctx) override;
+
+  std::string label() const override { return "Distinct"; }
+  std::vector<const PlanNode*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Result<Batch> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   std::unique_ptr<PlanNode> child_;
@@ -191,7 +273,15 @@ class SortLimitNode final : public PlanNode {
   };
   SortLimitNode(std::unique_ptr<PlanNode> child, std::vector<SortKey> keys,
                 std::optional<int64_t> limit);
-  Result<Batch> Execute(ExecContext* ctx) override;
+
+  std::string label() const override { return "SortLimit"; }
+  std::string detail() const override;
+  std::vector<const PlanNode*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Result<Batch> ExecuteImpl(ExecContext* ctx) override;
 
  private:
   std::unique_ptr<PlanNode> child_;

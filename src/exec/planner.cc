@@ -19,7 +19,10 @@ namespace {
 class SingleRowNode final : public PlanNode {
  public:
   SingleRowNode() = default;
-  Result<Batch> Execute(ExecContext* ctx) override {
+  std::string label() const override { return "SingleRow"; }
+
+ protected:
+  Result<Batch> ExecuteImpl(ExecContext* ctx) override {
     Batch out;
     out.rows.emplace_back();
     if (ctx->track_lineage) out.lineage.emplace_back();

@@ -2,6 +2,7 @@
 
 #include "ldv/auditor.h"
 #include "net/protocol.h"
+#include "obs/span.h"
 #include "sql/parser.h"
 
 namespace ldv {
@@ -60,6 +61,16 @@ Result<exec::ResultSet> AuditingDbClient::Execute(
   record.query_id = auditor_->NextQueryId();
   record.sql = request.sql;
   record.kind = parsed.kind;
+
+  // One span per audited statement, covering the reenactment round trip,
+  // the statement itself, and trace/package bookkeeping.
+  obs::Span span("audit.statement", "audit");
+  if (span.recording()) {
+    span.AddArg("qid", std::to_string(record.query_id));
+    span.AddArg("sql", request.sql.size() <= 120
+                           ? request.sql
+                           : request.sql.substr(0, 117) + "...");
+  }
 
   const bool is_modification = parsed.kind == sql::StatementKind::kUpdate ||
                                parsed.kind == sql::StatementKind::kDelete;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "ldv/auditing_db_client.h"
+#include "obs/span.h"
 #include "storage/persistence.h"
 #include "trace/serialize.h"
 #include "util/csv.h"
@@ -51,7 +52,11 @@ Auditor::Auditor(storage::Database* db, const AuditOptions& options)
       options_(options),
       vfs_(options.sandbox_root),
       sim_os_(&vfs_, &clock_, this),
-      engine_(db) {}
+      engine_(db),
+      statements_metric_(
+          obs::MetricsRegistry::Global().counter("audit.statements")),
+      tuples_metric_(
+          obs::MetricsRegistry::Global().counter("audit.tuples_persisted")) {}
 
 Auditor::~Auditor() = default;
 
@@ -93,13 +98,23 @@ Result<AuditReport> Auditor::Run(const AppFn& app) {
         *db_, JoinPath(options_.package_dir, std::string(kFullDataDir))));
   }
 
-  Status app_status = app(*this);
+  Status app_status;
+  {
+    obs::Span span("audit.run", "audit");
+    if (span.recording()) {
+      span.AddArg("mode", std::string(PackageModeName(options_.mode)));
+    }
+    app_status = app(*this);
+  }
   if (!app_status.ok()) {
     return app_status.WithContext("audited application failed");
   }
   if (!deferred_error_.ok()) return deferred_error_;
 
-  LDV_RETURN_IF_ERROR(FinalizePackage());
+  {
+    obs::Span span("audit.finalize", "audit");
+    LDV_RETURN_IF_ERROR(FinalizePackage());
+  }
   report_.package_dir = options_.package_dir;
   report_.trace_nodes = trace_.num_nodes();
   report_.trace_edges = trace_.num_edges();
@@ -229,11 +244,13 @@ Status Auditor::PersistProvTuple(const exec::ProvTupleRecord& tuple) {
   if (!*out) return Status::IOError("short write to packaged tuple file");
   ++tuples_per_table_[tuple.table];
   ++report_.tuples_persisted;
+  tuples_metric_->Add(1);
   return Status::Ok();
 }
 
 Status Auditor::OnDbStatement(const DbStatementRecord& record) {
   ++report_.statements_audited;
+  statements_metric_->Add(1);
   const exec::ResultSet& result = *record.result;
 
   // --- Trace: statement node + run edge (Definition 5). ---

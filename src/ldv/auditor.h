@@ -14,6 +14,7 @@
 #include "ldv/manifest.h"
 #include "net/db_client.h"
 #include "net/retrying_db_client.h"
+#include "obs/metrics.h"
 #include "os/sim_process.h"
 #include "os/vfs.h"
 #include "storage/database.h"
@@ -154,6 +155,10 @@ class Auditor final : public os::OsEventSink, public AppEnv {
 
   AuditReport report_;
   int64_t statements_recorded_ = 0;
+  // Process-wide mirrors of the audit progress counters (resolved once; the
+  // registry lookup takes a lock).
+  obs::Counter* statements_metric_ = nullptr;
+  obs::Counter* tuples_metric_ = nullptr;
   /// First error raised inside a void callback (OS event sink); surfaced
   /// when the run finishes.
   Status deferred_error_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
 #include "storage/persistence.h"
 #include "util/csv.h"
 #include "util/fsutil.h"
@@ -23,6 +24,10 @@ Result<std::unique_ptr<Replayer>> Replayer::Open(const ReplayOptions& options) {
 
 Status Replayer::Initialize() {
   report_.mode = manifest_.mode;
+  obs::Span span("replay.init", "replay");
+  if (span.recording()) {
+    span.AddArg("mode", std::string(PackageModeName(manifest_.mode)));
+  }
   WallTimer timer;
 
   // Unpack the application files into the scratch sandbox (the chroot-like
@@ -156,7 +161,14 @@ Status Replayer::RestoreIncludedTuples() {
 }
 
 Result<ReplayReport> Replayer::Run(const AppFn& app) {
-  Status status = app(*this);
+  Status status;
+  {
+    obs::Span span("replay.run", "replay");
+    if (span.recording()) {
+      span.AddArg("mode", std::string(PackageModeName(manifest_.mode)));
+    }
+    status = app(*this);
+  }
   if (!status.ok()) return status.WithContext("replayed application failed");
   if (replay_log_ != nullptr) {
     report_.statements_replayed = replay_log_->replayed();

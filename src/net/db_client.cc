@@ -6,17 +6,28 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/clock.h"
 #include "common/fault.h"
+#include "obs/span.h"
 
 namespace ldv::net {
 
 Result<exec::ResultSet> EngineHandle::Execute(const DbRequest& request) {
   LDV_FAULT_POINT("engine.execute");
   std::lock_guard<std::mutex> lock(mu_);
+  obs::Span span("engine.statement", "engine");
+  if (span.recording()) {
+    span.AddArg("sql", request.sql.size() <= 120
+                           ? request.sql
+                           : request.sql.substr(0, 117) + "...");
+  }
   exec::ExecOptions options;
   options.process_id = request.process_id;
   options.query_id = request.query_id;
-  return executor_.Execute(request.sql, options);
+  const int64_t start = NowNanos();
+  Result<exec::ResultSet> result = executor_.Execute(request.sql, options);
+  statement_latency_->Observe((NowNanos() - start) / 1000);
+  return result;
 }
 
 SocketDbClient::~SocketDbClient() { Close(); }
@@ -67,6 +78,43 @@ Result<exec::ResultSet> SocketDbClient::Execute(const DbRequest& request) {
   LDV_RETURN_IF_ERROR(SendFrame(fd_, EncodeRequest(request)));
   LDV_ASSIGN_OR_RETURN(std::string payload, RecvFrame(fd_));
   return DecodeResponse(payload);
+}
+
+namespace {
+
+/// Extracts the single string cell of a control-request response.
+Result<std::string> SingleStringCell(const exec::ResultSet& result,
+                                     const char* what) {
+  if (result.rows.size() != 1 || result.rows[0].size() != 1 ||
+      result.rows[0][0].type() != storage::ValueType::kString) {
+    return Status::IOError(std::string("malformed ") + what + " response");
+  }
+  return result.rows[0][0].AsString();
+}
+
+Result<Json> ControlRequestJson(DbClient* client, RequestKind kind,
+                                const char* what) {
+  DbRequest request;
+  request.kind = kind;
+  LDV_ASSIGN_OR_RETURN(exec::ResultSet result, client->Execute(request));
+  LDV_ASSIGN_OR_RETURN(std::string json, SingleStringCell(result, what));
+  return Json::Parse(json);
+}
+
+}  // namespace
+
+Result<Json> FetchServerStats(DbClient* client) {
+  return ControlRequestJson(client, RequestKind::kStats, "stats");
+}
+
+Status StartServerTrace(DbClient* client) {
+  DbRequest request;
+  request.kind = RequestKind::kTraceStart;
+  return client->Execute(request).status();
+}
+
+Result<Json> FetchServerTrace(DbClient* client) {
+  return ControlRequestJson(client, RequestKind::kTraceDump, "trace");
 }
 
 }  // namespace ldv::net

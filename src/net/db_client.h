@@ -5,9 +5,11 @@
 #include <mutex>
 #include <string>
 
+#include "common/json.h"
 #include "common/result.h"
 #include "exec/executor.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
 #include "storage/database.h"
 
 namespace ldv::net {
@@ -35,7 +37,10 @@ class DbClient {
 /// client and the socket server (the engine is single-writer).
 class EngineHandle {
  public:
-  explicit EngineHandle(storage::Database* db) : executor_(db) {}
+  explicit EngineHandle(storage::Database* db)
+      : executor_(db),
+        statement_latency_(obs::MetricsRegistry::Global().latency_histogram(
+            "engine.statement_micros")) {}
 
   EngineHandle(const EngineHandle&) = delete;
   EngineHandle& operator=(const EngineHandle&) = delete;
@@ -47,6 +52,7 @@ class EngineHandle {
  private:
   std::mutex mu_;
   exec::Executor executor_;
+  obs::Histogram* statement_latency_;
 };
 
 /// In-process client: same wire contract as the socket client without the
@@ -88,6 +94,17 @@ class SocketDbClient final : public DbClient {
   explicit SocketDbClient(int fd) : fd_(fd) {}
   int fd_ = -1;
 };
+
+/// Sends a Stats request through `client` and parses the returned metrics
+/// snapshot (the server's `stats_json` column).
+Result<Json> FetchServerStats(DbClient* client);
+
+/// Clears the server's trace buffer and starts span recording there.
+Status StartServerTrace(DbClient* client);
+
+/// Fetches the server's buffered spans as a parsed Chrome trace_event
+/// document; recording stops and the buffer clears server-side.
+Result<Json> FetchServerTrace(DbClient* client);
 
 }  // namespace ldv::net
 

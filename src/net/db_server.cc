@@ -7,7 +7,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "obs/span.h"
 
 namespace ldv::net {
 
@@ -15,7 +17,11 @@ DbServer::DbServer(EngineHandle* engine, std::string socket_path,
                    DbServerOptions options)
     : engine_(engine),
       socket_path_(std::move(socket_path)),
-      options_(options) {}
+      options_(options),
+      request_latency_(obs::MetricsRegistry::Global().latency_histogram(
+          "server.request_latency_micros")),
+      requests_total_(
+          obs::MetricsRegistry::Global().counter("server.requests")) {}
 
 DbServer::~DbServer() { Stop(); }
 
@@ -186,6 +192,46 @@ std::string DbServer::ExecuteDeduped(const DbRequest& request) {
   return response;
 }
 
+std::string DbServer::HandleControl(const DbRequest& request) {
+  exec::ResultSet rs;
+  switch (request.kind) {
+    case RequestKind::kStats: {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      // Connection counters live in cheap atomics; mirror them into the
+      // registry only when a snapshot is requested.
+      reg.gauge("server.active_connections")->Set(active_connections());
+      reg.gauge("server.total_connections")->Set(total_connections());
+      reg.gauge("server.rejected_connections")->Set(rejected_connections());
+      reg.gauge("server.deduped_requests")->Set(deduped_requests());
+      obs::CaptureFaultInjectorMetrics(&reg);
+      rs.schema = storage::Schema(
+          {storage::Column{"stats_json", storage::ValueType::kString}});
+      rs.rows.push_back(
+          {storage::Value::Str(reg.Snapshot().ToJson().Dump())});
+      rs.affected = 1;
+      break;
+    }
+    case RequestKind::kTraceStart:
+      obs::TraceRecorder::Clear();
+      obs::TraceRecorder::Enable();
+      break;
+    case RequestKind::kTraceDump:
+      rs.schema = storage::Schema(
+          {storage::Column{"trace_json", storage::ValueType::kString}});
+      rs.rows.push_back({storage::Value::Str(
+          obs::TraceRecorder::ExportChromeTrace().Dump())});
+      rs.affected = 1;
+      // Stop recording but keep the buffer: a dump whose response frame is
+      // lost gets retried, and the retry must see the same events. The next
+      // kTraceStart clears.
+      obs::TraceRecorder::Disable();
+      break;
+    case RequestKind::kQuery:
+      break;  // dispatched to ExecuteDeduped, never here
+  }
+  return EncodeResponse(Status::Ok(), rs);
+}
+
 void DbServer::ServeConnection(int64_t id, int fd) {
   while (true) {
     Result<std::string> frame = RecvFrame(fd);
@@ -208,8 +254,13 @@ void DbServer::ServeConnection(int64_t id, int fd) {
     Result<DbRequest> request = DecodeRequest(*frame);
     if (!request.ok()) {
       response = EncodeResponse(request.status(), {});
+    } else if (request->kind != RequestKind::kQuery) {
+      response = HandleControl(*request);
     } else {
+      requests_total_->Add(1);
+      const int64_t start = NowNanos();
       response = ExecuteDeduped(*request);
+      request_latency_->Observe((NowNanos() - start) / 1000);
     }
     if (!SendFrame(fd, response).ok()) break;
   }

@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "net/db_client.h"
+#include "obs/metrics.h"
 
 namespace ldv::net {
 
@@ -99,6 +100,9 @@ class DbServer {
   /// Executes `request`, deduplicating on (process_id, query_id, sql) when
   /// the request carries ids; returns the encoded response frame.
   std::string ExecuteDeduped(const DbRequest& request);
+  /// Answers the non-query request kinds (Stats / TraceStart / TraceDump);
+  /// returns the encoded response frame.
+  std::string HandleControl(const DbRequest& request);
 
   EngineHandle* engine_;
   std::string socket_path_;
@@ -121,6 +125,12 @@ class DbServer {
   std::atomic<int64_t> total_connections_{0};
   std::atomic<int64_t> rejected_connections_{0};
   std::atomic<int64_t> deduped_requests_{0};
+
+  // Pointers into MetricsRegistry::Global(), resolved once in the
+  // constructor (registry lookups take a mutex; observations are relaxed
+  // atomics).
+  obs::Histogram* request_latency_ = nullptr;
+  obs::Counter* requests_total_ = nullptr;
 };
 
 }  // namespace ldv::net

@@ -67,6 +67,7 @@ std::string EncodeRequest(const DbRequest& request) {
   w.PutString(request.sql);
   w.PutVarint(request.process_id);
   w.PutVarint(request.query_id);
+  w.PutU8(static_cast<uint8_t>(request.kind));
   return w.TakeData();
 }
 
@@ -76,6 +77,16 @@ Result<DbRequest> DecodeRequest(std::string_view bytes) {
   LDV_ASSIGN_OR_RETURN(request.sql, r.GetString());
   LDV_ASSIGN_OR_RETURN(request.process_id, r.GetVarint());
   LDV_ASSIGN_OR_RETURN(request.query_id, r.GetVarint());
+  // Frames written before the kind byte existed (old clients, recorded
+  // replay logs) end here; they are plain queries.
+  if (r.remaining() > 0) {
+    LDV_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+    if (kind > static_cast<uint8_t>(RequestKind::kTraceDump)) {
+      return Status::InvalidArgument("unknown request kind: " +
+                                     std::to_string(kind));
+    }
+    request.kind = static_cast<RequestKind>(kind);
+  }
   return request;
 }
 

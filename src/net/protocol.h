@@ -8,6 +8,22 @@
 
 namespace ldv::net {
 
+/// What a request asks the server to do. Encoded as a trailing byte of the
+/// request frame; decoders treat its absence as kQuery, so clients from
+/// before the field existed (and recorded replay logs) stay decodable.
+enum class RequestKind : uint8_t {
+  kQuery = 0,
+  /// Return a snapshot of the server's MetricsRegistry as one row with a
+  /// single `stats_json` string column (request latency histogram, dedup /
+  /// overload counters, fault-injection coverage).
+  kStats = 1,
+  /// Clear the server's trace buffer and start recording spans.
+  kTraceStart = 2,
+  /// Return buffered spans as one `trace_json` string column (Chrome
+  /// trace_event JSON), then stop recording and clear the buffer.
+  kTraceDump = 3,
+};
+
 /// One client->server request. The process and query identifiers are the
 /// ones the (auditing) client library assigned (paper §VII-C); a plain
 /// client sends zeros.
@@ -15,6 +31,7 @@ struct DbRequest {
   std::string sql;
   int64_t process_id = 0;
   int64_t query_id = 0;
+  RequestKind kind = RequestKind::kQuery;
 };
 
 /// Binary encoding of requests/responses (varint-based, little-endian).

@@ -15,7 +15,11 @@ RetryingDbClient::RetryingDbClient(std::unique_ptr<DbClient> initial,
     : client_(std::move(initial)),
       factory_(std::move(factory)),
       policy_(policy),
-      rng_(policy.seed) {}
+      rng_(policy.seed),
+      attempts_metric_(
+          obs::MetricsRegistry::Global().counter("client.retry_attempts")),
+      reconnects_metric_(
+          obs::MetricsRegistry::Global().counter("client.reconnects")) {}
 
 std::unique_ptr<RetryingDbClient> RetryingDbClient::ForSocket(
     std::string socket_path, RetryPolicy policy) {
@@ -48,6 +52,7 @@ Result<exec::ResultSet> RetryingDbClient::Execute(const DbRequest& request) {
       }
       auto fresh = factory_();
       ++reconnects_;
+      reconnects_metric_->Add(1);
       if (fresh.ok()) {
         client_ = std::move(*fresh);
       } else {
@@ -56,6 +61,7 @@ Result<exec::ResultSet> RetryingDbClient::Execute(const DbRequest& request) {
     }
     if (client_ != nullptr) {
       ++attempts_;
+      attempts_metric_->Add(1);
       Result<exec::ResultSet> result = client_->Execute(request);
       if (result.ok() || !IsRetryable(result.status())) return result;
       last = result.status();

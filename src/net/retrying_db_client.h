@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "net/db_client.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace ldv::net {
@@ -74,6 +75,10 @@ class RetryingDbClient final : public DbClient {
   Rng rng_;
   int64_t attempts_ = 0;
   int64_t reconnects_ = 0;
+  // Process-wide mirrors of the per-client counters, so metrics dumps see
+  // retry/reconnect activity without plumbing through every client owner.
+  obs::Counter* attempts_metric_ = nullptr;
+  obs::Counter* reconnects_metric_ = nullptr;
 };
 
 }  // namespace ldv::net

@@ -1,0 +1,237 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "util/fsutil.h"
+
+namespace ldv::obs {
+
+namespace {
+
+/// Maps the calling thread onto a fixed shard. Thread ordinals are assigned
+/// once per thread; kMetricShards is a power of two so the mask is cheap.
+int ShardIndex() {
+  static std::atomic<int> next_ordinal{0};
+  thread_local const int ordinal =
+      next_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal & (kMetricShards - 1);
+}
+
+static_assert((kMetricShards & (kMetricShards - 1)) == 0,
+              "kMetricShards must be a power of two");
+
+}  // namespace
+
+void Counter::Add(int64_t delta) {
+  shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  LDV_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  const size_t buckets = bounds_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<int64_t>[]>(buckets);
+    for (size_t i = 0; i < buckets; ++i) {
+      shard.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(int64_t value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  Shard& shard = shards_[ShardIndex()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t Histogram::Sum() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+const std::vector<int64_t>& LatencyBucketsMicros() {
+  static const auto* buckets = new std::vector<int64_t>{
+      1,      2,      5,       10,      20,      50,      100,     200,
+      500,    1000,   2000,    5000,    10000,   20000,   50000,   100000,
+      200000, 500000, 1000000, 2000000, 5000000, 10000000};
+  return *buckets;
+}
+
+Json MetricsSnapshot::ToJson() const {
+  Json root = Json::MakeObject();
+  Json counters_json = Json::MakeObject();
+  for (const auto& [name, value] : counters) {
+    counters_json.Set(name, Json::MakeInt(value));
+  }
+  root.Set("counters", std::move(counters_json));
+  Json gauges_json = Json::MakeObject();
+  for (const auto& [name, value] : gauges) {
+    gauges_json.Set(name, Json::MakeInt(value));
+  }
+  root.Set("gauges", std::move(gauges_json));
+  Json histograms_json = Json::MakeObject();
+  for (const auto& [name, data] : histograms) {
+    Json hist = Json::MakeObject();
+    Json buckets = Json::MakeArray();
+    for (size_t i = 0; i < data.counts.size(); ++i) {
+      Json bucket = Json::MakeObject();
+      if (i < data.bounds.size()) {
+        bucket.Set("le", Json::MakeInt(data.bounds[i]));
+      } else {
+        bucket.Set("le", Json::MakeString("+Inf"));
+      }
+      bucket.Set("count", Json::MakeInt(data.counts[i]));
+      buckets.Append(std::move(bucket));
+    }
+    hist.Set("buckets", std::move(buckets));
+    hist.Set("count", Json::MakeInt(data.total_count));
+    hist.Set("sum", Json::MakeInt(data.sum));
+    histograms_json.Set(name, std::move(hist));
+  }
+  root.Set("histograms", std::move(histograms_json));
+  return root;
+}
+
+std::string MetricsSnapshot::DeltaReport(const MetricsSnapshot& before) const {
+  std::string out;
+  auto prior_counter = [&before](const std::string& name) {
+    auto it = before.counters.find(name);
+    return it == before.counters.end() ? int64_t{0} : it->second;
+  };
+  for (const auto& [name, value] : counters) {
+    int64_t delta = value - prior_counter(name);
+    if (delta == 0) continue;
+    out += "  " + name + ": +" + std::to_string(delta) + " (total " +
+           std::to_string(value) + ")\n";
+  }
+  for (const auto& [name, data] : histograms) {
+    int64_t prior_count = 0;
+    int64_t prior_sum = 0;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) {
+      prior_count = it->second.total_count;
+      prior_sum = it->second.sum;
+    }
+    int64_t count_delta = data.total_count - prior_count;
+    if (count_delta == 0) continue;
+    int64_t sum_delta = data.sum - prior_sum;
+    out += "  " + name + ": +" + std::to_string(count_delta) + " obs, mean " +
+           std::to_string(sum_delta / count_delta) + "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static auto* registry = new MetricsRegistry();  // leaked: outlives threads
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      const std::vector<int64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = histogram->bounds();
+    data.counts = histogram->BucketCounts();
+    data.total_count = histogram->TotalCount();
+    data.sum = histogram->Sum();
+    snapshot.histograms[name] = std::move(data);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void CaptureFaultInjectorMetrics(MetricsRegistry* registry) {
+  for (const FaultPointStats& stats : FaultInjector::Instance().PointStats()) {
+    registry->gauge("fault." + stats.point + ".calls")->Set(stats.calls);
+    registry->gauge("fault." + stats.point + ".injected")->Set(stats.injected);
+  }
+}
+
+Status WriteGlobalMetrics(const std::string& path) {
+  CaptureFaultInjectorMetrics(&MetricsRegistry::Global());
+  return WriteStringToFile(path,
+                           MetricsRegistry::Global().Snapshot().ToJson().Dump(
+                               /*pretty=*/true) +
+                               "\n");
+}
+
+}  // namespace ldv::obs

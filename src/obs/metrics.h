@@ -1,0 +1,143 @@
+#ifndef LDV_OBS_METRICS_H_
+#define LDV_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace ldv::obs {
+
+/// Shards per hot-path metric. Writers pick a shard by thread ordinal, so
+/// concurrent threads rarely contend on the same cache line; readers sum.
+inline constexpr int kMetricShards = 8;
+
+/// Monotone event count. Add() is a single relaxed atomic increment on the
+/// writer's shard — safe on any hot path.
+class Counter {
+ public:
+  void Add(int64_t delta = 1);
+  int64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-written instantaneous value (queue depth, active connections, ...).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Observe() is a binary search
+/// plus two relaxed increments on the writer's shard.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t value);
+
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// Per-bucket totals summed over shards; size() == bounds().size() + 1.
+  std::vector<int64_t> BucketCounts() const;
+  int64_t TotalCount() const;
+  int64_t Sum() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<int64_t>[]> buckets;
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+  };
+  std::vector<int64_t> bounds_;
+  Shard shards_[kMetricShards];
+};
+
+/// Default latency bucket bounds in microseconds: 1us .. 10s, roughly
+/// logarithmic (1-2-5 per decade).
+const std::vector<int64_t>& LatencyBucketsMicros();
+
+/// Point-in-time copy of every registered metric, taken while writers keep
+/// running (each individual value is an atomic read; totals are monotone).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<int64_t> bounds;
+    std::vector<int64_t> counts;  // bounds.size() + 1 entries (last = +inf)
+    int64_t total_count = 0;
+    int64_t sum = 0;
+  };
+
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///  {"buckets": [{"le": bound, "count": n}...], "count": n, "sum": n}}}
+  Json ToJson() const;
+
+  /// Human-readable per-metric delta vs `before` (counters and histogram
+  /// totals that changed); empty string when nothing moved.
+  std::string DeltaReport(const MetricsSnapshot& before) const;
+};
+
+/// Thread-safe name -> metric registry. Lookup takes a mutex, so hot paths
+/// must resolve their Counter*/Histogram* once and cache the pointer;
+/// returned pointers stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  /// Get-or-create; `bounds` is only used on first creation.
+  Histogram* histogram(std::string_view name,
+                       const std::vector<int64_t>& bounds);
+  Histogram* latency_histogram(std::string_view name) {
+    return histogram(name, LatencyBucketsMicros());
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Drops every metric (tests only; outstanding pointers dangle).
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Mirrors the fault injector's per-point call/injection counts into
+/// `registry` as gauges `fault.<point>.calls` / `fault.<point>.injected`,
+/// so fault-storm tests and metrics dumps can assert on injection coverage.
+void CaptureFaultInjectorMetrics(MetricsRegistry* registry);
+
+/// Snapshots Global() (fault counters included) and writes the JSON to
+/// `path`.
+Status WriteGlobalMetrics(const std::string& path);
+
+}  // namespace ldv::obs
+
+#endif  // LDV_OBS_METRICS_H_

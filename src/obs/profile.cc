@@ -1,0 +1,76 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+namespace ldv::obs {
+
+namespace {
+
+std::string FormatMillis(int64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms",
+                static_cast<double>(nanos) / 1e6);
+  return buf;
+}
+
+Json OperatorToJson(const OperatorProfile& op) {
+  Json node = Json::MakeObject();
+  node.Set("operator", Json::MakeString(op.label));
+  if (!op.detail.empty()) node.Set("detail", Json::MakeString(op.detail));
+  node.Set("rows_out", Json::MakeInt(op.rows_out));
+  node.Set("invocations", Json::MakeInt(op.invocations));
+  node.Set("wall_nanos", Json::MakeInt(op.wall_nanos));
+  if (op.build_nanos > 0 || op.probe_nanos > 0) {
+    node.Set("build_nanos", Json::MakeInt(op.build_nanos));
+    node.Set("probe_nanos", Json::MakeInt(op.probe_nanos));
+  }
+  if (!op.children.empty()) {
+    Json children = Json::MakeArray();
+    for (const OperatorProfile& child : op.children) {
+      children.Append(OperatorToJson(child));
+    }
+    node.Set("children", std::move(children));
+  }
+  return node;
+}
+
+void RenderOperator(const OperatorProfile& op, bool analyze, int depth,
+                    std::vector<std::string>* out) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += op.label;
+  if (!op.detail.empty()) line += " (" + op.detail + ")";
+  if (analyze) {
+    line += "  rows=" + std::to_string(op.rows_out);
+    line += " time=" + FormatMillis(op.wall_nanos);
+    if (op.build_nanos > 0 || op.probe_nanos > 0) {
+      line += " build=" + FormatMillis(op.build_nanos);
+      line += " probe=" + FormatMillis(op.probe_nanos);
+    }
+  }
+  out->push_back(std::move(line));
+  for (const OperatorProfile& child : op.children) {
+    RenderOperator(child, analyze, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Json QueryProfile::ToJson() const {
+  Json root_json = Json::MakeObject();
+  root_json.Set("plan", OperatorToJson(root));
+  root_json.Set("total_nanos", Json::MakeInt(total_nanos));
+  root_json.Set("rows_returned", Json::MakeInt(rows_returned));
+  return root_json;
+}
+
+std::vector<std::string> QueryProfile::ToTextLines(bool analyze) const {
+  std::vector<std::string> lines;
+  RenderOperator(root, analyze, 0, &lines);
+  if (analyze) {
+    lines.push_back("Total: rows=" + std::to_string(rows_returned) +
+                    " time=" + FormatMillis(total_nanos));
+  }
+  return lines;
+}
+
+}  // namespace ldv::obs

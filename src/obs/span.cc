@@ -1,0 +1,164 @@
+#include "obs/span.h"
+
+#include <unistd.h>
+
+#include <mutex>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "util/fsutil.h"
+
+namespace ldv::obs {
+
+namespace {
+
+struct RecorderState {
+  std::mutex mu;
+  std::vector<SpanEvent> events;
+};
+
+RecorderState* State() {
+  static auto* state = new RecorderState();  // leaked: outlives all threads
+  return state;
+}
+
+std::atomic<int64_t> g_next_span_id{1};
+thread_local int64_t t_current_span_id = 0;
+
+Json EventToJson(const SpanEvent& event) {
+  Json e = Json::MakeObject();
+  e.Set("name", Json::MakeString(event.name));
+  e.Set("cat", Json::MakeString(event.category));
+  e.Set("ph", Json::MakeString("X"));
+  e.Set("ts", Json::MakeInt(event.start_micros));
+  e.Set("dur", Json::MakeInt(event.duration_micros));
+  e.Set("pid", Json::MakeInt(event.pid));
+  e.Set("tid", Json::MakeInt(event.tid));
+  e.Set("id", Json::MakeInt(event.span_id));
+  // Non-standard field; trace viewers ignore it, EventsFromJson round-trips
+  // it so nesting survives a serialize/merge cycle.
+  e.Set("parent_id", Json::MakeInt(event.parent_id));
+  Json args = Json::MakeObject();
+  for (const auto& [key, value] : event.args) {
+    args.Set(key, Json::MakeString(value));
+  }
+  e.Set("args", std::move(args));
+  return e;
+}
+
+}  // namespace
+
+std::atomic<bool> TraceRecorder::enabled_{false};
+
+void TraceRecorder::Enable() {
+  SetLogSpanIdProvider(&TraceRecorder::CurrentSpanId);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  SetLogSpanIdProvider(nullptr);
+}
+
+void TraceRecorder::Clear() {
+  RecorderState* state = State();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->events.clear();
+}
+
+void TraceRecorder::Record(SpanEvent event) {
+  RecorderState* state = State();
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->events.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> TraceRecorder::Events() {
+  RecorderState* state = State();
+  std::lock_guard<std::mutex> lock(state->mu);
+  return state->events;
+}
+
+Json TraceRecorder::ExportChromeTrace() {
+  Json root = Json::MakeObject();
+  Json events = Json::MakeArray();
+  for (const SpanEvent& event : Events()) {
+    events.Append(EventToJson(event));
+  }
+  root.Set("traceEvents", std::move(events));
+  return root;
+}
+
+Status TraceRecorder::WriteTo(const std::string& path,
+                              const std::vector<SpanEvent>& extra_events) {
+  Json root = Json::MakeObject();
+  Json events = Json::MakeArray();
+  for (const SpanEvent& event : Events()) {
+    events.Append(EventToJson(event));
+  }
+  for (const SpanEvent& event : extra_events) {
+    events.Append(EventToJson(event));
+  }
+  root.Set("traceEvents", std::move(events));
+  return WriteStringToFile(path, root.Dump(/*pretty=*/true) + "\n");
+}
+
+std::vector<SpanEvent> TraceRecorder::EventsFromJson(const Json& trace) {
+  std::vector<SpanEvent> events;
+  const Json* array = trace.Find("traceEvents");
+  if (array == nullptr || !array->is_array()) return events;
+  for (const Json& e : array->AsArray()) {
+    if (!e.is_object()) continue;
+    SpanEvent event;
+    event.name = e.GetString("name", "");
+    event.category = e.GetString("cat", "");
+    event.start_micros = e.GetInt("ts", 0);
+    event.duration_micros = e.GetInt("dur", 0);
+    event.pid = static_cast<int32_t>(e.GetInt("pid", 0));
+    event.tid = static_cast<int32_t>(e.GetInt("tid", 0));
+    event.span_id = e.GetInt("id", 0);
+    event.parent_id = e.GetInt("parent_id", 0);
+    const Json* args = e.Find("args");
+    if (args != nullptr && args->is_object()) {
+      for (const auto& [key, value] : args->AsObject()) {
+        if (value.type() == Json::Type::kString) {
+          event.args[key] = value.AsString();
+        }
+      }
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+int64_t TraceRecorder::CurrentSpanId() { return t_current_span_id; }
+
+Span::Span(std::string name, std::string category) {
+  if (!TraceRecorder::enabled()) return;
+  recording_ = true;
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event_.parent_id = t_current_span_id;
+  event_.pid = static_cast<int32_t>(::getpid());
+  event_.tid = LogThreadOrdinal();
+  saved_parent_ = t_current_span_id;
+  t_current_span_id = event_.span_id;
+  start_nanos_ = NowNanos();
+}
+
+Span::~Span() {
+  if (!recording_) return;
+  const int64_t end_nanos = NowNanos();
+  event_.start_micros = start_nanos_ / 1000;
+  event_.duration_micros = (end_nanos - start_nanos_) / 1000;
+  t_current_span_id = saved_parent_;
+  TraceRecorder::Record(std::move(event_));
+}
+
+void Span::AddArg(const std::string& key, const std::string& value) {
+  if (!recording_) return;
+  event_.args[key] = value;
+}
+
+}  // namespace ldv::obs

@@ -1,0 +1,95 @@
+#ifndef LDV_OBS_SPAN_H_
+#define LDV_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace ldv::obs {
+
+/// One finished span, in Chrome trace_event terms a "complete" (ph:"X")
+/// event. Timestamps are CLOCK_MONOTONIC microseconds, so events recorded by
+/// separate processes on the same host share a timeline.
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  int64_t start_micros = 0;
+  int64_t duration_micros = 0;
+  int64_t span_id = 0;
+  int64_t parent_id = 0;  // 0 = root
+  int32_t pid = 0;
+  int32_t tid = 0;
+  std::map<std::string, std::string> args;
+};
+
+/// Process-wide span sink. Disabled by default: Span construction then costs
+/// one relaxed atomic load and no allocation. Enable() arms recording and
+/// tags log lines with the active span id (see common/logging).
+class TraceRecorder {
+ public:
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  static void Enable();
+  /// Stops recording; buffered events are kept until Clear().
+  static void Disable();
+  static void Clear();
+
+  static void Record(SpanEvent event);
+  static std::vector<SpanEvent> Events();
+
+  /// Chrome trace_event JSON: {"traceEvents": [{name, cat, ph:"X", ts, dur,
+  /// pid, tid, id, args}...]}. Loadable in chrome://tracing / Perfetto.
+  static Json ExportChromeTrace();
+  /// Merges externally collected events (e.g. fetched from a server over the
+  /// Stats protocol) with the local buffer and writes one trace file.
+  static Status WriteTo(const std::string& path,
+                        const std::vector<SpanEvent>& extra_events = {});
+
+  /// Re-hydrates events parsed from an ExportChromeTrace() document; entries
+  /// that do not look like span events are skipped.
+  static std::vector<SpanEvent> EventsFromJson(const Json& trace);
+
+  /// Span id of the innermost open span on this thread (0 when none); used
+  /// by the logging prefix and for parenting.
+  static int64_t CurrentSpanId();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII timed span. Records a SpanEvent on destruction when the recorder is
+/// enabled at construction time; nests under the innermost live Span on the
+/// same thread. Cheap no-op otherwise.
+class Span {
+ public:
+  Span(std::string name, std::string category);
+  explicit Span(std::string name) : Span(std::move(name), "ldv") {}
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value annotation (shown under "args" in the viewer).
+  /// No-op when the span is not being recorded.
+  void AddArg(const std::string& key, const std::string& value);
+
+  bool recording() const { return recording_; }
+  int64_t id() const { return event_.span_id; }
+
+ private:
+  bool recording_ = false;
+  int64_t start_nanos_ = 0;
+  int64_t saved_parent_ = 0;
+  SpanEvent event_;
+};
+
+}  // namespace ldv::obs
+
+#endif  // LDV_OBS_SPAN_H_

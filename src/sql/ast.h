@@ -215,6 +215,10 @@ struct Statement {
   /// Perm-style PROVENANCE prefix: the engine returns Lineage for the
   /// statement's results (paper §VII-B/C).
   bool provenance = false;
+  /// EXPLAIN [ANALYZE] prefix: render the plan instead of the query result;
+  /// ANALYZE also executes and reports per-operator rows/timings.
+  bool explain = false;
+  bool analyze = false;
 
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<InsertStmt> insert;

@@ -132,6 +132,10 @@ class Parser {
 
   Result<Statement> ParseStatementInner() {
     Statement stmt;
+    if (ConsumeKeyword("explain")) {
+      stmt.explain = true;
+      if (ConsumeKeyword("analyze")) stmt.analyze = true;
+    }
     if (ConsumeKeyword("provenance")) stmt.provenance = true;
     const Token& t = Peek();
     if (t.IsKeyword("select")) {

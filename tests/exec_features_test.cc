@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "common/clock.h"
 #include "exec/executor.h"
+#include "obs/profile.h"
 #include "storage/database.h"
 
 namespace ldv::exec {
@@ -237,6 +240,71 @@ TEST_F(IndexTest, IndexProbeSpeedsUpPointLookups) {
   double probe_seconds = timer.Seconds();
   EXPECT_LT(probe_seconds * 3, scan_seconds)
       << "scan=" << scan_seconds << " probe=" << probe_seconds;
+}
+
+TEST_F(ExecFeaturesTest, ExplainAnalyzeReportsPerOperatorStats) {
+  Run("CREATE TABLE loc (dept_id INT, city TEXT)");
+  Run("INSERT INTO loc VALUES (1, 'nyc'), (2, 'sfo')");
+  ResultSet r = Run(
+      "EXPLAIN ANALYZE SELECT d.name, COUNT(e.id), SUM(e.salary) "
+      "FROM emp e JOIN dept d ON e.dept_id = d.id "
+      "JOIN loc l ON l.dept_id = d.id "
+      "GROUP BY d.name ORDER BY d.name");
+
+  // Rendered plan: a single "QUERY PLAN" text column, one line per operator.
+  ASSERT_EQ(r.schema.num_columns(), 1);
+  EXPECT_EQ(r.schema.column(0).name, "QUERY PLAN");
+  ASSERT_FALSE(r.rows.empty());
+  std::string rendered;
+  for (const auto& row : r.rows) rendered += row[0].AsString() + "\n";
+  EXPECT_NE(rendered.find("rows="), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("time="), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("Total:"), std::string::npos) << rendered;
+
+  // Structured profile: the 3-way join + GROUP BY plan with real row counts.
+  ASSERT_NE(r.profile, nullptr);
+  EXPECT_EQ(r.profile->rows_returned, 2);  // groups: eng, ops
+  int scans = 0, joins = 0, aggregates = 0;
+  int64_t join_build_nanos = 0;
+  std::function<void(const obs::OperatorProfile&)> walk =
+      [&](const obs::OperatorProfile& op) {
+        EXPECT_EQ(op.invocations, 1) << op.label;
+        EXPECT_GE(op.wall_nanos, 0) << op.label;
+        if (op.label == "Scan") {
+          ++scans;
+          EXPECT_GT(op.rows_out, 0) << op.detail;
+        } else if (op.label == "HashJoin") {
+          ++joins;
+          join_build_nanos += op.build_nanos;
+        } else if (op.label == "Aggregate") {
+          ++aggregates;
+          EXPECT_EQ(op.rows_out, 2);
+        }
+        for (const obs::OperatorProfile& child : op.children) walk(child);
+      };
+  walk(r.profile->root);
+  EXPECT_EQ(scans, 3);
+  EXPECT_EQ(joins, 2);
+  EXPECT_EQ(aggregates, 1);
+  EXPECT_GE(join_build_nanos, 0);
+}
+
+TEST_F(ExecFeaturesTest, PlainExplainOmitsRuntimeColumns) {
+  ResultSet r = Run(
+      "EXPLAIN SELECT d.name, e.salary FROM dept d JOIN emp e "
+      "ON d.id = e.dept_id WHERE e.salary > 95");
+  ASSERT_FALSE(r.rows.empty());
+  EXPECT_EQ(r.profile, nullptr);  // plans only; nothing executed
+  for (const auto& row : r.rows) {
+    const std::string line = row[0].AsString();
+    EXPECT_EQ(line.find("rows="), std::string::npos) << line;
+    EXPECT_EQ(line.find("time="), std::string::npos) << line;
+  }
+  // The join and both scans still appear in the rendered plan.
+  std::string rendered;
+  for (const auto& row : r.rows) rendered += row[0].AsString() + "\n";
+  EXPECT_NE(rendered.find("HashJoin"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("Scan"), std::string::npos) << rendered;
 }
 
 }  // namespace

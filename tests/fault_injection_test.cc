@@ -14,6 +14,7 @@
 #include "net/db_server.h"
 #include "net/protocol.h"
 #include "net/retrying_db_client.h"
+#include "obs/metrics.h"
 #include "storage/persistence.h"
 #include "util/fsutil.h"
 #include "util/rng.h"
@@ -110,6 +111,33 @@ TEST_F(FaultInjectorTest, MalformedSpecsAreRejected) {
   EXPECT_FALSE(inj.ConfigureFromSpec("x=p:notanumber").ok());
   EXPECT_FALSE(inj.ConfigureFromSpec("=p:0.5").ok());
   EXPECT_FALSE(inj.ConfigureFromSpec("x=p").ok());
+}
+
+TEST_F(FaultInjectorTest, PointStatsMirrorIntoMetricsRegistry) {
+  FaultInjector& inj = FaultInjector::Instance();
+  inj.Reset();
+  ASSERT_TRUE(
+      inj.ConfigureFromSpec("unit.a=after:0,times:2;unit.b=p:0.0").ok());
+  inj.Enable(7);
+  for (int i = 0; i < 5; ++i) {
+    (void)inj.Check("unit.a");
+    (void)inj.Check("unit.b");
+  }
+
+  // The coverage assertion fault-storm tests rely on: every armed point's
+  // call/injection totals are visible as fault.* gauges after a capture.
+  obs::MetricsRegistry registry;
+  obs::CaptureFaultInjectorMetrics(&registry);
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.gauges.at("fault.unit.a.calls"), inj.CallCount("unit.a"));
+  EXPECT_EQ(snapshot.gauges.at("fault.unit.a.injected"),
+            inj.InjectedCount("unit.a"));
+  EXPECT_EQ(snapshot.gauges.at("fault.unit.a.injected"), 2);  // times:2
+  EXPECT_EQ(snapshot.gauges.at("fault.unit.b.calls"), 5);
+  EXPECT_EQ(snapshot.gauges.at("fault.unit.b.injected"), 0);  // p:0 never fires
+  // And they survive into the serialized snapshot the Stats message ships.
+  EXPECT_NE(snapshot.ToJson().Dump().find("fault.unit.a.injected"),
+            std::string::npos);
 }
 
 TEST_F(FaultInjectorTest, InjectedFailureNamesThePoint) {

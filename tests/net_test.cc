@@ -10,6 +10,7 @@
 #include "net/db_server.h"
 #include "net/protocol.h"
 #include "net/retrying_db_client.h"
+#include "obs/span.h"
 #include "util/fsutil.h"
 
 namespace ldv::net {
@@ -53,6 +54,31 @@ TEST(ProtocolTest, RequestRoundTrip) {
   EXPECT_EQ(decoded->sql, request.sql);
   EXPECT_EQ(decoded->process_id, 42);
   EXPECT_EQ(decoded->query_id, 7);
+}
+
+TEST(ProtocolTest, RequestKindRoundTripsAndOldFramesDefaultToQuery) {
+  DbRequest request;
+  request.kind = RequestKind::kStats;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, RequestKind::kStats);
+
+  // A frame from before the kind byte existed (e.g. an old replay log)
+  // still decodes, defaulting to a plain query.
+  DbRequest old_style;
+  old_style.sql = "SELECT 1";
+  old_style.process_id = 3;
+  old_style.query_id = 4;
+  std::string encoded = EncodeRequest(old_style);
+  encoded.pop_back();  // strip the trailing kind byte
+  auto legacy = DecodeRequest(encoded);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->kind, RequestKind::kQuery);
+  EXPECT_EQ(legacy->sql, "SELECT 1");
+
+  // An out-of-range kind byte is rejected, not misinterpreted.
+  encoded.push_back('\x7f');
+  EXPECT_FALSE(DecodeRequest(encoded).ok());
 }
 
 TEST(ProtocolTest, ResultSetRoundTrip) {
@@ -152,6 +178,51 @@ TEST_F(DbServerTest, EndToEndQueryOverSocket) {
   auto bad = (*client)->Query("SELECT nope FROM t");
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DbServerTest, StatsMessageReturnsServerMetricsSnapshot) {
+  auto client = SocketDbClient::Connect(server_->socket_path());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Query("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE((*client)->Query("INSERT INTO t VALUES (1)").ok());
+
+  auto stats = FetchServerStats(client->get());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  std::string dump = stats->Dump();
+  // Request counting and the latency histogram both made it into the dump.
+  EXPECT_NE(dump.find("server.requests"), std::string::npos);
+  EXPECT_NE(dump.find("server.request_latency_micros"), std::string::npos);
+  EXPECT_NE(dump.find("server.active_connections"), std::string::npos);
+}
+
+TEST_F(DbServerTest, TraceStartDumpRoundTripOverSocket) {
+  auto client = SocketDbClient::Connect(server_->socket_path());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(StartServerTrace(client->get()).ok());
+  ASSERT_TRUE((*client)->Query("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE((*client)->Query("SELECT a FROM t").ok());
+
+  auto trace = FetchServerTrace(client->get());
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  std::vector<obs::SpanEvent> events =
+      obs::TraceRecorder::EventsFromJson(*trace);
+  // The engine records one span per executed statement.
+  bool saw_statement = false;
+  for (const obs::SpanEvent& event : events) {
+    if (event.name == "engine.statement") saw_statement = true;
+  }
+  EXPECT_TRUE(saw_statement);
+  // Dump is idempotent (a retried dump must see the same events): recording
+  // stops, but the buffer survives until the next TraceStart.
+  auto again = FetchServerTrace(client->get());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(obs::TraceRecorder::EventsFromJson(*again).size(), events.size());
+  // TraceStart clears; statements executed before it are gone from the
+  // next dump.
+  ASSERT_TRUE(StartServerTrace(client->get()).ok());
+  auto fresh = FetchServerTrace(client->get());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(obs::TraceRecorder::EventsFromJson(*fresh).empty());
 }
 
 TEST_F(DbServerTest, ConcurrentClients) {

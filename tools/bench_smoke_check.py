@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Checks the bench_micro smoke run (tools/check.sh --bench-smoke).
+
+Asserts the observability overhead bound: with no sink configured, the
+per-operator instrumentation (one disabled-Span construction per operator
+invocation) must cost <2% of a representative query (BM_ScanFilter/250).
+Also validates that the LDV_METRICS_OUT snapshot bench_micro wrote is a
+well-formed metrics JSON document.
+"""
+import json
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Generous upper bound on operator invocations per query; the scan-filter
+# plan actually executes three operators (Scan, Filter, Project) once each.
+OPS_PER_QUERY = 16
+
+
+def real_ns(benchmarks, name):
+    for bench in benchmarks:
+        if (bench.get("name") == name
+                and bench.get("run_type", "iteration") == "iteration"):
+            return bench["real_time"] * UNIT_NS[bench.get("time_unit", "ns")]
+    raise SystemExit(f"bench_smoke_check: benchmark {name!r} missing from results")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit("usage: bench_smoke_check.py BENCH_JSON METRICS_JSON")
+    with open(sys.argv[1]) as f:
+        benchmarks = json.load(f)["benchmarks"]
+    span_ns = real_ns(benchmarks, "BM_ObsSpanDisabled")
+    query_ns = real_ns(benchmarks, "BM_ScanFilter/250")
+    overhead_ns = span_ns * OPS_PER_QUERY
+    bound_ns = 0.02 * query_ns
+    print(f"bench_smoke_check: disabled span {span_ns:.1f}ns x {OPS_PER_QUERY}"
+          f" ops = {overhead_ns:.0f}ns vs 2% of query"
+          f" {query_ns:.0f}ns = {bound_ns:.0f}ns")
+    if overhead_ns >= bound_ns:
+        raise SystemExit(
+            "bench_smoke_check: disabled-instrumentation overhead bound violated")
+
+    with open(sys.argv[2]) as f:
+        metrics = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics:
+            raise SystemExit(
+                f"bench_smoke_check: metrics snapshot missing {section!r}")
+    histogram = metrics["histograms"].get("bench.latency")
+    if not histogram or not histogram.get("buckets"):
+        raise SystemExit(
+            "bench_smoke_check: bench.latency histogram missing from snapshot")
+    print("bench_smoke_check: ok")
+
+
+if __name__ == "__main__":
+    main()

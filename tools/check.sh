@@ -2,13 +2,34 @@
 # Tier-1 gate: configure, build and run the full test suite twice — once
 # plain, once instrumented with AddressSanitizer + UndefinedBehaviorSanitizer
 # (see the LDV_SANITIZE option in the top-level CMakeLists.txt).
+#
+# --bench-smoke additionally runs bench_micro once, asserts the
+# disabled-instrumentation overhead bound (<2%, see DESIGN.md §8), and
+# leaves the run's metrics snapshot in build/metrics_smoke.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "check.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== plain build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+if [[ "$BENCH_SMOKE" == 1 ]]; then
+  echo "== bench smoke =="
+  LDV_METRICS_OUT=build/metrics_smoke.json ./build/bench/bench_micro \
+    --benchmark_filter='BM_Obs|BM_ScanFilter' \
+    --benchmark_out=build/bench_smoke.json --benchmark_out_format=json
+  python3 tools/bench_smoke_check.py build/bench_smoke.json \
+    build/metrics_smoke.json
+fi
 
 echo "== asan+ubsan build =="
 cmake -B build-san -S . -DLDV_SANITIZE=address,undefined >/dev/null

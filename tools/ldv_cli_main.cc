@@ -5,7 +5,9 @@
 //   ldv audit   --mode MODE --query Qx-y --out DIR [--sf SF] [--seed N]
 //               [--db-socket PATH] [--retries N] [--retry-deadline-ms N]
 //               [--fault SPEC] [--fault-seed N]
+//               [--metrics-out FILE] [--trace-out FILE]
 //   ldv replay  --package DIR --query Qx-y [--sf SF] [--seed N]
+//               [--metrics-out FILE] [--trace-out FILE]
 //   ldv inspect --package DIR
 //   ldv trace-dot --package DIR
 //   ldv ptrace  --out DIR -- <command> [args...]
@@ -15,11 +17,19 @@
 // audit survives transient transport failures. `--fault` arms the in-process
 // fault injector (spec grammar in common/fault.h), e.g. for rehearsing a
 // flaky-network audit: --fault "net.send=p:0.2;net.recv=p:0.2".
+//
+// `--metrics-out` writes a metrics snapshot after the run: {"local": <this
+// process>} plus, when auditing over --db-socket, {"server": <the server's
+// snapshot>} fetched via the Stats protocol message. `--trace-out` records
+// trace spans during the run and writes a Chrome trace_event file (load in
+// chrome://tracing or Perfetto); with --db-socket the server's spans are
+// fetched and merged into the same file.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +37,10 @@
 #include "ldv/auditor.h"
 #include "ldv/packager.h"
 #include "ldv/replayer.h"
+#include "net/db_client.h"
+#include "net/retrying_db_client.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "os/ptrace_tracer.h"
 #include "tpch/app.h"
 #include "tpch/generator.h"
@@ -50,7 +64,9 @@ int Usage() {
       "              --query Q1-1..Q4-5 --out DIR [--sf SF] [--seed N]\n"
       "              [--db-socket PATH] [--retries N]\n"
       "              [--retry-deadline-ms N] [--fault SPEC] [--fault-seed N]\n"
+      "              [--metrics-out FILE] [--trace-out FILE]\n"
       "  ldv replay  --package DIR --query Qx-y [--sf SF] [--seed N]\n"
+      "              [--metrics-out FILE] [--trace-out FILE]\n"
       "  ldv inspect --package DIR\n"
       "  ldv trace-dot --package DIR\n"
       "  ldv trace-prov --package DIR      (W3C PROV-JSON export)\n"
@@ -93,6 +109,71 @@ ldv::Status ArmFaultsFromFlags(const Flags& flags) {
   std::printf("ldv: fault injection armed (%s, seed=%llu)\n",
               flags.named.at("fault").c_str(),
               static_cast<unsigned long long>(fault_seed));
+  return ldv::Status::Ok();
+}
+
+/// Starts local span recording when --trace-out is set; with a control
+/// connection, recording also starts on the server.
+void StartObservability(const Flags& flags, ldv::net::DbClient* control) {
+  if (!flags.named.count("trace-out")) return;
+  ldv::obs::TraceRecorder::Clear();
+  ldv::obs::TraceRecorder::Enable();
+  if (control != nullptr) {
+    ldv::Status started = ldv::net::StartServerTrace(control);
+    if (!started.ok()) {
+      std::fprintf(stderr, "ldv: server trace start failed: %s\n",
+                   started.ToString().c_str());
+    }
+  }
+}
+
+/// Writes the --metrics-out / --trace-out files, merging the server-side
+/// snapshot and spans fetched over `control` when available. Server fetch
+/// failures degrade to local-only files rather than failing the command.
+ldv::Status WriteObservability(const Flags& flags,
+                               ldv::net::DbClient* control) {
+  // The dumps are the run's durable outputs — an armed --fault injector must
+  // not sabotage them. Disabling keeps the per-point counts, so the fault.*
+  // metrics still reflect the run.
+  ldv::FaultInjector::Instance().Disable();
+  std::vector<ldv::obs::SpanEvent> server_events;
+  ldv::Json server_stats = ldv::Json::MakeObject();
+  bool have_server_stats = false;
+  if (control != nullptr) {
+    if (flags.named.count("trace-out")) {
+      auto trace = ldv::net::FetchServerTrace(control);
+      if (trace.ok()) {
+        server_events = ldv::obs::TraceRecorder::EventsFromJson(*trace);
+      } else {
+        std::fprintf(stderr, "ldv: server trace fetch failed: %s\n",
+                     trace.status().ToString().c_str());
+      }
+    }
+    auto stats = ldv::net::FetchServerStats(control);
+    if (stats.ok()) {
+      server_stats = std::move(*stats);
+      have_server_stats = true;
+    } else {
+      std::fprintf(stderr, "ldv: server stats fetch failed: %s\n",
+                   stats.status().ToString().c_str());
+    }
+  }
+  if (flags.named.count("metrics-out")) {
+    ldv::obs::CaptureFaultInjectorMetrics(&ldv::obs::MetricsRegistry::Global());
+    ldv::Json root = ldv::Json::MakeObject();
+    root.Set("local", ldv::obs::MetricsRegistry::Global().Snapshot().ToJson());
+    if (have_server_stats) root.Set("server", std::move(server_stats));
+    const std::string& path = flags.named.at("metrics-out");
+    LDV_RETURN_IF_ERROR(ldv::WriteStringToFile(path, root.Dump(true) + "\n"));
+    std::printf("ldv: wrote metrics to %s\n", path.c_str());
+  }
+  if (flags.named.count("trace-out")) {
+    const std::string& path = flags.named.at("trace-out");
+    LDV_RETURN_IF_ERROR(ldv::obs::TraceRecorder::WriteTo(path, server_events));
+    ldv::obs::TraceRecorder::Disable();
+    ldv::obs::TraceRecorder::Clear();
+    std::printf("ldv: wrote trace to %s\n", path.c_str());
+  }
   return ldv::Status::Ok();
 }
 
@@ -161,6 +242,18 @@ int CmdAudit(const Flags& flags) {
   ldv::Status made = ldv::MakeDirs(options.sandbox_root);
   if (!made.ok()) return Fail(made);
 
+  // Dedicated control connection for the Stats/Trace protocol messages, so
+  // the fetches do not interleave with the audited statement stream. Goes
+  // through the same retry policy as the audit: the end-of-run stats fetch
+  // must survive a fault-armed server.
+  std::unique_ptr<ldv::net::RetryingDbClient> control;
+  if (flags.named.count("db-socket") &&
+      (flags.named.count("metrics-out") || flags.named.count("trace-out"))) {
+    control = ldv::net::RetryingDbClient::ForSocket(
+        flags.named.at("db-socket"), options.db_retry);
+  }
+  StartObservability(flags, control.get());
+
   ldv::tpch::StepTimings timings;
   ldv::Auditor auditor(&db, options);
   auto report =
@@ -178,6 +271,8 @@ int CmdAudit(const Flags& flags) {
       static_cast<long long>(report->trace_nodes),
       static_cast<long long>(report->trace_edges),
       static_cast<double>(ldv::TreeSize(report->package_dir)) / 1e6);
+  ldv::Status obs_written = WriteObservability(flags, control.get());
+  if (!obs_written.ok()) return Fail(obs_written);
   return 0;
 }
 
@@ -196,6 +291,7 @@ int CmdReplay(const Flags& flags) {
   ldv::ReplayOptions options;
   options.package_dir = flags.named.at("package");
   options.scratch_dir = options.package_dir + ".scratch";
+  StartObservability(flags, nullptr);  // before Open: captures replay.init
   auto replayer = ldv::Replayer::Open(options);
   if (!replayer.ok()) return Fail(replayer.status());
   ldv::tpch::StepTimings timings;
@@ -209,6 +305,8 @@ int CmdReplay(const Flags& flags) {
               report->init_seconds,
               static_cast<long long>(report->restored_tuples),
               static_cast<long long>(report->statements_replayed));
+  ldv::Status obs_written = WriteObservability(flags, nullptr);
+  if (!obs_written.ok()) return Fail(obs_written);
   return 0;
 }
 

@@ -7,6 +7,7 @@
 //   ldv_server --socket /tmp/ldv.sock [--data DIR] [--tpch SF] [--seed N]
 //              [--max-conns N] [--io-timeout-ms N]
 //              [--fault SPEC] [--fault-seed N]
+//              [--metrics-out FILE] [--trace-out FILE]
 //
 //   --data DIR        load (and on shutdown save) the native data files in DIR
 //   --tpch SF         populate a fresh TPC-H database at scale factor SF
@@ -14,6 +15,10 @@
 //   --io-timeout-ms N per-connection socket send/recv timeout
 //   --fault SPEC      arm the fault injector, e.g. "net.send=p:0.1;net.recv=p:0.1"
 //   --fault-seed N    seed of the injector's deterministic streams
+//   --metrics-out F   write a metrics snapshot (JSON) to F on shutdown
+//   --trace-out F     record spans for the whole run; write a Chrome
+//                     trace_event file to F on shutdown (clients can still
+//                     collect spans mid-run via TraceStart/TraceDump)
 
 #include <signal.h>
 
@@ -26,6 +31,8 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "net/db_server.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "storage/persistence.h"
 #include "tpch/generator.h"
 #include "util/fsutil.h"
@@ -47,6 +54,8 @@ int main(int argc, char** argv) {
   std::string socket_path = "/tmp/ldv.sock";
   std::string data_dir;
   std::string fault_spec;
+  std::string metrics_out;
+  std::string trace_out;
   double tpch_sf = 0;
   uint64_t seed = 42;
   uint64_t fault_seed = 42;
@@ -72,11 +81,15 @@ int main(int argc, char** argv) {
       fault_spec = next();
     } else if (arg == "--fault-seed") {
       fault_seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ldv_server --socket PATH [--data DIR] [--tpch SF] "
           "[--seed N] [--max-conns N] [--io-timeout-ms N] [--fault SPEC] "
-          "[--fault-seed N]\n");
+          "[--fault-seed N] [--metrics-out FILE] [--trace-out FILE]\n");
       return 0;
     } else {
       std::fprintf(stderr, "ldv_server: unknown flag %s\n", arg.c_str());
@@ -110,6 +123,8 @@ int main(int argc, char** argv) {
                 static_cast<long long>(db.TotalLiveRows()));
   }
 
+  if (!trace_out.empty()) ldv::obs::TraceRecorder::Enable();
+
   ldv::net::EngineHandle engine(&db);
   ldv::net::DbServer server(&engine, socket_path, server_options);
   ldv::Status started = server.Start();
@@ -123,9 +138,20 @@ int main(int argc, char** argv) {
     nanosleep(&ts, nullptr);
   }
   server.Stop();
-  // Saves must not be sabotaged by an armed injector: the data files are the
-  // durable state the next start loads.
+  // Saves must not be sabotaged by an armed injector: the data files and
+  // observability dumps are the run's durable outputs. Disabling keeps the
+  // per-point call/injection counts, so fault.* metrics still come out.
   ldv::FaultInjector::Instance().Disable();
+  if (!metrics_out.empty()) {
+    ldv::Status written = ldv::obs::WriteGlobalMetrics(metrics_out);
+    if (!written.ok()) return Fail(written);
+    std::printf("ldv_server: wrote metrics to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    ldv::Status written = ldv::obs::TraceRecorder::WriteTo(trace_out);
+    if (!written.ok()) return Fail(written);
+    std::printf("ldv_server: wrote trace to %s\n", trace_out.c_str());
+  }
   if (!data_dir.empty()) {
     ldv::Status saved = ldv::storage::SaveDatabase(db, data_dir);
     if (!saved.ok()) return Fail(saved);
