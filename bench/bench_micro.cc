@@ -5,20 +5,25 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "common/logging.h"
 #include "exec/executor.h"
+#include "net/db_client.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "sql/parser.h"
 #include "storage/database.h"
+#include "storage/wal.h"
 #include "tpch/generator.h"
 #include "tpch/queries.h"
 #include "trace/inference.h"
 #include "trace/serialize.h"
+#include "util/fsutil.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -246,6 +251,80 @@ void BM_ScanFilterProfiled(benchmark::State& state) {
       BenchDb()->FindTable("lineitem")->live_row_count());
 }
 BENCHMARK(BM_ScanFilterProfiled);
+
+// --- Durability: the price of fsync-on-commit and what group commit buys
+// back. BM_WalCommit runs autocommitted single-row INSERTs through the
+// engine with a WAL attached; sync=0 appends without syncing (the no-fsync
+// baseline), sync=1 uses fdatasync, sync=2 full fsync. At threads:8 the
+// concurrent writers piggyback on each other's fsync (group commit), so the
+// aggregate items/s at sync:2/threads:8 should recover >= 3x the
+// single-writer fsync throughput — the bound tools/check.sh spot-checks. ---
+
+struct WalBenchEnv {
+  std::string root;
+  std::unique_ptr<ldv::storage::Database> db;
+  std::unique_ptr<ldv::net::EngineHandle> engine;
+  std::atomic<int64_t> next_key{0};
+};
+WalBenchEnv* g_wal_bench = nullptr;
+
+void WalBenchSetup(const benchmark::State& state) {
+  auto* env = new WalBenchEnv();
+  auto dir = ldv::MakeTempDir("bench_wal");
+  LDV_CHECK(dir.ok());
+  env->root = *dir;
+  env->db = std::make_unique<ldv::storage::Database>();
+  env->engine = std::make_unique<ldv::net::EngineHandle>(env->db.get());
+  ldv::storage::WalOptions options;
+  switch (state.range(0)) {
+    case 0: options.sync_mode = ldv::storage::WalSyncMode::kNone; break;
+    case 1: options.sync_mode = ldv::storage::WalSyncMode::kFdatasync; break;
+    default: options.sync_mode = ldv::storage::WalSyncMode::kFsync; break;
+  }
+  auto wal = ldv::storage::Wal::Open(env->root + "/wal", options, 1);
+  LDV_CHECK(wal.ok());
+  ldv::net::EngineDurabilityOptions durability;
+  durability.data_dir = env->root + "/data";
+  env->engine->AttachWal(std::move(*wal), durability);
+  ldv::net::DbRequest ddl;
+  ddl.sql = "CREATE TABLE wal_bench (id INT, v INT)";
+  LDV_CHECK(env->engine->Execute(ddl).ok());
+  g_wal_bench = env;
+}
+
+void WalBenchTeardown(const benchmark::State&) {
+  std::string root = g_wal_bench->root;
+  delete g_wal_bench;
+  g_wal_bench = nullptr;
+  (void)ldv::RemoveAll(root);
+}
+
+void BM_WalCommit(benchmark::State& state) {
+  ldv::net::EngineHandle* engine = g_wal_bench->engine.get();
+  // Session ids only matter for explicit transactions, but keep them
+  // distinct anyway so the run mirrors one-connection-per-writer.
+  const int64_t session = state.thread_index() + 1;
+  for (auto _ : state) {
+    const int64_t key = g_wal_bench->next_key.fetch_add(1);
+    ldv::net::DbRequest request;
+    request.sql = ldv::StrFormat("INSERT INTO wal_bench VALUES (%lld, 1)",
+                                 static_cast<long long>(key));
+    auto result = engine->ExecuteSession(request, session);
+    LDV_CHECK(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalCommit)
+    ->ArgNames({"sync"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Threads(1)
+    ->Threads(8)
+    ->Setup(WalBenchSetup)
+    ->Teardown(WalBenchTeardown)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_TpchGenerate(benchmark::State& state) {
   for (auto _ : state) {

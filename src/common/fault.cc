@@ -1,5 +1,7 @@
 #include "common/fault.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <map>
@@ -157,6 +159,8 @@ Status FaultInjector::ConfigureFromSpec(std::string_view spec) {
         config.fail_times = std::strtoll(value.c_str(), &parse_end, 10);
       } else if (kind == "lat") {
         config.latency_micros = std::strtoll(value.c_str(), &parse_end, 10);
+      } else if (kind == "crash") {
+        config.crash = std::strtoll(value.c_str(), &parse_end, 10) != 0;
       } else {
         return Status::InvalidArgument("unknown fault spec kind: " + kind);
       }
@@ -199,6 +203,7 @@ Status FaultInjector::Check(const char* point) {
   InjectorState* s = GlobalState();
   int64_t latency_micros = 0;
   bool fail = false;
+  bool crash = false;
   StatusCode code = StatusCode::kIOError;
   {
     std::lock_guard<std::mutex> lock(s->mu);
@@ -207,6 +212,7 @@ Status FaultInjector::Check(const char* point) {
     if (!state.configured) return Status::Ok();
     latency_micros = state.config.latency_micros;
     code = state.config.code;
+    crash = state.config.crash;
     if (state.config.fail_after_calls >= 0 &&
         call_index >= state.config.fail_after_calls &&
         call_index <
@@ -224,6 +230,9 @@ Status FaultInjector::Check(const char* point) {
     std::this_thread::sleep_for(std::chrono::microseconds(latency_micros));
   }
   if (fail) {
+    // Kill-at-faultpoint: die exactly here, skipping destructors and
+    // buffered-write flushes, the closest userspace gets to a power cut.
+    if (crash) _exit(2);
     return Status(code,
                   "injected fault at " + std::string(point));
   }

@@ -33,6 +33,11 @@ struct FaultPointConfig {
   int64_t latency_micros = 0;
   /// Status code carried by injected failures.
   StatusCode code = StatusCode::kIOError;
+  /// Kill-at-faultpoint: when a failure triggers, _exit(2) the process
+  /// instead of returning a Status — the crash-torture harness's way of
+  /// dying at exactly the chosen point (no destructors, no flushes, like a
+  /// power cut).
+  bool crash = false;
 };
 
 /// Process-wide deterministic fault injector. Production code declares named
@@ -67,8 +72,10 @@ class FaultInjector {
   /// Configures points from a CLI spec: `;`-separated entries of the form
   ///   <point>=<kind>:<value>[,<kind>:<value>...]
   /// with kinds `p` (failure probability), `after` (fail after N calls),
-  /// `times` (failures per `after` trigger), `lat` (latency, microseconds).
+  /// `times` (failures per `after` trigger), `lat` (latency, microseconds),
+  /// and `crash` (non-zero: triggered failures _exit(2) the process).
   /// Example: "net.send=p:0.3;net.recv=p:0.3;fs.rename=after:2,times:1"
+  /// Kill-at-faultpoint: "wal.fsync=after:7,crash:1"
   Status ConfigureFromSpec(std::string_view spec);
 
   /// Calls observed at `point` since the last Reset (0 if never hit).

@@ -1,0 +1,23 @@
+#include "exec/wal_redo.h"
+
+#include "exec/executor.h"
+
+namespace ldv::exec {
+
+storage::WalRedoFn MakeWalRedo(storage::Database* db) {
+  // One Executor shared across redo calls, like the live engine shares one.
+  auto executor = std::make_shared<Executor>(db);
+  return [executor](const std::string& sql) -> Status {
+    Result<ResultSet> result = executor->Execute(sql, ExecOptions{});
+    return result.status();
+  };
+}
+
+Status RecoverWithWal(storage::Database* db, const std::string& data_dir,
+                      const std::string& wal_dir,
+                      storage::RecoveryStats* stats) {
+  return storage::RecoverDatabase(db, data_dir, wal_dir, MakeWalRedo(db),
+                                  stats);
+}
+
+}  // namespace ldv::exec

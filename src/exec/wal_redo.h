@@ -1,0 +1,28 @@
+#ifndef LDV_EXEC_WAL_REDO_H_
+#define LDV_EXEC_WAL_REDO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/recovery.h"
+
+namespace ldv::exec {
+
+/// Builds the standard WalRedoFn: an Executor over `db` that re-executes
+/// each logged statement. RecoverDatabase positions the statement sequence
+/// before every call, so redo reproduces the original rowids and version
+/// stamps. The returned function captures `db` and must not outlive it.
+storage::WalRedoFn MakeWalRedo(storage::Database* db);
+
+/// Snapshot-plus-WAL startup: LoadDatabase from `data_dir` (if a catalog
+/// exists) then redo the committed WAL tail in `wal_dir`, using an Executor
+/// for replay. This is what the server and tools call instead of a bare
+/// LoadDatabase when a WAL directory is configured.
+Status RecoverWithWal(storage::Database* db, const std::string& data_dir,
+                      const std::string& wal_dir,
+                      storage::RecoveryStats* stats);
+
+}  // namespace ldv::exec
+
+#endif  // LDV_EXEC_WAL_REDO_H_

@@ -6,28 +6,288 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
+
 #include "common/clock.h"
 #include "common/fault.h"
+#include "common/logging.h"
 #include "obs/span.h"
+#include "sql/parser.h"
+#include "storage/persistence.h"
 
 namespace ldv::net {
 
-Result<exec::ResultSet> EngineHandle::Execute(const DbRequest& request) {
-  LDV_FAULT_POINT("engine.execute");
-  std::lock_guard<std::mutex> lock(mu_);
-  obs::Span span("engine.statement", "engine");
-  if (span.recording()) {
-    span.AddArg("sql", request.sql.size() <= 120
-                           ? request.sql
-                           : request.sql.substr(0, 117) + "...");
+namespace {
+
+/// Statements whose execution changes database state (and therefore must
+/// reach the WAL). EXPLAIN renders the plan without executing, so it never
+/// mutates; EXPLAIN ANALYZE executes and does.
+bool StatementMutates(const sql::Statement& stmt) {
+  if (stmt.explain && !stmt.analyze) return false;
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert:
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete:
+    case sql::StatementKind::kCreateTable:
+    case sql::StatementKind::kDropTable:
+    case sql::StatementKind::kAlterTableAddColumn:
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kCopy:
+      return true;
+    case sql::StatementKind::kSelect:
+    case sql::StatementKind::kTransaction:
+      return false;
   }
-  exec::ExecOptions options;
-  options.process_id = request.process_id;
-  options.query_id = request.query_id;
-  const int64_t start = NowNanos();
-  Result<exec::ResultSet> result = executor_.Execute(request.sql, options);
-  statement_latency_->Observe((NowNanos() - start) / 1000);
+  return false;
+}
+
+/// DDL and COPY change the table set or bulk-load outside the version
+/// archive; the undo scope cannot restore either, so they are barred from
+/// explicit transactions.
+bool IsDdlOrCopy(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kCreateTable:
+    case sql::StatementKind::kDropTable:
+    case sql::StatementKind::kAlterTableAddColumn:
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kCopy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+EngineHandle::EngineHandle(storage::Database* db)
+    : executor_(db),
+      statement_latency_(obs::MetricsRegistry::Global().latency_histogram(
+          "engine.statement_micros")),
+      txns_committed_(
+          obs::MetricsRegistry::Global().counter("engine.txns_committed")),
+      txns_rolled_back_(
+          obs::MetricsRegistry::Global().counter("engine.txns_rolled_back")),
+      checkpoints_(
+          obs::MetricsRegistry::Global().counter("engine.checkpoints")) {}
+
+void EngineHandle::AttachWal(std::unique_ptr<storage::Wal> wal,
+                             EngineDurabilityOptions durability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = std::move(wal);
+  durability_ = std::move(durability);
+  commits_since_checkpoint_ = 0;
+}
+
+void EngineHandle::EndTxnLocked() {
+  txn_owner_ = kNoSession;
+  txn_ops_.clear();
+  txn_cv_.notify_all();
+}
+
+Result<uint64_t> EngineHandle::AppendGroupLocked(
+    const std::vector<storage::WalOp>& ops) {
+  LDV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendCommit(next_txn_id_++, ops));
+  ++commits_since_checkpoint_;
+  return lsn;
+}
+
+Result<exec::ResultSet> EngineHandle::ExecTransactionLocked(
+    int64_t session_id, const sql::TransactionStmt& stmt, uint64_t* sync_lsn) {
+  switch (stmt.kind) {
+    case sql::TransactionStmt::Kind::kBegin: {
+      if (txn_owner_ == session_id) {
+        return Status::InvalidArgument(
+            "BEGIN: a transaction is already open (nested transactions are "
+            "not supported)");
+      }
+      LDV_RETURN_IF_ERROR(txn_.Begin(db()));
+      txn_owner_ = session_id;
+      txn_ops_.clear();
+      return exec::ResultSet{};
+    }
+    case sql::TransactionStmt::Kind::kCommit: {
+      if (txn_owner_ != session_id) {
+        return Status::InvalidArgument("COMMIT: no transaction is open");
+      }
+      if (wal_ != nullptr && !txn_ops_.empty()) {
+        Result<uint64_t> lsn = AppendGroupLocked(txn_ops_);
+        if (!lsn.ok()) {
+          // The group never reached the log; abort so memory and log agree.
+          Status rolled = txn_.Rollback();
+          EndTxnLocked();
+          txns_rolled_back_->Add(1);
+          if (!rolled.ok()) return rolled;
+          return lsn.status().WithContext("COMMIT aborted: wal append failed");
+        }
+        *sync_lsn = *lsn;
+      }
+      txn_.Commit();
+      EndTxnLocked();
+      txns_committed_->Add(1);
+      MaybeCheckpointLocked();
+      return exec::ResultSet{};
+    }
+    case sql::TransactionStmt::Kind::kRollback: {
+      if (txn_owner_ != session_id) {
+        return Status::InvalidArgument("ROLLBACK: no transaction is open");
+      }
+      Status rolled = txn_.Rollback();
+      EndTxnLocked();
+      txns_rolled_back_->Add(1);
+      if (!rolled.ok()) return rolled;
+      return exec::ResultSet{};
+    }
+  }
+  return Status::Internal("unhandled transaction statement");
+}
+
+Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
+                                                     int64_t session_id) {
+  LDV_FAULT_POINT("engine.execute");
+  LDV_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(request.sql));
+
+  uint64_t sync_lsn = 0;
+  Result<exec::ResultSet> result = Status::Internal("unreachable");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!txn_cv_.wait_for(lock, std::chrono::milliseconds(txn_wait_millis_),
+                          [&] {
+                            return txn_owner_ == kNoSession ||
+                                   txn_owner_ == session_id;
+                          })) {
+      return Status::IOError(
+          "engine busy: another session's transaction held the engine past "
+          "the wait limit");
+    }
+    obs::Span span("engine.statement", "engine");
+    if (span.recording()) {
+      span.AddArg("sql", request.sql.size() <= 120
+                             ? request.sql
+                             : request.sql.substr(0, 117) + "...");
+    }
+
+    if (stmt.kind == sql::StatementKind::kTransaction) {
+      result = ExecTransactionLocked(session_id, *stmt.transaction, &sync_lsn);
+    } else {
+      const bool in_txn = txn_owner_ == session_id;
+      const bool mutates = StatementMutates(stmt);
+      if (in_txn && mutates && IsDdlOrCopy(stmt)) {
+        return Status::InvalidArgument(
+            "DDL and COPY are not allowed inside a transaction");
+      }
+      // With a WAL attached, an autocommit mutation runs under its own undo
+      // scope: if execution or the log append fails, the statement's partial
+      // effects are rolled back and the client's error means "not applied".
+      storage::TxnScope autocommit;
+      const bool guarded = mutates && !in_txn && wal_ != nullptr;
+      if (guarded) LDV_RETURN_IF_ERROR(autocommit.Begin(db()));
+
+      exec::ExecOptions options;
+      options.process_id = request.process_id;
+      options.query_id = request.query_id;
+      const int64_t seq_before = db()->current_statement_seq();
+      const int64_t start = NowNanos();
+      result = executor_.ExecuteParsed(stmt, options);
+      statement_latency_->Observe((NowNanos() - start) / 1000);
+
+      if (!result.ok()) {
+        if (guarded) LDV_RETURN_IF_ERROR(autocommit.Rollback());
+        if (in_txn) {
+          Status rolled = txn_.Rollback();
+          EndTxnLocked();
+          txns_rolled_back_->Add(1);
+          if (!rolled.ok()) return rolled;
+          return result.status().WithContext("transaction aborted");
+        }
+      } else if (mutates) {
+        // Every logged statement occupies at least one sequence slot, so a
+        // checkpoint boundary between statements is unambiguous on redo
+        // (DDL allocates no version stamps on its own).
+        if (db()->current_statement_seq() == seq_before) {
+          db()->NextStatementSeq();
+        }
+        if (in_txn) {
+          txn_ops_.push_back(storage::WalOp{seq_before, request.sql});
+        } else if (wal_ != nullptr) {
+          Result<uint64_t> lsn = AppendGroupLocked(
+              {storage::WalOp{seq_before, request.sql}});
+          if (!lsn.ok()) {
+            LDV_RETURN_IF_ERROR(autocommit.Rollback());
+            return lsn.status().WithContext(
+                "statement rolled back: wal append failed");
+          }
+          sync_lsn = *lsn;
+          autocommit.Commit();
+          txns_committed_->Add(1);
+          MaybeCheckpointLocked();
+        }
+      }
+    }
+  }
+  // Group commit: the fsync happens outside the engine lock, so concurrent
+  // committers share one fsync. A sync failure is reported without undo —
+  // the group is in the log (commit outcome unknown until the next sync or
+  // recovery), the classic ack-in-doubt.
+  if (result.ok() && sync_lsn != 0) {
+    LDV_RETURN_IF_ERROR(wal_->Sync(sync_lsn));
+  }
   return result;
+}
+
+void EngineHandle::AbortSession(int64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (txn_owner_ != session_id) return;
+  Status rolled = txn_.Rollback();
+  if (!rolled.ok()) {
+    LDV_LOG(Error) << "rollback on session teardown failed: "
+                   << rolled.ToString();
+  }
+  EndTxnLocked();
+  txns_rolled_back_->Add(1);
+}
+
+Status EngineHandle::FlushWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) return Status::Ok();
+  return wal_->Flush();
+}
+
+Status EngineHandle::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CheckpointLocked();
+}
+
+Status EngineHandle::CheckpointLocked() {
+  if (wal_ == nullptr || durability_.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpointing needs an attached WAL and a data_dir");
+  }
+  obs::Span span("engine.checkpoint", "engine");
+  // Order matters: the log must cover everything the snapshot will contain
+  // before the snapshot becomes the recovery base, and segments may only be
+  // retired once the snapshot covering them is durable (SaveDatabase's
+  // catalog rename is its commit point).
+  LDV_RETURN_IF_ERROR(wal_->Flush());
+  LDV_RETURN_IF_ERROR(storage::SaveDatabase(*db(), durability_.data_dir));
+  LDV_RETURN_IF_ERROR(wal_->StartNewSegment());
+  LDV_RETURN_IF_ERROR(wal_->RetireOldSegments());
+  commits_since_checkpoint_ = 0;
+  checkpoints_->Add(1);
+  return Status::Ok();
+}
+
+void EngineHandle::MaybeCheckpointLocked() {
+  if (durability_.checkpoint_every <= 0 || durability_.data_dir.empty()) {
+    return;
+  }
+  if (commits_since_checkpoint_ < durability_.checkpoint_every) return;
+  Status status = CheckpointLocked();
+  if (!status.ok()) {
+    // A failed checkpoint must not fail the commit that triggered it; the
+    // WAL still covers everything. Try again after the next batch.
+    LDV_LOG(Warning) << "checkpoint failed: " << status.ToString();
+    commits_since_checkpoint_ = 0;
+  }
 }
 
 SocketDbClient::~SocketDbClient() { Close(); }

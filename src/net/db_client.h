@@ -1,16 +1,21 @@
 #ifndef LDV_NET_DB_CLIENT_H_
 #define LDV_NET_DB_CLIENT_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "common/result.h"
 #include "exec/executor.h"
 #include "net/protocol.h"
 #include "obs/metrics.h"
+#include "sql/ast.h"
 #include "storage/database.h"
+#include "storage/txn.h"
+#include "storage/wal.h"
 
 namespace ldv::net {
 
@@ -33,26 +38,111 @@ class DbClient {
   }
 };
 
+/// Durability wiring for an EngineHandle. Both members are optional: an
+/// empty data_dir disables checkpointing, checkpoint_every == 0 disables
+/// the automatic trigger (Checkpoint() still works).
+struct EngineDurabilityOptions {
+  /// Snapshot directory for checkpoints (usually the same dir recovery
+  /// loaded from).
+  std::string data_dir;
+  /// Take a checkpoint after this many committed transactions.
+  int64_t checkpoint_every = 0;
+};
+
 /// Thread-safe façade over a Database + Executor, shared by the in-process
 /// client and the socket server (the engine is single-writer).
+///
+/// Transactions: BEGIN/COMMIT/ROLLBACK are intercepted here, above the
+/// executor. One explicit transaction runs at a time, owned by a session
+/// (a server connection, or kLocalSession for in-process clients); other
+/// sessions' statements wait for it to finish. Undo is the version archive
+/// (storage::TxnScope); a statement failing inside a transaction aborts the
+/// whole transaction. DDL and COPY are rejected inside explicit
+/// transactions.
+///
+/// Durability: with a WAL attached, every committed transaction (explicit
+/// or the implicit transaction around a single mutating statement) is
+/// appended as one begin/op.../commit group and fsynced before the client
+/// sees success. The append happens inside the engine's critical section
+/// (commit order == log order); the fsync happens outside it, so concurrent
+/// committers share one fsync (group commit).
 class EngineHandle {
  public:
-  explicit EngineHandle(storage::Database* db)
-      : executor_(db),
-        statement_latency_(obs::MetricsRegistry::Global().latency_histogram(
-            "engine.statement_micros")) {}
+  /// Session id used by in-process clients (LocalDbClient, tools, tests).
+  static constexpr int64_t kLocalSession = 0;
+
+  explicit EngineHandle(storage::Database* db);
 
   EngineHandle(const EngineHandle&) = delete;
   EngineHandle& operator=(const EngineHandle&) = delete;
 
-  Result<exec::ResultSet> Execute(const DbRequest& request);
+  Result<exec::ResultSet> Execute(const DbRequest& request) {
+    return ExecuteSession(request, kLocalSession);
+  }
+
+  /// Executes on behalf of one session; the session id scopes transaction
+  /// ownership (the server passes its connection id).
+  Result<exec::ResultSet> ExecuteSession(const DbRequest& request,
+                                         int64_t session_id);
+
+  /// Hands the engine its write-ahead log (opened by the caller after
+  /// recovery) and the checkpoint policy.
+  void AttachWal(std::unique_ptr<storage::Wal> wal,
+                 EngineDurabilityOptions durability);
+
+  /// Rolls back the session's open transaction, if any (connection teardown).
+  void AbortSession(int64_t session_id);
+
+  /// Makes everything appended so far durable (shutdown drain). No-op
+  /// without a WAL.
+  Status FlushWal();
+
+  /// Snapshot + segment rotation: WAL flush, SaveDatabase, fresh segment,
+  /// retire segments the snapshot covers. Requires a WAL and a data_dir.
+  Status Checkpoint();
+
+  /// How long a statement waits for another session's transaction before
+  /// giving up with an error.
+  void set_txn_wait_millis(int64_t millis) { txn_wait_millis_ = millis; }
 
   storage::Database* db() { return executor_.db(); }
+  storage::Wal* wal() { return wal_.get(); }
 
  private:
+  static constexpr int64_t kNoSession = -1;
+
+  /// BEGIN/COMMIT/ROLLBACK. On COMMIT, `*sync_lsn` is set to the LSN the
+  /// caller must Sync() after releasing mu_ (0 = nothing to sync).
+  Result<exec::ResultSet> ExecTransactionLocked(
+      int64_t session_id, const sql::TransactionStmt& stmt,
+      uint64_t* sync_lsn);
+  /// Appends one commit group; returns its commit LSN.
+  Result<uint64_t> AppendGroupLocked(const std::vector<storage::WalOp>& ops);
+  Status CheckpointLocked();
+  void MaybeCheckpointLocked();
+  void EndTxnLocked();
+
   std::mutex mu_;
+  std::condition_variable txn_cv_;
   exec::Executor executor_;
+
+  // Explicit-transaction state, guarded by mu_.
+  int64_t txn_owner_ = kNoSession;
+  storage::TxnScope txn_;
+  std::vector<storage::WalOp> txn_ops_;
+  int64_t next_txn_id_ = 1;
+  int64_t txn_wait_millis_ = 10'000;
+
+  // Durability state, guarded by mu_ (Wal has its own lock; only the
+  // pointer and the checkpoint counter live under mu_).
+  std::unique_ptr<storage::Wal> wal_;
+  EngineDurabilityOptions durability_;
+  int64_t commits_since_checkpoint_ = 0;
+
   obs::Histogram* statement_latency_;
+  obs::Counter* txns_committed_;
+  obs::Counter* txns_rolled_back_;
+  obs::Counter* checkpoints_;
 };
 
 /// In-process client: same wire contract as the socket client without the

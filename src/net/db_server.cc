@@ -144,7 +144,8 @@ void DbServer::AcceptLoop() {
   }
 }
 
-std::string DbServer::ExecuteDeduped(const DbRequest& request) {
+std::string DbServer::ExecuteDeduped(const DbRequest& request,
+                                     int64_t session_id) {
   const bool use_dedup =
       options_.dedup_capacity > 0 &&
       (request.process_id != 0 || request.query_id != 0);
@@ -170,7 +171,7 @@ std::string DbServer::ExecuteDeduped(const DbRequest& request) {
     dedup_.emplace(key, DedupEntry{});  // in-progress marker
   }
 
-  Result<exec::ResultSet> result = engine_->Execute(request);
+  Result<exec::ResultSet> result = engine_->ExecuteSession(request, session_id);
   std::string response = result.ok()
                              ? EncodeResponse(Status::Ok(), *result)
                              : EncodeResponse(result.status(), {});
@@ -259,11 +260,14 @@ void DbServer::ServeConnection(int64_t id, int fd) {
     } else {
       requests_total_->Add(1);
       const int64_t start = NowNanos();
-      response = ExecuteDeduped(*request);
+      response = ExecuteDeduped(*request, id);
       request_latency_->Observe((NowNanos() - start) / 1000);
     }
     if (!SendFrame(fd, response).ok()) break;
   }
+  // A connection that drops mid-transaction must not leave the engine
+  // locked for everyone else: roll its transaction back.
+  engine_->AbortSession(id);
   std::lock_guard<std::mutex> lock(conn_mu_);
   auto it = connections_.find(id);
   if (it != connections_.end() && it->second.fd >= 0) {

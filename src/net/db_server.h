@@ -99,7 +99,7 @@ class DbServer {
   void ApplyIoTimeouts(int fd);
   /// Executes `request`, deduplicating on (process_id, query_id, sql) when
   /// the request carries ids; returns the encoded response frame.
-  std::string ExecuteDeduped(const DbRequest& request);
+  std::string ExecuteDeduped(const DbRequest& request, int64_t session_id);
   /// Answers the non-query request kinds (Stats / TraceStart / TraceDump);
   /// returns the encoded response frame.
   std::string HandleControl(const DbRequest& request);

@@ -3,9 +3,11 @@
 #include <vector>
 
 #include "common/json.h"
+#include "obs/metrics.h"
 #include "util/crc32.h"
 #include "util/fsutil.h"
 #include "util/serde.h"
+#include "util/strings.h"
 
 namespace ldv::storage {
 
@@ -198,9 +200,14 @@ Status LoadDatabase(Database* db, const std::string& dir) {
           std::string_view(bytes).substr(bytes.size() - 4));
       uint32_t computed = Crc32(payload);
       if (stored != computed || stored != entry.crc32) {
-        return Status::IOError(
-            "table '" + entry.name + "': checksum mismatch in " + entry.file +
-            " (file is corrupt or truncated)");
+        obs::MetricsRegistry::Global().counter("storage.load_corruption")
+            ->Add(1);
+        return Status::IOError(StrFormat(
+            "table '%s': checksum mismatch in %s at offset %zu "
+            "(stored crc 0x%08x, computed 0x%08x, catalog 0x%08x; file is "
+            "corrupt or truncated)",
+            entry.name.c_str(), path.c_str(), payload.size(), stored, computed,
+            entry.crc32));
       }
     }
     LDV_RETURN_IF_ERROR(DeserializeTableInto(db, entry.name, payload));

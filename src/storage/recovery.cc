@@ -1,0 +1,175 @@
+#include "storage/recovery.h"
+
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "storage/persistence.h"
+#include "storage/wal.h"
+#include "util/fsutil.h"
+#include "util/strings.h"
+
+namespace ldv::storage {
+
+namespace {
+
+/// Durably shortens `path` to `size` bytes (torn-tail removal). The
+/// truncation itself is fsynced so a crash right after recovery cannot
+/// resurrect the torn bytes.
+Status TruncateFileDurably(const std::string& path, uint64_t size) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    Status status =
+        Status::IOError("truncate " + path + ": " + strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::IOError("fsync " + path + ": " + strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string RecoveryStats::ToString() const {
+  std::string out = StrFormat(
+      "snapshot=%s seq=%lld segments=%lld records=%lld txns=%lld "
+      "ops=%lld skipped=%lld discarded=%lld next_lsn=%llu",
+      snapshot_loaded ? "yes" : "no",
+      static_cast<long long>(snapshot_stmt_seq),
+      static_cast<long long>(segments_scanned),
+      static_cast<long long>(records_scanned),
+      static_cast<long long>(txns_applied), static_cast<long long>(ops_applied),
+      static_cast<long long>(ops_skipped),
+      static_cast<long long>(txns_discarded),
+      static_cast<unsigned long long>(next_lsn));
+  if (truncated_torn_tail) out += " truncated[" + torn_detail + "]";
+  return out;
+}
+
+Status RecoverDatabase(Database* db, const std::string& data_dir,
+                       const std::string& wal_dir, const WalRedoFn& redo,
+                       RecoveryStats* stats) {
+  obs::Span span("storage.recovery", "storage");
+  RecoveryStats local;
+  RecoveryStats* out = stats != nullptr ? stats : &local;
+  *out = RecoveryStats{};
+
+  if (!data_dir.empty() && FileExists(JoinPath(data_dir, "catalog.json"))) {
+    LDV_RETURN_IF_ERROR(LoadDatabase(db, data_dir));
+    out->snapshot_loaded = true;
+  }
+  out->snapshot_stmt_seq = db->current_statement_seq();
+  const int64_t snapshot_seq = out->snapshot_stmt_seq;
+
+  if (wal_dir.empty()) return Status::Ok();
+  LDV_ASSIGN_OR_RETURN(std::vector<std::string> segments,
+                       ListWalSegments(wal_dir));
+
+  obs::Counter* redo_ops = obs::MetricsRegistry::Global().counter(
+      "storage.recovery_redo_ops");
+  obs::Counter* torn = obs::MetricsRegistry::Global().counter(
+      "wal.torn_tail_truncated");
+  obs::Counter* corruption = obs::MetricsRegistry::Global().counter(
+      "storage.load_corruption");
+
+  // Committed groups are applied in log order as their commit record
+  // arrives; groups still pending when the scan ends were torn at the tail
+  // and are discarded (they were never acknowledged).
+  std::map<int64_t, std::vector<WalOp>> pending;
+  uint64_t last_lsn = 0;
+
+  auto apply_commit = [&](int64_t txn_id) -> Status {
+    auto it = pending.find(txn_id);
+    if (it == pending.end()) {
+      // A commit without its begin would mean records vanished mid-log;
+      // scanning already guarantees a contiguous prefix, so this is real
+      // corruption.
+      return Status::IOError(StrFormat(
+          "wal: commit of unknown transaction %lld",
+          static_cast<long long>(txn_id)));
+    }
+    for (const WalOp& op : it->second) {
+      if (op.stmt_seq_before < snapshot_seq) {
+        ++out->ops_skipped;
+        continue;
+      }
+      db->set_statement_seq(op.stmt_seq_before);
+      Status applied = redo(op.sql);
+      if (!applied.ok()) {
+        return Status::IOError("wal redo of \"" + op.sql +
+                               "\" failed: " + applied.message());
+      }
+      // Statements that allocate no version stamp (DDL) still occupy one
+      // sequence slot in the live engine; mirror that here so a checkpoint
+      // boundary between statements stays unambiguous.
+      db->set_statement_seq(
+          std::max(db->current_statement_seq(), op.stmt_seq_before + 1));
+      ++out->ops_applied;
+      redo_ops->Add(1);
+    }
+    ++out->txns_applied;
+    pending.erase(it);
+    return Status::Ok();
+  };
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string path = JoinPath(wal_dir, segments[i]);
+    LDV_ASSIGN_OR_RETURN(WalSegmentScan scan, ScanWalSegment(path));
+    ++out->segments_scanned;
+    for (const WalRecord& record : scan.records) {
+      ++out->records_scanned;
+      last_lsn = std::max(last_lsn, record.lsn);
+      switch (record.kind) {
+        case WalRecordKind::kBegin:
+          pending[record.txn_id];
+          break;
+        case WalRecordKind::kOp:
+          pending[record.txn_id].push_back(record.op);
+          break;
+        case WalRecordKind::kCommit:
+          LDV_RETURN_IF_ERROR(apply_commit(record.txn_id));
+          break;
+      }
+    }
+    if (scan.damage.empty()) continue;
+    const bool last_segment = i + 1 == segments.size();
+    if (!last_segment) {
+      // Damage with later segments behind it cannot be a crash tail:
+      // committed transactions may be missing. Refuse to guess.
+      corruption->Add(1);
+      return Status::IOError("wal segment " + path + ": " + scan.damage +
+                             " with " +
+                             std::to_string(segments.size() - i - 1) +
+                             " later segment(s); the log is corrupt, not torn");
+    }
+    // Torn tail of the final segment: the signature of a crash mid-append.
+    // Truncate to the last valid record; the lost suffix was never
+    // acknowledged.
+    LDV_RETURN_IF_ERROR(TruncateFileDurably(path, scan.valid_bytes));
+    out->truncated_torn_tail = true;
+    out->torn_detail = segments[i] + ": " + scan.damage;
+    torn->Add(1);
+  }
+
+  out->txns_discarded = static_cast<int64_t>(pending.size());
+  db->set_statement_seq(std::max(db->current_statement_seq(), snapshot_seq));
+  out->next_lsn = last_lsn + 1;
+  return Status::Ok();
+}
+
+}  // namespace ldv::storage

@@ -1,0 +1,56 @@
+#ifndef LDV_STORAGE_RECOVERY_H_
+#define LDV_STORAGE_RECOVERY_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace ldv::storage {
+
+/// What recovery found and did. `next_lsn` seeds Wal::Open so the LSN
+/// sequence continues across restarts.
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  int64_t snapshot_stmt_seq = 0;
+  int64_t segments_scanned = 0;
+  int64_t records_scanned = 0;
+  int64_t txns_applied = 0;
+  int64_t ops_applied = 0;
+  /// Ops whose effects the snapshot already contains (checkpoint raced past
+  /// them before the crash).
+  int64_t ops_skipped = 0;
+  /// Begin/op records with no commit (a group torn exactly at the tail).
+  int64_t txns_discarded = 0;
+  bool truncated_torn_tail = false;
+  std::string torn_detail;  // file + offset + reason of the truncated tail
+  uint64_t next_lsn = 1;
+
+  std::string ToString() const;
+};
+
+/// Re-executes one logged SQL statement against the database being
+/// recovered. RecoverDatabase positions the statement sequence first, so the
+/// redo reproduces the original rowids and version stamps; the standard
+/// implementation wraps exec::Executor (see exec/wal_redo.h — the storage
+/// layer cannot depend on the executor).
+using WalRedoFn = std::function<Status(const std::string& sql)>;
+
+/// Crash recovery: loads the snapshot in `data_dir` (if any), then redoes
+/// the committed-transaction suffix of the WAL in `wal_dir` (if any).
+///
+/// A torn or corrupt record at the tail of the *last* segment is the
+/// expected signature of a crash mid-append: the tail is truncated (durably)
+/// and recovery succeeds with the committed prefix. Damage anywhere else
+/// means committed transactions may be missing, so recovery fails, naming
+/// the segment file and byte offset. Recovery never appends to the log, so
+/// recovering twice is a no-op: the second run sees the same snapshot and an
+/// already-clean log and rebuilds the identical state.
+Status RecoverDatabase(Database* db, const std::string& data_dir,
+                       const std::string& wal_dir, const WalRedoFn& redo,
+                       RecoveryStats* stats);
+
+}  // namespace ldv::storage
+
+#endif  // LDV_STORAGE_RECOVERY_H_

@@ -184,6 +184,68 @@ void Table::IndexRemove(const RowVersion& row) {
   }
 }
 
+TableTxnMark Table::BeginTxnCapture() {
+  TableTxnMark mark;
+  mark.rows_size = rows_.size();
+  mark.archive_size = archive_.size();
+  mark.next_rowid = next_rowid_;
+  mark.live_count = live_count_;
+  mark.was_tracking = track_versions_;
+  track_versions_ = true;
+  return mark;
+}
+
+void Table::CommitTxnCapture(const TableTxnMark& mark) {
+  track_versions_ = mark.was_tracking;
+  // Pre-images archived only for rollback's sake would not exist had the
+  // statements run outside a transaction; drop them for identical state.
+  if (!mark.was_tracking && archive_.size() > mark.archive_size) {
+    archive_.resize(mark.archive_size);
+  }
+}
+
+Status Table::RollbackToMark(const TableTxnMark& mark) {
+  if (archive_.size() < mark.archive_size || rows_.size() < mark.rows_size) {
+    return Status::Internal(name_ + ": transaction mark is ahead of state");
+  }
+  // Undo UPDATE/DELETE newest-first: every pre-image archived during the
+  // transaction goes back into place. Restoring a tombstone revives the row.
+  for (size_t i = archive_.size(); i > mark.archive_size; --i) {
+    RowVersion& prior = archive_[i - 1];
+    auto it = index_.find(prior.rowid);
+    if (it == index_.end()) {
+      return Status::Internal(name_ + ": archived rowid " +
+                              std::to_string(prior.rowid) + " has no slot");
+    }
+    RowVersion& current = rows_[it->second];
+    if (current.deleted) {
+      ++live_count_;
+    } else {
+      IndexRemove(current);
+    }
+    current = prior;
+    IndexInsert(current);
+  }
+  archive_.resize(mark.archive_size);
+  // Undo INSERTs: rows only ever append, so everything past the mark was
+  // created inside the transaction.
+  while (rows_.size() > mark.rows_size) {
+    RowVersion& row = rows_.back();
+    if (!row.deleted) {
+      IndexRemove(row);
+      --live_count_;
+    }
+    index_.erase(row.rowid);
+    rows_.pop_back();
+  }
+  next_rowid_ = mark.next_rowid;
+  track_versions_ = mark.was_tracking;
+  if (live_count_ != mark.live_count) {
+    return Status::Internal(name_ + ": rollback live-row count drifted");
+  }
+  return Status::Ok();
+}
+
 int64_t Table::ApproxBytes() const {
   int64_t total = 0;
   for (const RowVersion& row : rows_) {

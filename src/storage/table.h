@@ -59,6 +59,17 @@ struct RowVersion {
   bool deleted = false;
 };
 
+/// Per-table state captured at BEGIN so an explicit transaction can be
+/// rolled back. While the marks are held, version tracking is forced on, so
+/// every superseded row version lands in the archive and can be restored.
+struct TableTxnMark {
+  size_t rows_size = 0;
+  size_t archive_size = 0;
+  RowId next_rowid = 1;
+  int64_t live_count = 0;
+  bool was_tracking = false;
+};
+
 /// A heap table: live rows plus (when provenance tracking is registered) an
 /// archive of superseded versions, which reenactment uses to retrieve the
 /// pre-state of UPDATE/DELETE statements.
@@ -118,6 +129,17 @@ class Table {
 
   /// Approximate heap bytes of all live tuples (benchmark reporting).
   int64_t ApproxBytes() const;
+
+  /// Transaction support. BeginTxnCapture marks the current state and forces
+  /// version tracking so UPDATE/DELETE pre-images reach the archive;
+  /// RollbackToMark restores exactly that state (values, tombstones, rowid
+  /// allocation, archive, indexes); CommitTxnCapture keeps the new state and
+  /// restores the tracking flag, dropping archive entries that only existed
+  /// to make rollback possible. DDL between capture and resolution is the
+  /// caller's responsibility to prevent.
+  TableTxnMark BeginTxnCapture();
+  void CommitTxnCapture(const TableTxnMark& mark);
+  Status RollbackToMark(const TableTxnMark& mark);
 
   /// Creates a hash index over `column_index` for equality probes
   /// (CREATE INDEX). Existing rows are indexed; idempotent per column.

@@ -1,0 +1,37 @@
+#include "storage/txn.h"
+
+namespace ldv::storage {
+
+Status TxnScope::Begin(Database* db) {
+  if (active()) {
+    return Status::Internal("TxnScope::Begin with a transaction already open");
+  }
+  db_ = db;
+  stmt_seq_mark_ = db->current_statement_seq();
+  marks_.clear();
+  for (const std::string& name : db->TableNames()) {
+    Table* table = db->FindTable(name);
+    marks_.emplace_back(table, table->BeginTxnCapture());
+  }
+  return Status::Ok();
+}
+
+void TxnScope::Commit() {
+  for (auto& [table, mark] : marks_) table->CommitTxnCapture(mark);
+  marks_.clear();
+  db_ = nullptr;
+}
+
+Status TxnScope::Rollback() {
+  Status status = Status::Ok();
+  for (auto& [table, mark] : marks_) {
+    Status rolled = table->RollbackToMark(mark);
+    if (!rolled.ok() && status.ok()) status = rolled;
+  }
+  if (db_ != nullptr) db_->set_statement_seq(stmt_seq_mark_);
+  marks_.clear();
+  db_ = nullptr;
+  return status;
+}
+
+}  // namespace ldv::storage

@@ -1,0 +1,52 @@
+#ifndef LDV_STORAGE_TXN_H_
+#define LDV_STORAGE_TXN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace ldv::storage {
+
+/// Undo scope of one explicit transaction (BEGIN .. COMMIT/ROLLBACK).
+///
+/// Begin() captures a mark on every table (forcing version tracking so
+/// UPDATE/DELETE pre-images reach the archive) plus the database statement
+/// sequence. Rollback() restores exactly the captured state — values,
+/// tombstones, rowid allocation and the statement sequence — which keeps a
+/// rolled-back transaction invisible to WAL redo determinism: a redo of the
+/// log (which never contains aborted transactions) produces the same rowids
+/// and version stamps the live engine handed out after the rollback.
+///
+/// The engine serializes statements, holds off DDL while a scope is active,
+/// and runs at most one scope at a time, so the captured table set is stable.
+class TxnScope {
+ public:
+  TxnScope() = default;
+
+  TxnScope(const TxnScope&) = delete;
+  TxnScope& operator=(const TxnScope&) = delete;
+
+  /// Captures marks for every table in `db`. No-op guard: Begin on an
+  /// active scope is an internal error.
+  Status Begin(Database* db);
+
+  bool active() const { return db_ != nullptr; }
+
+  /// Keeps the transaction's effects; restores per-table tracking flags.
+  void Commit();
+
+  /// Restores the captured state on every table and the statement sequence.
+  Status Rollback();
+
+ private:
+  Database* db_ = nullptr;
+  int64_t stmt_seq_mark_ = 0;
+  std::vector<std::pair<Table*, TableTxnMark>> marks_;
+};
+
+}  // namespace ldv::storage
+
+#endif  // LDV_STORAGE_TXN_H_

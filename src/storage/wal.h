@@ -1,0 +1,164 @@
+#ifndef LDV_STORAGE_WAL_H_
+#define LDV_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace ldv::storage {
+
+/// How a committed group is made durable before the commit is acknowledged.
+enum class WalSyncMode {
+  kFsync,      // fsync(2) the segment file (default)
+  kFdatasync,  // fdatasync(2): skips mtime, same data guarantee
+  kNone,       // no sync: commits can be lost on power failure / crash
+};
+
+/// Parses "fsync" | "fdatasync" | "none" (the --sync-mode flag values).
+Result<WalSyncMode> ParseWalSyncMode(std::string_view name);
+
+struct WalOptions {
+  WalSyncMode sync_mode = WalSyncMode::kFsync;
+};
+
+/// Record kinds of the on-disk log. A committed transaction is one
+/// begin/op.../commit group appended and fsynced atomically; the log never
+/// contains records of aborted transactions (logging is deferred to commit).
+enum class WalRecordKind : uint8_t {
+  kBegin = 1,
+  kOp = 2,
+  kCommit = 3,
+};
+
+/// One logged statement. `stmt_seq_before` is the database statement
+/// sequence counter *before* the statement executed; redo restores it and
+/// re-executes `sql`, which re-derives identical rowids and version stamps
+/// (the engine is deterministic and single-writer).
+struct WalOp {
+  int64_t stmt_seq_before = 0;
+  std::string sql;
+};
+
+/// One decoded record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordKind kind = WalRecordKind::kBegin;
+  int64_t txn_id = 0;
+  WalOp op;  // meaningful for kOp only
+};
+
+/// Encodes one record as its on-disk frame:
+///   u32 payload_length | u32 crc32(payload) | payload
+///   payload := u64 lsn | u8 kind | varint txn_id [| varint stmt_seq_before
+///              | string sql]
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Result of scanning one segment file. `records` is the valid prefix;
+/// `valid_bytes` is the offset of the first invalid byte (== file size for a
+/// clean segment). A non-empty `damage` describes the first torn or corrupt
+/// record.
+struct WalSegmentScan {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  uint64_t file_bytes = 0;
+  std::string damage;  // "" when the whole segment decoded
+};
+
+/// Decodes `path` up to the first torn/corrupt record. Only open/read
+/// failures and a bad segment header are errors; tail damage is reported in
+/// the scan result so the caller can decide to truncate (recovery of the
+/// final segment) or fail (corruption in the middle of the log).
+Result<WalSegmentScan> ScanWalSegment(const std::string& path);
+
+/// Segment file names under a WAL directory ("wal-00000001.log", ...),
+/// sorted by segment index. Missing directory yields an empty list.
+Result<std::vector<std::string>> ListWalSegments(const std::string& dir);
+
+/// Segment index encoded in a segment file name (-1 if malformed).
+int64_t WalSegmentIndex(const std::string& file_name);
+
+/// Append-side of the write-ahead log. One process appends; commit groups
+/// are framed records written under a mutex (commit order == engine
+/// serialization order, the caller guarantees appends happen inside the
+/// engine's commit critical section), then made durable by Sync(), which
+/// implements group commit: the first committer to reach the sync becomes
+/// the leader and fsyncs once for every group appended so far; concurrent
+/// committers piggyback on that fsync instead of issuing their own.
+///
+/// Fault points: `wal.append` before a group is written (a crash loses the
+/// whole unacknowledged group), `wal.tear` between the two halves of the
+/// group write (a crash leaves a torn record for recovery to truncate), and
+/// `wal.fsync` before the durability syscall.
+class Wal {
+ public:
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens `dir` for appending, creating it if needed. Appends go to a
+  /// fresh segment numbered after the highest existing one; `next_lsn`
+  /// continues the sequence recovery observed (1 for a new log).
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           const WalOptions& options,
+                                           uint64_t next_lsn);
+
+  /// Appends begin/op.../commit as one buffered group and returns the
+  /// commit record's LSN. Not yet durable — call Sync(lsn). On a partial
+  /// write the group is truncated away so the segment stays clean.
+  Result<uint64_t> AppendCommit(int64_t txn_id, const std::vector<WalOp>& ops);
+
+  /// Blocks until every record up to `lsn` is durable per the sync mode.
+  Status Sync(uint64_t lsn);
+
+  /// Syncs everything appended so far (shutdown / checkpoint barrier).
+  Status Flush();
+
+  /// Checkpoint support: syncs the current segment, then directs further
+  /// appends to a fresh segment.
+  Status StartNewSegment();
+
+  /// Deletes all segments older than the current one. Callers invoke this
+  /// only after the snapshot covering them is durable.
+  Status RetireOldSegments();
+
+  const std::string& dir() const { return dir_; }
+  int64_t segment_index() const;
+  uint64_t last_appended_lsn() const;
+
+ private:
+  Wal(std::string dir, const WalOptions& options, uint64_t next_lsn);
+
+  Status OpenSegmentLocked(int64_t index);
+  Status SyncFd();    // issues the mode's syscall on fd_ (fd_ must be stable)
+
+  std::string dir_;
+  WalOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
+  int fd_ = -1;
+  int64_t segment_index_ = 0;
+  uint64_t segment_bytes_ = 0;  // bytes written to the current segment
+  uint64_t next_lsn_ = 1;
+  uint64_t appended_lsn_ = 0;  // last LSN fully written
+  uint64_t synced_lsn_ = 0;    // last LSN known durable
+  bool sync_in_progress_ = false;
+  bool broken_ = false;  // a failed partial-write cleanup poisons the log
+
+  obs::Counter* commits_ = nullptr;
+  obs::Counter* append_bytes_ = nullptr;
+  obs::Counter* syncs_ = nullptr;
+  obs::Counter* piggybacked_syncs_ = nullptr;
+};
+
+}  // namespace ldv::storage
+
+#endif  // LDV_STORAGE_WAL_H_

@@ -1,0 +1,243 @@
+// Transaction semantics at the engine boundary: BEGIN/COMMIT/ROLLBACK
+// interception, rollback via the version archive, session ownership, and
+// the autocommit-vs-explicit split over the socket protocol.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/db_client.h"
+#include "net/db_server.h"
+#include "storage/table.h"
+#include "util/fsutil.h"
+
+namespace ldv::net {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest() : engine_(&db_) {}
+
+  exec::ResultSet Run(const std::string& sql, int64_t session = 0) {
+    DbRequest request;
+    request.sql = sql;
+    auto result = engine_.ExecuteSession(request, session);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(*result) : exec::ResultSet{};
+  }
+
+  Status RunStatus(const std::string& sql, int64_t session = 0) {
+    DbRequest request;
+    request.sql = sql;
+    return engine_.ExecuteSession(request, session).status();
+  }
+
+  std::string Scan(const std::string& table) {
+    exec::ResultSet rows =
+        Run("SELECT id, v FROM " + table + " ORDER BY id, v");
+    std::string out;
+    for (const auto& row : rows.rows) {
+      out += std::to_string(row[0].AsInt()) + "=" +
+             std::to_string(row[1].AsInt()) + ";";
+    }
+    return out;
+  }
+
+  storage::Database db_;
+  EngineHandle engine_;
+};
+
+TEST_F(TxnTest, CommitKeepsEffects) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("BEGIN");
+  Run("INSERT INTO t VALUES (1, 10)");
+  Run("INSERT INTO t VALUES (2, 20)");
+  Run("COMMIT");
+  EXPECT_EQ(Scan("t"), "1=10;2=20;");
+}
+
+TEST_F(TxnTest, RollbackRestoresInsertsUpdatesAndDeletes) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("INSERT INTO t VALUES (1, 10)");
+  Run("INSERT INTO t VALUES (2, 20)");
+
+  Run("BEGIN");
+  Run("INSERT INTO t VALUES (3, 30)");
+  Run("UPDATE t SET v = 99 WHERE id = 1");
+  Run("DELETE FROM t WHERE id = 2");
+  EXPECT_EQ(Scan("t"), "1=99;3=30;");
+  Run("ROLLBACK");
+  EXPECT_EQ(Scan("t"), "1=10;2=20;");
+}
+
+TEST_F(TxnTest, RollbackRestoresVersionArchiveState) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("INSERT INTO t VALUES (1, 10)");
+  storage::Table* table = db_.FindTable("t");
+  ASSERT_NE(table, nullptr);
+  const size_t archive_before = table->archive().size();
+  const storage::RowId max_rowid_before = table->max_rowid();
+
+  Run("BEGIN");
+  Run("UPDATE t SET v = 50 WHERE id = 1");
+  Run("UPDATE t SET v = 60 WHERE id = 1");
+  Run("INSERT INTO t VALUES (2, 20)");
+  // The transaction archived pre-images so it can undo.
+  EXPECT_GT(table->archive().size(), archive_before);
+  Run("ROLLBACK");
+
+  // Archive, rowid allocation and row content are all back to the mark:
+  // a later redo of the log (which never saw this transaction) allocates
+  // the same rowids the live engine now will.
+  EXPECT_EQ(table->archive().size(), archive_before);
+  EXPECT_EQ(table->max_rowid(), max_rowid_before);
+  EXPECT_EQ(Scan("t"), "1=10;");
+}
+
+TEST_F(TxnTest, RowidAllocationUnaffectedByRolledBackTxn) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("BEGIN");
+  Run("INSERT INTO t VALUES (7, 70)");
+  Run("ROLLBACK");
+  Run("INSERT INTO t VALUES (8, 80)");
+  storage::Table* table = db_.FindTable("t");
+  ASSERT_NE(table, nullptr);
+  // The rolled-back insert's rowid was returned to the allocator: the
+  // committed insert reuses rowid 1.
+  EXPECT_NE(table->Find(1), nullptr);
+  EXPECT_EQ(table->max_rowid(), 1);
+}
+
+TEST_F(TxnTest, NestedBeginRejectedCleanly) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("BEGIN");
+  Run("INSERT INTO t VALUES (1, 10)");
+  Status nested = RunStatus("BEGIN");
+  EXPECT_EQ(nested.code(), StatusCode::kInvalidArgument);
+  // The original transaction is still open and still commits.
+  Run("COMMIT");
+  EXPECT_EQ(Scan("t"), "1=10;");
+}
+
+TEST_F(TxnTest, CommitAndRollbackWithoutBeginAreErrors) {
+  EXPECT_EQ(RunStatus("COMMIT").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunStatus("ROLLBACK").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TxnTest, FailedStatementAbortsTransaction) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("INSERT INTO t VALUES (1, 10)");
+  Run("BEGIN");
+  Run("UPDATE t SET v = 99 WHERE id = 1");
+  Status bad = RunStatus("INSERT INTO nosuch VALUES (1)");
+  EXPECT_FALSE(bad.ok());
+  // The whole transaction rolled back; COMMIT now has nothing to commit.
+  EXPECT_EQ(RunStatus("COMMIT").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Scan("t"), "1=10;");
+}
+
+TEST_F(TxnTest, DdlAndCopyRejectedInsideTransaction) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("BEGIN");
+  EXPECT_EQ(RunStatus("CREATE TABLE u (id INT)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunStatus("DROP TABLE t").code(), StatusCode::kInvalidArgument);
+  Run("ROLLBACK");
+  // Outside the transaction DDL works again.
+  Run("CREATE TABLE u (id INT)");
+}
+
+TEST_F(TxnTest, OtherSessionWaitsForOpenTransaction) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("BEGIN", /*session=*/1);
+  Run("INSERT INTO t VALUES (1, 10)", /*session=*/1);
+
+  // Session 2's statement parks until session 1 commits.
+  std::thread committer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Run("COMMIT", /*session=*/1);
+  });
+  Run("INSERT INTO t VALUES (2, 20)", /*session=*/2);
+  committer.join();
+  EXPECT_EQ(Scan("t"), "1=10;2=20;");
+}
+
+TEST_F(TxnTest, TransactionWaitTimesOut) {
+  engine_.set_txn_wait_millis(50);
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("BEGIN", /*session=*/1);
+  Status blocked = RunStatus("INSERT INTO t VALUES (1, 1)", /*session=*/2);
+  EXPECT_EQ(blocked.code(), StatusCode::kIOError);
+  Run("ROLLBACK", /*session=*/1);
+}
+
+TEST_F(TxnTest, AbortSessionRollsBackOpenTransaction) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  Run("BEGIN", /*session=*/5);
+  Run("INSERT INTO t VALUES (1, 10)", /*session=*/5);
+  engine_.AbortSession(5);
+  // The engine is free again and the insert is gone.
+  EXPECT_EQ(Scan("t"), "");
+  Run("BEGIN", /*session=*/6);
+  Run("ROLLBACK", /*session=*/6);
+}
+
+TEST_F(TxnTest, AbortSessionWithoutTransactionIsNoOp) {
+  Run("CREATE TABLE t (id INT, v INT)");
+  engine_.AbortSession(9);
+  Run("INSERT INTO t VALUES (1, 10)");
+  EXPECT_EQ(Scan("t"), "1=10;");
+}
+
+// Over the socket: a dropped connection rolls its open transaction back,
+// and autocommit statements from another connection commit independently.
+TEST(TxnSocketTest, DisconnectMidTransactionRollsBack) {
+  storage::Database db;
+  EngineHandle engine(&db);
+  {
+    DbRequest ddl;
+    ddl.sql = "CREATE TABLE t (id INT, v INT)";
+    ASSERT_TRUE(engine.Execute(ddl).ok());
+  }
+  auto socket_dir = MakeTempDir("txn_socket");
+  ASSERT_TRUE(socket_dir.ok());
+  const std::string path = *socket_dir + "/db.sock";
+  DbServer server(&engine, path, DbServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    auto txn_client = SocketDbClient::Connect(path);
+    ASSERT_TRUE(txn_client.ok());
+    ASSERT_TRUE((*txn_client)->Query("BEGIN").ok());
+    ASSERT_TRUE((*txn_client)->Query("INSERT INTO t VALUES (1, 10)").ok());
+    // Drop the connection without COMMIT.
+    (*txn_client)->Close();
+  }
+
+  // A second connection autocommits — once the server has reaped the dead
+  // transaction its statement proceeds and sees no trace of the insert.
+  auto client = SocketDbClient::Connect(path);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Query("INSERT INTO t VALUES (2, 20)").ok());
+  auto rows = (*client)->Query("SELECT id, v FROM t ORDER BY id");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].AsInt(), 2);
+
+  // Explicit transaction over the wire commits both statements atomically.
+  ASSERT_TRUE((*client)->Query("BEGIN").ok());
+  ASSERT_TRUE((*client)->Query("INSERT INTO t VALUES (3, 30)").ok());
+  ASSERT_TRUE((*client)->Query("INSERT INTO t VALUES (4, 40)").ok());
+  ASSERT_TRUE((*client)->Query("COMMIT").ok());
+  rows = (*client)->Query("SELECT id FROM t ORDER BY id");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 3u);
+
+  server.Stop();
+  (void)RemoveAll(*socket_dir);
+}
+
+}  // namespace
+}  // namespace ldv::net

@@ -4,8 +4,10 @@
 Asserts the observability overhead bound: with no sink configured, the
 per-operator instrumentation (one disabled-Span construction per operator
 invocation) must cost <2% of a representative query (BM_ScanFilter/250).
-Also validates that the LDV_METRICS_OUT snapshot bench_micro wrote is a
-well-formed metrics JSON document.
+Asserts the group-commit bound: at 8 concurrent writers the WAL's
+piggybacked fsync must recover >= 3x the single-writer fsync-on-commit
+throughput (DESIGN.md §9). Also validates that the LDV_METRICS_OUT
+snapshot bench_micro wrote is a well-formed metrics JSON document.
 """
 import json
 import sys
@@ -25,6 +27,14 @@ def real_ns(benchmarks, name):
     raise SystemExit(f"bench_smoke_check: benchmark {name!r} missing from results")
 
 
+def items_per_second(benchmarks, name):
+    for bench in benchmarks:
+        if (bench.get("name") == name
+                and bench.get("run_type", "iteration") == "iteration"):
+            return bench["items_per_second"]
+    raise SystemExit(f"bench_smoke_check: benchmark {name!r} missing from results")
+
+
 def main():
     if len(sys.argv) != 3:
         raise SystemExit("usage: bench_smoke_check.py BENCH_JSON METRICS_JSON")
@@ -40,6 +50,18 @@ def main():
     if overhead_ns >= bound_ns:
         raise SystemExit(
             "bench_smoke_check: disabled-instrumentation overhead bound violated")
+
+    single = items_per_second(
+        benchmarks, "BM_WalCommit/sync:2/real_time/threads:1")
+    grouped = items_per_second(
+        benchmarks, "BM_WalCommit/sync:2/real_time/threads:8")
+    ratio = grouped / single
+    print(f"bench_smoke_check: group commit {grouped:.0f} commits/s at 8"
+          f" writers vs {single:.0f} single-writer = {ratio:.2f}x (need >= 3x)")
+    if ratio < 3.0:
+        raise SystemExit(
+            "bench_smoke_check: group commit recovered < 3x of the"
+            " fsync-on-commit throughput at 8 writers")
 
     with open(sys.argv[2]) as f:
         metrics = json.load(f)

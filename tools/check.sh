@@ -4,18 +4,40 @@
 # (see the LDV_SANITIZE option in the top-level CMakeLists.txt).
 #
 # --bench-smoke additionally runs bench_micro once, asserts the
-# disabled-instrumentation overhead bound (<2%, see DESIGN.md §8), and
-# leaves the run's metrics snapshot in build/metrics_smoke.json.
+# disabled-instrumentation overhead bound (<2%, see DESIGN.md §8) and the
+# group-commit bound (>= 3x single-writer fsync throughput at 8 writers,
+# DESIGN.md §9), and leaves the run's metrics snapshot in
+# build/metrics_smoke.json.
+#
+# --torture N runs N seeded kill-at-faultpoint iterations of crash_torture
+# (on top of the short smoke pass ctest already includes).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+TORTURE_ITERS=0
+expect_torture=0
 for arg in "$@"; do
+  if [[ "$expect_torture" == 1 ]]; then
+    TORTURE_ITERS="$arg"; expect_torture=0; continue
+  fi
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --torture) expect_torture=1 ;;
     *) echo "check.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+if [[ "$expect_torture" == 1 ]]; then
+  echo "check.sh: --torture needs an iteration count" >&2; exit 2
+fi
+
+echo "== tracked build artifacts =="
+# Generated trees must never be committed; fail fast if any tracked path
+# lives under a build directory.
+if git ls-files | grep -E '^build[^/]*/' | head -5 | grep .; then
+  echo "check.sh: tracked files under build*/ — git rm -r --cached them" >&2
+  exit 1
+fi
 
 echo "== plain build =="
 cmake -B build -S . >/dev/null
@@ -25,10 +47,16 @@ cmake --build build -j
 if [[ "$BENCH_SMOKE" == 1 ]]; then
   echo "== bench smoke =="
   LDV_METRICS_OUT=build/metrics_smoke.json ./build/bench/bench_micro \
-    --benchmark_filter='BM_Obs|BM_ScanFilter' \
+    --benchmark_filter='BM_Obs|BM_ScanFilter|BM_WalCommit/sync:2' \
     --benchmark_out=build/bench_smoke.json --benchmark_out_format=json
   python3 tools/bench_smoke_check.py build/bench_smoke.json \
     build/metrics_smoke.json
+fi
+
+if [[ "$TORTURE_ITERS" -gt 0 ]]; then
+  echo "== crash torture ($TORTURE_ITERS iterations) =="
+  ./build/tools/crash_torture --iters "$TORTURE_ITERS" --threads 4 \
+    --units 30 --seed "${TORTURE_SEED:-42}"
 fi
 
 echo "== asan+ubsan build =="

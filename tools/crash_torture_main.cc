@@ -1,0 +1,652 @@
+// crash_torture: kill-at-faultpoint durability torture for the WAL +
+// recovery path.
+//
+// Each iteration forks a writer child that runs a random DML workload
+// through the engine (explicit transactions, rollbacks, concurrent writer
+// threads, periodic checkpoints) with one fault point armed in crash mode
+// (`wal.append`, `wal.tear`, `wal.fsync`, `fs.write`, `fs.rename`), so the
+// child _exit(2)s at exactly the chosen call — mid-commit, mid-group-write,
+// or mid-checkpoint. The parent then recovers the database from snapshot +
+// WAL and checks:
+//
+//   1. Committed-prefix invariant. Before issuing each commit unit the
+//      child appends a durable intent line; after the engine acknowledges
+//      it appends an ack line. Every writer thread owns one table, so the
+//      recovered content of thread t's table must equal its carried-forward
+//      baseline plus a *prefix* of this iteration's intents, and every
+//      acknowledged unit must be inside that prefix (an ack means durable).
+//   2. Recovery idempotence. Recovering the same snapshot + log twice must
+//      produce identical state (recovery never appends to the log, and
+//      torn-tail truncation is durable the first time).
+//
+// A torn final WAL record must be truncated, never fatal; recovery failure
+// or a lost acknowledged unit fails the run.
+//
+// Usage:
+//   crash_torture [--iters N] [--threads K] [--units M] [--seed S]
+//                 [--workdir DIR] [--checkpoint-every C] [--keep]
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "exec/wal_redo.h"
+#include "net/db_client.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+#include "util/fsutil.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+using ldv::Result;
+using ldv::Status;
+
+// ---------------------------------------------------------------------------
+// Workload model and oracle
+// ---------------------------------------------------------------------------
+
+// One DML against the thread's own table. Duplicate ids are allowed (no
+// primary keys), so the oracle keeps a multiset of values per id: UPDATE
+// rewrites every copy, DELETE removes every copy.
+struct Op {
+  enum class Kind { kInsert, kUpdate, kDelete } kind = Kind::kInsert;
+  int64_t id = 0;
+  int64_t v = 0;
+
+  std::string Sql(const std::string& table) const {
+    switch (kind) {
+      case Kind::kInsert:
+        return ldv::StrFormat("INSERT INTO %s VALUES (%lld, %lld)",
+                              table.c_str(), static_cast<long long>(id),
+                              static_cast<long long>(v));
+      case Kind::kUpdate:
+        return ldv::StrFormat("UPDATE %s SET v = %lld WHERE id = %lld",
+                              table.c_str(), static_cast<long long>(v),
+                              static_cast<long long>(id));
+      case Kind::kDelete:
+        return ldv::StrFormat("DELETE FROM %s WHERE id = %lld", table.c_str(),
+                              static_cast<long long>(id));
+    }
+    return "";
+  }
+
+  std::string Encode() const {
+    const char* k = kind == Kind::kInsert   ? "ins"
+                    : kind == Kind::kUpdate ? "upd"
+                                            : "del";
+    return ldv::StrFormat("%s:%lld:%lld", k, static_cast<long long>(id),
+                          static_cast<long long>(v));
+  }
+};
+
+// One commit unit: a single autocommit statement or an explicit
+// BEGIN..COMMIT group. Atomic either way — fully in the recovered state or
+// fully absent.
+struct Unit {
+  std::vector<Op> ops;
+};
+
+// id -> values of the live copies.
+using TableOracle = std::map<int64_t, std::vector<int64_t>>;
+
+void ApplyToOracle(const Unit& unit, TableOracle* oracle) {
+  for (const Op& op : unit.ops) {
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        (*oracle)[op.id].push_back(op.v);
+        break;
+      case Op::Kind::kUpdate: {
+        auto it = oracle->find(op.id);
+        if (it != oracle->end()) {
+          for (int64_t& v : it->second) v = op.v;
+        }
+        break;
+      }
+      case Op::Kind::kDelete:
+        oracle->erase(op.id);
+        break;
+    }
+  }
+}
+
+// Canonical "id=v;" listing, sorted by (id, v) — comparable against a
+// table scan.
+std::string OracleToString(const TableOracle& oracle) {
+  std::string out;
+  for (const auto& [id, values] : oracle) {
+    std::vector<int64_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    for (int64_t v : sorted) {
+      out += ldv::StrFormat("%lld=%lld;", static_cast<long long>(id),
+                            static_cast<long long>(v));
+    }
+  }
+  return out;
+}
+
+Op RandomOp(ldv::Rng* rng) {
+  Op op;
+  int64_t dice = rng->Uniform(0, 9);
+  op.kind = dice < 5   ? Op::Kind::kInsert
+            : dice < 8 ? Op::Kind::kUpdate
+                       : Op::Kind::kDelete;
+  op.id = rng->Uniform(0, 255);
+  op.v = rng->Uniform(0, 999'999);
+  return op;
+}
+
+std::string EncodeUnit(const Unit& unit) {
+  std::string out;
+  for (size_t i = 0; i < unit.ops.size(); ++i) {
+    if (i > 0) out += ",";
+    out += unit.ops[i].Encode();
+  }
+  return out;
+}
+
+bool DecodeUnit(const std::string& text, Unit* unit) {
+  unit->ops.clear();
+  for (const std::string& part : ldv::Split(text, ',')) {
+    std::vector<std::string> fields = ldv::Split(part, ':');
+    if (fields.size() != 3) return false;
+    Op op;
+    if (fields[0] == "ins") {
+      op.kind = Op::Kind::kInsert;
+    } else if (fields[0] == "upd") {
+      op.kind = Op::Kind::kUpdate;
+    } else if (fields[0] == "del") {
+      op.kind = Op::Kind::kDelete;
+    } else {
+      return false;
+    }
+    op.id = std::atoll(fields[1].c_str());
+    op.v = std::atoll(fields[2].c_str());
+    unit->ops.push_back(op);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Durable intent log (the verifier's source of truth)
+// ---------------------------------------------------------------------------
+
+class IntentLog {
+ public:
+  bool OpenForAppend(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    return fd_ >= 0;
+  }
+
+  // Intent lines must be durable *before* the unit is issued: a committed
+  // unit whose intent line was lost would look like corruption to the
+  // verifier.
+  bool AppendDurable(const std::string& line) {
+    return Append(line) && ::fsync(fd_) == 0;
+  }
+
+  // Ack lines tolerate loss (a lost ack only weakens the check).
+  bool Append(const std::string& line) {
+    std::string data = line + "\n";
+    return ::write(fd_, data.data(), data.size()) ==
+           static_cast<ssize_t>(data.size());
+  }
+
+  ~IntentLog() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Writer child
+// ---------------------------------------------------------------------------
+
+struct TortureConfig {
+  int iters = 25;
+  int threads = 4;
+  int units = 40;  // commit units per thread per iteration
+  uint64_t seed = 42;
+  std::string workdir;
+  int64_t checkpoint_every = 8;
+  bool keep = false;
+};
+
+std::string TableName(int thread) { return "t" + std::to_string(thread); }
+
+const char* const kCrashPoints[] = {
+    "wal.append", "wal.tear", "wal.fsync", "fs.write", "fs.rename",
+};
+
+// Opens the recovered database for writing: recovery, a fresh WAL handle
+// continuing the LSN sequence, engine with checkpointing armed.
+Status OpenEngine(const std::string& data_dir, const std::string& wal_dir,
+                  int64_t checkpoint_every, ldv::storage::Database* db,
+                  std::unique_ptr<ldv::net::EngineHandle>* engine) {
+  ldv::storage::RecoveryStats stats;
+  LDV_RETURN_IF_ERROR(ldv::exec::RecoverWithWal(db, data_dir, wal_dir, &stats));
+  LDV_ASSIGN_OR_RETURN(
+      std::unique_ptr<ldv::storage::Wal> wal,
+      ldv::storage::Wal::Open(wal_dir, ldv::storage::WalOptions{},
+                              stats.next_lsn));
+  *engine = std::make_unique<ldv::net::EngineHandle>(db);
+  ldv::net::EngineDurabilityOptions durability;
+  durability.data_dir = data_dir;
+  durability.checkpoint_every = checkpoint_every;
+  (*engine)->AttachWal(std::move(wal), durability);
+  return Status::Ok();
+}
+
+// Runs in the forked child: recover, arm the crash fault, hammer the engine
+// until the fault kills the process (or the workload completes and the
+// child exits 0). Exit code 3 = setup failure (always fails the run).
+int RunWriterChild(const TortureConfig& config, const std::string& data_dir,
+                   const std::string& wal_dir, const std::string& intent_dir,
+                   uint64_t iter_seed, const std::string& fault_spec) {
+  ldv::storage::Database db;
+  std::unique_ptr<ldv::net::EngineHandle> engine;
+  Status opened = OpenEngine(data_dir, wal_dir, config.checkpoint_every, &db,
+                             &engine);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "child: open failed: %s\n",
+                 opened.ToString().c_str());
+    return 3;
+  }
+
+  // Tables must exist before the fault is armed: their CREATE belongs to
+  // the baseline, not to an intent prefix.
+  for (int t = 0; t < config.threads; ++t) {
+    ldv::net::DbRequest create;
+    create.sql = "CREATE TABLE IF NOT EXISTS " + TableName(t) +
+                 " (id INT, v INT)";
+    Result<ldv::exec::ResultSet> created = engine->Execute(create);
+    if (!created.ok()) {
+      std::fprintf(stderr, "child: create failed: %s\n",
+                   created.status().ToString().c_str());
+      return 3;
+    }
+  }
+  Status flushed = engine->FlushWal();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "child: flush failed: %s\n",
+                 flushed.ToString().c_str());
+    return 3;
+  }
+
+  if (!fault_spec.empty()) {
+    ldv::FaultInjector& injector = ldv::FaultInjector::Instance();
+    Status configured = injector.ConfigureFromSpec(fault_spec);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "child: bad fault spec: %s\n",
+                   configured.ToString().c_str());
+      return 3;
+    }
+    injector.Enable(iter_seed);
+  }
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < config.threads; ++t) {
+    writers.emplace_back([&, t] {
+      ldv::Rng rng(iter_seed * 0x9E3779B9ULL + static_cast<uint64_t>(t));
+      IntentLog log;
+      if (!log.OpenForAppend(
+              ldv::JoinPath(intent_dir, "intent-" + std::to_string(t) +
+                                            ".log"))) {
+        return;
+      }
+      const std::string table = TableName(t);
+      const int64_t session = t + 1;
+      for (int u = 0; u < config.units; ++u) {
+        // Occasionally open a transaction just to roll it back: aborted
+        // work must never reach the log nor disturb redo determinism.
+        if (rng.Bernoulli(0.1)) {
+          ldv::net::DbRequest req;
+          req.sql = "BEGIN";
+          if (engine->ExecuteSession(req, session).ok()) {
+            req.sql = RandomOp(&rng).Sql(table);
+            (void)engine->ExecuteSession(req, session);
+            req.sql = "ROLLBACK";
+            (void)engine->ExecuteSession(req, session);
+          }
+        }
+
+        Unit unit;
+        const bool txn = rng.Bernoulli(0.3);
+        const int64_t ops = txn ? rng.Uniform(2, 4) : 1;
+        for (int64_t i = 0; i < ops; ++i) unit.ops.push_back(RandomOp(&rng));
+
+        if (!log.AppendDurable("I " + EncodeUnit(unit))) return;
+        bool ok = true;
+        if (txn) {
+          ldv::net::DbRequest req;
+          req.sql = "BEGIN";
+          ok = engine->ExecuteSession(req, session).ok();
+          for (const Op& op : unit.ops) {
+            if (!ok) break;
+            req.sql = op.Sql(table);
+            ok = engine->ExecuteSession(req, session).ok();
+          }
+          if (ok) {
+            req.sql = "COMMIT";
+            ok = engine->ExecuteSession(req, session).ok();
+          } else {
+            req.sql = "ROLLBACK";
+            (void)engine->ExecuteSession(req, session);
+          }
+        } else {
+          ldv::net::DbRequest req;
+          req.sql = unit.ops[0].Sql(table);
+          ok = engine->ExecuteSession(req, session).ok();
+        }
+        if (ok && !log.Append("A")) return;
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  ldv::FaultInjector::Instance().Disable();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side verification
+// ---------------------------------------------------------------------------
+
+struct ThreadIntents {
+  std::vector<Unit> units;
+  size_t acked = 0;  // acks are a prefix: the writer issues sequentially
+};
+
+bool LoadIntents(const std::string& path, ThreadIntents* out) {
+  *out = ThreadIntents{};
+  if (!ldv::FileExists(path)) return true;  // thread never got started
+  Result<std::string> text = ldv::ReadFileToString(path);
+  if (!text.ok()) return false;
+  for (const std::string& line : ldv::Split(*text, '\n')) {
+    if (line.empty()) continue;
+    if (line == "A") {
+      ++out->acked;
+    } else if (line.rfind("I ", 0) == 0) {
+      Unit unit;
+      if (!DecodeUnit(line.substr(2), &unit)) return false;
+      out->units.push_back(std::move(unit));
+    } else {
+      return false;
+    }
+  }
+  return out->acked <= out->units.size();
+}
+
+// Scans one recovered table into the oracle's canonical string form.
+Result<std::string> ScanTable(ldv::exec::Executor* executor,
+                              const std::string& table) {
+  Result<ldv::exec::ResultSet> rows = executor->Execute(
+      "SELECT id, v FROM " + table + " ORDER BY id, v", {});
+  if (!rows.ok()) return rows.status();
+  std::string out;
+  for (const auto& row : rows->rows) {
+    out += ldv::StrFormat("%lld=%lld;",
+                          static_cast<long long>(row[0].AsInt()),
+                          static_cast<long long>(row[1].AsInt()));
+  }
+  return out;
+}
+
+int Fail(const char* what, const Status& status) {
+  std::fprintf(stderr, "crash_torture: %s: %s\n", what,
+               status.ToString().c_str());
+  return 1;
+}
+
+struct TortureTotals {
+  int64_t crashes = 0;
+  int64_t clean_exits = 0;
+  int64_t torn_tails = 0;
+  int64_t units_committed = 0;
+  int64_t txns_replayed = 0;
+  std::map<std::string, int64_t> crashes_by_point;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TortureConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--iters") {
+      config.iters = std::atoi(next());
+    } else if (arg == "--threads") {
+      config.threads = std::atoi(next());
+    } else if (arg == "--units") {
+      config.units = std::atoi(next());
+    } else if (arg == "--seed") {
+      config.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--workdir") {
+      config.workdir = next();
+    } else if (arg == "--checkpoint-every") {
+      config.checkpoint_every = std::atoll(next());
+    } else if (arg == "--keep") {
+      config.keep = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: crash_torture [--iters N] [--threads K] [--units M] "
+          "[--seed S] [--workdir DIR] [--checkpoint-every C] [--keep]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "crash_torture: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bool temp_workdir = config.workdir.empty();
+  if (temp_workdir) {
+    Result<std::string> made = ldv::MakeTempDir("crash_torture");
+    if (!made.ok()) return Fail("mktemp", made.status());
+    config.workdir = *made;
+  }
+  const std::string data_dir = ldv::JoinPath(config.workdir, "data");
+  const std::string wal_dir = ldv::JoinPath(config.workdir, "wal");
+  const std::string intent_dir = ldv::JoinPath(config.workdir, "intents");
+  Status made = ldv::MakeDirs(intent_dir);
+  if (!made.ok()) return Fail("mkdir", made);
+
+  // Per-table expected state, carried across iterations (each iteration's
+  // verified prefix folds into the baseline the next iteration builds on).
+  std::vector<TableOracle> baseline(static_cast<size_t>(config.threads));
+  TortureTotals totals;
+
+  for (int iter = 0; iter < config.iters; ++iter) {
+    const uint64_t iter_seed = config.seed * 1000003ULL +
+                               static_cast<uint64_t>(iter);
+    ldv::Rng plan_rng(iter_seed ^ 0xD1B54A32D192ED03ULL);
+
+    // Fault plan: most iterations crash at a random point after a random
+    // number of calls; some run to completion (clean path must stay clean).
+    std::string fault_spec;
+    std::string point;
+    if (!plan_rng.Bernoulli(0.15)) {
+      point = kCrashPoints[plan_rng.Uniform(
+          0, static_cast<int64_t>(std::size(kCrashPoints)) - 1)];
+      // Scale the trigger to how often the point actually fires so most
+      // iterations die mid-run: wal.* points fire roughly once per commit
+      // unit, fs.* only during checkpoints (one call per table + catalog).
+      const int64_t commits = static_cast<int64_t>(config.threads) *
+                              config.units;
+      int64_t after =
+          point.rfind("fs.", 0) == 0
+              ? plan_rng.Uniform(
+                    0, std::max<int64_t>(
+                           4, commits / std::max<int64_t>(
+                                            1, config.checkpoint_every) *
+                                  (config.threads + 1)))
+              : plan_rng.Uniform(0, commits);
+      fault_spec = ldv::StrFormat("%s=after:%lld,crash:1", point.c_str(),
+                                  static_cast<long long>(after));
+    }
+
+    // Fresh intent logs: verified prefixes of earlier iterations already
+    // live in `baseline`.
+    for (int t = 0; t < config.threads; ++t) {
+      (void)ldv::RemoveAll(
+          ldv::JoinPath(intent_dir, "intent-" + std::to_string(t) + ".log"));
+    }
+
+    pid_t pid = fork();
+    if (pid < 0) {
+      return Fail("fork", Status::IOError(strerror(errno)));
+    }
+    if (pid == 0) {
+      _exit(RunWriterChild(config, data_dir, wal_dir, intent_dir, iter_seed,
+                           fault_spec));
+    }
+    int wstatus = 0;
+    if (waitpid(pid, &wstatus, 0) < 0) {
+      return Fail("waitpid", Status::IOError(strerror(errno)));
+    }
+    const bool clean = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+    if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 3) {
+      std::fprintf(stderr, "crash_torture: iter %d: child setup failed\n",
+                   iter);
+      return 1;
+    }
+    if (clean) {
+      ++totals.clean_exits;
+    } else {
+      ++totals.crashes;
+      ++totals.crashes_by_point[point.empty() ? "(exit)" : point];
+    }
+
+    // Recover twice into independent databases: the second run checks
+    // idempotence (the first may durably truncate a torn tail; the second
+    // must find a clean log and rebuild identical state).
+    ldv::storage::Database db;
+    ldv::storage::RecoveryStats stats;
+    Status recovered =
+        ldv::exec::RecoverWithWal(&db, data_dir, wal_dir, &stats);
+    if (!recovered.ok()) {
+      std::fprintf(stderr,
+                   "crash_torture: iter %d (%s): RECOVERY FAILED: %s\n", iter,
+                   fault_spec.c_str(), recovered.ToString().c_str());
+      return 1;
+    }
+    if (stats.truncated_torn_tail) ++totals.torn_tails;
+    totals.txns_replayed += stats.txns_applied;
+
+    ldv::storage::Database db2;
+    ldv::storage::RecoveryStats stats2;
+    Status recovered2 =
+        ldv::exec::RecoverWithWal(&db2, data_dir, wal_dir, &stats2);
+    if (!recovered2.ok()) {
+      std::fprintf(stderr,
+                   "crash_torture: iter %d: second recovery failed: %s\n",
+                   iter, recovered2.ToString().c_str());
+      return 1;
+    }
+    if (stats2.truncated_torn_tail) {
+      std::fprintf(stderr,
+                   "crash_torture: iter %d: second recovery saw a torn tail "
+                   "(truncation was not durable)\n",
+                   iter);
+      return 1;
+    }
+
+    ldv::exec::Executor executor(&db);
+    ldv::exec::Executor executor2(&db2);
+    for (int t = 0; t < config.threads; ++t) {
+      const std::string table = TableName(t);
+      if (db.FindTable(table) == nullptr) {
+        // The child died before CREATE TABLE became durable; nothing can
+        // have committed into it.
+        continue;
+      }
+      Result<std::string> got = ScanTable(&executor, table);
+      if (!got.ok()) return Fail("scan", got.status());
+      Result<std::string> again = ScanTable(&executor2, table);
+      if (!again.ok()) return Fail("rescan", again.status());
+      if (*got != *again) {
+        std::fprintf(stderr,
+                     "crash_torture: iter %d: recovery not idempotent for "
+                     "%s\n  first : %s\n  second: %s\n",
+                     iter, table.c_str(), got->c_str(), again->c_str());
+        return 1;
+      }
+
+      ThreadIntents intents;
+      if (!LoadIntents(ldv::JoinPath(intent_dir,
+                                     "intent-" + std::to_string(t) + ".log"),
+                       &intents)) {
+        std::fprintf(stderr,
+                     "crash_torture: iter %d: intent log for %s unreadable\n",
+                     iter, table.c_str());
+        return 1;
+      }
+
+      // Committed-prefix check: walk every prefix of this iteration's
+      // intents on top of the baseline. The *largest* matching prefix is
+      // the committed one — no-op units (UPDATE/DELETE of an absent id)
+      // leave the state unchanged, so shorter prefixes can coincide.
+      TableOracle oracle = baseline[static_cast<size_t>(t)];
+      size_t matched = SIZE_MAX;
+      if (OracleToString(oracle) == *got) matched = 0;
+      for (size_t k = 0; k < intents.units.size(); ++k) {
+        ApplyToOracle(intents.units[k], &oracle);
+        if (OracleToString(oracle) == *got) matched = k + 1;
+      }
+      if (matched == SIZE_MAX) {
+        std::fprintf(stderr,
+                     "crash_torture: iter %d (%s): %s matches no intent "
+                     "prefix (%zu units, %zu acked)\n  recovered: %s\n",
+                     iter, fault_spec.c_str(), table.c_str(),
+                     intents.units.size(), intents.acked, got->c_str());
+        return 1;
+      }
+      if (matched < intents.acked) {
+        std::fprintf(stderr,
+                     "crash_torture: iter %d (%s): COMMITTED DATA LOST on "
+                     "%s: %zu units acknowledged, only %zu recovered\n",
+                     iter, fault_spec.c_str(), table.c_str(), intents.acked,
+                     matched);
+        return 1;
+      }
+
+      // Fold the surviving prefix into the baseline for the next iteration.
+      TableOracle next = baseline[static_cast<size_t>(t)];
+      for (size_t k = 0; k < matched; ++k) {
+        ApplyToOracle(intents.units[k], &next);
+      }
+      baseline[static_cast<size_t>(t)] = std::move(next);
+      totals.units_committed += static_cast<int64_t>(matched);
+    }
+  }
+
+  std::printf(
+      "crash_torture: OK — %d iterations, %lld crashes (%lld clean), "
+      "%lld torn tails truncated, %lld units committed, %lld txns "
+      "replayed\n",
+      config.iters, static_cast<long long>(totals.crashes),
+      static_cast<long long>(totals.clean_exits),
+      static_cast<long long>(totals.torn_tails),
+      static_cast<long long>(totals.units_committed),
+      static_cast<long long>(totals.txns_replayed));
+  for (const auto& [point, count] : totals.crashes_by_point) {
+    std::printf("  crashes at %-12s %lld\n", point.c_str(),
+                static_cast<long long>(count));
+  }
+  if (temp_workdir && !config.keep) (void)ldv::RemoveAll(config.workdir);
+  return 0;
+}

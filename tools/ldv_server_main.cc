@@ -5,11 +5,19 @@
 //
 // Usage:
 //   ldv_server --socket /tmp/ldv.sock [--data DIR] [--tpch SF] [--seed N]
+//              [--wal-dir DIR] [--checkpoint-every N] [--sync-mode MODE]
 //              [--max-conns N] [--io-timeout-ms N]
 //              [--fault SPEC] [--fault-seed N]
 //              [--metrics-out FILE] [--trace-out FILE]
 //
 //   --data DIR        load (and on shutdown save) the native data files in DIR
+//   --wal-dir DIR     write-ahead log directory: every committed transaction
+//                     is fsynced there before the client sees success, and
+//                     startup recovers snapshot + WAL tail instead of a bare
+//                     load
+//   --checkpoint-every N  checkpoint (snapshot + WAL segment retirement)
+//                     after N committed transactions (0 = only on shutdown)
+//   --sync-mode MODE  fsync | fdatasync | none (default fsync)
 //   --tpch SF         populate a fresh TPC-H database at scale factor SF
 //   --max-conns N     refuse connections past N with a protocol error
 //   --io-timeout-ms N per-connection socket send/recv timeout
@@ -30,10 +38,13 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "exec/wal_redo.h"
 #include "net/db_server.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "storage/persistence.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
 #include "tpch/generator.h"
 #include "util/fsutil.h"
 
@@ -53,6 +64,9 @@ int Fail(const ldv::Status& status) {
 int main(int argc, char** argv) {
   std::string socket_path = "/tmp/ldv.sock";
   std::string data_dir;
+  std::string wal_dir;
+  std::string sync_mode = "fsync";
+  int64_t checkpoint_every = 0;
   std::string fault_spec;
   std::string metrics_out;
   std::string trace_out;
@@ -69,6 +83,12 @@ int main(int argc, char** argv) {
       socket_path = next();
     } else if (arg == "--data") {
       data_dir = next();
+    } else if (arg == "--wal-dir") {
+      wal_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::atoll(next());
+    } else if (arg == "--sync-mode") {
+      sync_mode = next();
     } else if (arg == "--tpch") {
       tpch_sf = std::atof(next());
     } else if (arg == "--seed") {
@@ -88,8 +108,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ldv_server --socket PATH [--data DIR] [--tpch SF] "
-          "[--seed N] [--max-conns N] [--io-timeout-ms N] [--fault SPEC] "
-          "[--fault-seed N] [--metrics-out FILE] [--trace-out FILE]\n");
+          "[--seed N] [--wal-dir DIR] [--checkpoint-every N] "
+          "[--sync-mode fsync|fdatasync|none] [--max-conns N] "
+          "[--io-timeout-ms N] [--fault SPEC] [--fault-seed N] "
+          "[--metrics-out FILE] [--trace-out FILE]\n");
       return 0;
     } else {
       std::fprintf(stderr, "ldv_server: unknown flag %s\n", arg.c_str());
@@ -107,8 +129,41 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fault_seed));
   }
 
+  ldv::Result<ldv::storage::WalSyncMode> parsed_sync =
+      ldv::storage::ParseWalSyncMode(sync_mode);
+  if (!parsed_sync.ok()) return Fail(parsed_sync.status());
+
   ldv::storage::Database db;
-  if (!data_dir.empty() && ldv::FileExists(data_dir + "/catalog.json")) {
+  ldv::storage::RecoveryStats recovery_stats;
+  const bool has_snapshot =
+      !data_dir.empty() && ldv::FileExists(data_dir + "/catalog.json");
+  if (!wal_dir.empty()) {
+    // Snapshot + redo of the committed WAL tail; a torn final record is
+    // truncated, mid-log corruption aborts startup with file + offset.
+    ldv::Status recovered =
+        ldv::exec::RecoverWithWal(&db, data_dir, wal_dir, &recovery_stats);
+    if (!recovered.ok()) return Fail(recovered);
+    std::printf("ldv_server: recovered %lld rows (%s)\n",
+                static_cast<long long>(db.TotalLiveRows()),
+                recovery_stats.ToString().c_str());
+    if (tpch_sf > 0 && db.TableNames().empty()) {
+      if (data_dir.empty()) {
+        return Fail(ldv::Status::InvalidArgument(
+            "--tpch with --wal-dir needs --data: generated rows are not "
+            "WAL-logged, so they must live in a snapshot"));
+      }
+      ldv::tpch::GenOptions options;
+      options.scale_factor = tpch_sf;
+      options.seed = seed;
+      ldv::Status generated = ldv::tpch::Generate(&db, options);
+      if (!generated.ok()) return Fail(generated);
+      ldv::Status saved = ldv::storage::SaveDatabase(db, data_dir);
+      if (!saved.ok()) return Fail(saved);
+      std::printf("ldv_server: generated TPC-H sf=%.4f (%lld rows, snapshot "
+                  "saved)\n",
+                  tpch_sf, static_cast<long long>(db.TotalLiveRows()));
+    }
+  } else if (has_snapshot) {
     ldv::Status loaded = ldv::storage::LoadDatabase(&db, data_dir);
     if (!loaded.ok()) return Fail(loaded);
     std::printf("ldv_server: loaded %lld rows from %s\n",
@@ -126,18 +181,40 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) ldv::obs::TraceRecorder::Enable();
 
   ldv::net::EngineHandle engine(&db);
+  if (!wal_dir.empty()) {
+    ldv::storage::WalOptions wal_options;
+    wal_options.sync_mode = *parsed_sync;
+    ldv::Result<std::unique_ptr<ldv::storage::Wal>> wal =
+        ldv::storage::Wal::Open(wal_dir, wal_options, recovery_stats.next_lsn);
+    if (!wal.ok()) return Fail(wal.status());
+    ldv::net::EngineDurabilityOptions durability;
+    durability.data_dir = data_dir;
+    durability.checkpoint_every = checkpoint_every;
+    engine.AttachWal(std::move(*wal), durability);
+    std::printf("ldv_server: wal at %s (sync=%s, checkpoint-every=%lld)\n",
+                wal_dir.c_str(), sync_mode.c_str(),
+                static_cast<long long>(checkpoint_every));
+  }
+
+  // Handlers go in before the listener opens: a SIGTERM racing startup must
+  // still drain instead of killing a half-started server.
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+
   ldv::net::DbServer server(&engine, socket_path, server_options);
   ldv::Status started = server.Start();
   if (!started.ok()) return Fail(started);
   std::printf("ldv_server: listening on %s\n", socket_path.c_str());
 
-  signal(SIGINT, HandleSignal);
-  signal(SIGTERM, HandleSignal);
   while (!g_stop.load()) {
     struct timespec ts = {0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
   }
+  // Graceful drain: stop accepting, finish in-flight requests, then make
+  // the log durable before any snapshotting.
   server.Stop();
+  ldv::Status flushed = engine.FlushWal();
+  if (!flushed.ok()) return Fail(flushed);
   // Saves must not be sabotaged by an armed injector: the data files and
   // observability dumps are the run's durable outputs. Disabling keeps the
   // per-point call/injection counts, so fault.* metrics still come out.
@@ -152,7 +229,13 @@ int main(int argc, char** argv) {
     if (!written.ok()) return Fail(written);
     std::printf("ldv_server: wrote trace to %s\n", trace_out.c_str());
   }
-  if (!data_dir.empty()) {
+  if (!wal_dir.empty() && !data_dir.empty()) {
+    // Final checkpoint: snapshot + retire covered segments, so the next
+    // start replays an empty tail.
+    ldv::Status checkpointed = engine.Checkpoint();
+    if (!checkpointed.ok()) return Fail(checkpointed);
+    std::printf("ldv_server: checkpointed to %s\n", data_dir.c_str());
+  } else if (!data_dir.empty()) {
     ldv::Status saved = ldv::storage::SaveDatabase(db, data_dir);
     if (!saved.ok()) return Fail(saved);
     std::printf("ldv_server: saved data files to %s\n", data_dir.c_str());
