@@ -10,7 +10,9 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "harness.h"
 #include "exec/executor.h"
 #include "net/db_client.h"
 #include "net/protocol.h"
@@ -326,6 +328,111 @@ BENCHMARK(BM_WalCommit)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
+// --- Morsel-driven parallel execution: serial-vs-parallel throughput of
+// the hot operators over a table big enough (~150k rows, ~75 morsels) that
+// fan-out dominates coordination. Each run records its point on the
+// threads-vs-throughput curve; main() writes BENCH_PARALLEL.json when
+// LDV_BENCH_PARALLEL_OUT is set and tools/bench_smoke_check.py enforces the
+// scaling bound (hardware-aware: on single-core boxes only no-regression
+// is checked). ---
+
+constexpr int64_t kParallelBenchRows = 150'000;
+
+ldv::storage::Database* ParallelBenchDb() {
+  static ldv::storage::Database* db = [] {
+    auto* instance = new ldv::storage::Database();
+    using ldv::storage::Column;
+    using ldv::storage::Value;
+    using ldv::storage::ValueType;
+    auto wide = instance->CreateTable(
+        "wide", ldv::storage::Schema({{"id", ValueType::kInt64},
+                                      {"grp", ValueType::kInt64},
+                                      {"val", ValueType::kDouble},
+                                      {"pad", ValueType::kString}}));
+    LDV_CHECK(wide.ok());
+    ldv::Rng rng(51);
+    for (int64_t i = 0; i < kParallelBenchRows; ++i) {
+      LDV_CHECK((*wide)
+                    ->Insert({Value::Int(i), Value::Int(rng.Uniform(0, 99)),
+                              Value::Real(rng.NextDouble() * 1000.0),
+                              Value::Str("pad" + std::to_string(i % 1000))},
+                             0)
+                    .ok());
+    }
+    auto dims = instance->CreateTable(
+        "dims", ldv::storage::Schema(
+                    {{"g", ValueType::kInt64}, {"w", ValueType::kDouble}}));
+    LDV_CHECK(dims.ok());
+    for (int64_t g = 0; g < 100; ++g) {
+      LDV_CHECK((*dims)
+                    ->Insert({Value::Int(g), Value::Real(0.5 * g)}, 0)
+                    .ok());
+    }
+    return instance;
+  }();
+  return db;
+}
+
+/// Runs `sql` at the benchmark's threads arg, reporting rows scanned per
+/// second and recording the (threads, throughput) point on `curve`.
+void RunParallelQueryBench(benchmark::State& state, const char* curve,
+                           const std::string& sql) {
+  ldv::exec::Executor executor(ParallelBenchDb());
+  ldv::exec::ExecOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  const int64_t start = ldv::NowNanos();
+  for (auto _ : state) {
+    auto result = executor.Execute(sql, options);
+    LDV_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+  const double seconds =
+      static_cast<double>(ldv::NowNanos() - start) / 1e9;
+  const int64_t items =
+      static_cast<int64_t>(state.iterations()) * kParallelBenchRows;
+  state.SetItemsProcessed(items);
+  if (seconds > 0) {
+    ldv::bench::ParallelCurve::Global().Record(
+        curve, static_cast<int>(state.range(0)),
+        static_cast<double>(items) / seconds);
+  }
+}
+
+void BM_ParallelScan(benchmark::State& state) {
+  RunParallelQueryBench(state, "scan",
+                        "SELECT id, val * 2 FROM wide WHERE grp < 50");
+}
+BENCHMARK(BM_ParallelScan)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+void BM_ParallelHashJoin(benchmark::State& state) {
+  RunParallelQueryBench(
+      state, "hash_join",
+      "SELECT w.id, d.w FROM wide w, dims d WHERE w.grp = d.g AND d.w > 10");
+}
+BENCHMARK(BM_ParallelHashJoin)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+void BM_ParallelAgg(benchmark::State& state) {
+  RunParallelQueryBench(
+      state, "agg",
+      "SELECT grp, count(*), sum(val), min(val) FROM wide GROUP BY grp");
+}
+BENCHMARK(BM_ParallelAgg)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
 void BM_TpchGenerate(benchmark::State& state) {
   for (auto _ : state) {
     ldv::storage::Database db;
@@ -352,6 +459,15 @@ int main(int argc, char** argv) {
     if (!written.ok()) {
       std::fprintf(stderr, "bench_micro: %s\n", written.ToString().c_str());
       return 1;
+    }
+  }
+  if (const char* path = std::getenv("LDV_BENCH_PARALLEL_OUT")) {
+    if (!ldv::bench::ParallelCurve::Global().empty()) {
+      ldv::Status written = ldv::bench::ParallelCurve::Global().WriteTo(path);
+      if (!written.ok()) {
+        std::fprintf(stderr, "bench_micro: %s\n", written.ToString().c_str());
+        return 1;
+      }
     }
   }
   return 0;

@@ -8,8 +8,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 
+#include "common/json.h"
 #include "common/logging.h"
 #include "ldv/auditor.h"
 #include "ldv/replayer.h"
@@ -99,6 +103,57 @@ class MetricsDelta {
  private:
   std::string label_;
   obs::MetricsSnapshot before_;
+};
+
+/// Collects (benchmark, threads) -> throughput points from the parallel
+/// execution benchmarks and writes the scaling trajectory as JSON
+/// (BENCH_PARALLEL.json), so runs across commits can be compared:
+///   {"hardware_threads": H, "curves": {"scan": [{"threads": 1,
+///    "items_per_second": ...}, ...], ...}}
+class ParallelCurve {
+ public:
+  static ParallelCurve& Global() {
+    static ParallelCurve* instance = new ParallelCurve();
+    return *instance;
+  }
+
+  void Record(const std::string& bench, int threads,
+              double items_per_second) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Keep the best of repeated runs: benchmark frameworks re-enter with
+    // growing iteration counts, and the cold first pass is not the curve.
+    double& cell = points_[bench][threads];
+    cell = cell > items_per_second ? cell : items_per_second;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return points_.empty();
+  }
+
+  Status WriteTo(const std::string& path) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Json root = Json::MakeObject();
+    unsigned hw = std::thread::hardware_concurrency();
+    root.Set("hardware_threads", Json::MakeInt(hw == 0 ? 1 : hw));
+    Json curves = Json::MakeObject();
+    for (const auto& [bench, curve] : points_) {
+      Json arr = Json::MakeArray();
+      for (const auto& [threads, throughput] : curve) {
+        Json point = Json::MakeObject();
+        point.Set("threads", Json::MakeInt(threads));
+        point.Set("items_per_second", Json::MakeDouble(throughput));
+        arr.Append(std::move(point));
+      }
+      curves.Set(bench, std::move(arr));
+    }
+    root.Set("curves", std::move(curves));
+    return WriteStringToFile(path, root.Dump(true) + "\n");
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<int, double>> points_;
 };
 
 /// Runs audit + replay of the experiment app for one query under one mode.

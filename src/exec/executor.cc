@@ -70,6 +70,9 @@ obs::OperatorProfile ProfileFromPlan(const PlanNode& node) {
   op.wall_nanos = stats.wall_nanos;
   op.build_nanos = stats.build_nanos;
   op.probe_nanos = stats.probe_nanos;
+  op.parallel_morsels = stats.parallel_morsels;
+  op.parallel_workers = stats.parallel_workers;
+  op.cpu_nanos = stats.cpu_nanos;
   for (const PlanNode* child : node.children()) {
     op.children.push_back(ProfileFromPlan(*child));
   }
@@ -277,6 +280,12 @@ Result<ResultSet> Executor::ExecSelect(const sql::SelectStmt& select,
   ctx.profile = options.profile;
   ctx.query_id = options.query_id;
   ctx.process_id = options.process_id;
+  const int dop =
+      options.threads > 0 ? options.threads : ThreadPool::default_dop();
+  if (dop > 1) {
+    ctx.pool = ThreadPool::Shared();
+    ctx.dop = dop;
+  }
   const int64_t exec_start = options.profile ? NowNanos() : 0;
   LDV_ASSIGN_OR_RETURN(Batch batch, plan.root->Execute(&ctx));
   ResultSet result;
@@ -328,14 +337,15 @@ Result<ResultSet> Executor::ExecExplain(const Statement& stmt,
       {storage::Column{"QUERY PLAN", storage::ValueType::kString}});
 
   obs::QueryProfile profile;
+  const obs::QueryProfile* to_render = &profile;
   if (stmt.analyze) {
     ExecOptions profiled = options;
     profiled.profile = true;
     LDV_ASSIGN_OR_RETURN(ResultSet executed,
                          ExecSelect(*stmt.select, stmt.provenance, profiled));
     LDV_CHECK(executed.profile != nullptr);
-    profile = *executed.profile;
     out.profile = std::move(executed.profile);
+    to_render = out.profile.get();  // render in place; the tree can be large
   } else {
     // Plain EXPLAIN: plan but do not run the outer query. Uncorrelated
     // subqueries still execute, since planning needs their values.
@@ -353,7 +363,7 @@ Result<ResultSet> Executor::ExecExplain(const Statement& stmt,
     profile.root = ProfileFromPlan(*plan.root);
   }
 
-  for (std::string& line : profile.ToTextLines(stmt.analyze)) {
+  for (std::string& line : to_render->ToTextLines(stmt.analyze)) {
     out.rows.push_back({Value::Str(std::move(line))});
   }
   out.affected = static_cast<int64_t>(out.rows.size());

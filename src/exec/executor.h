@@ -65,6 +65,12 @@ struct ExecOptions {
   int64_t process_id = 0;
   /// Collect per-operator stats and attach a QueryProfile to the result.
   bool profile = false;
+  /// Degree of parallelism for morsel-driven operators: number of threads
+  /// (including the caller) a SELECT may use. 0 = the process default
+  /// (ThreadPool::default_dop(), i.e. the --threads flag), 1 = serial.
+  /// Results are bit-identical at any value. DML, reenactment, and WAL redo
+  /// always run serial regardless (DESIGN.md §10).
+  int threads = 0;
 };
 
 /// The query/DML engine over one Database. Statements carrying the

@@ -1,9 +1,11 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/strings.h"
 
@@ -40,6 +42,10 @@ Result<Batch> PlanNode::ExecuteInstrumented(ExecContext* ctx) {
     stats_.rows_out += static_cast<int64_t>(result->rows.size());
     if (span.recording()) {
       span.AddArg("rows_out", std::to_string(result->rows.size()));
+      if (stats_.parallel_morsels > 0) {
+        span.AddArg("morsels", std::to_string(stats_.parallel_morsels));
+        span.AddArg("workers", std::to_string(stats_.parallel_workers));
+      }
     }
   }
   return result;
@@ -53,6 +59,95 @@ void MergeLineage(LineageSet* dst, const LineageSet& src) {
                      dst->end());
   dst->erase(std::unique(dst->begin(), dst->end()), dst->end());
 }
+
+namespace {
+
+/// Counters the parallel fan-outs feed; resolved once (registry lookups
+/// take a mutex, Add() is a relaxed sharded increment).
+struct ParallelMetrics {
+  obs::Counter* fanouts;
+  obs::Counter* morsels;
+};
+
+const ParallelMetrics& GetParallelMetrics() {
+  static const ParallelMetrics metrics{
+      obs::MetricsRegistry::Global().counter("exec.parallel.fanouts"),
+      obs::MetricsRegistry::Global().counter("exec.parallel.morsels")};
+  return metrics;
+}
+
+size_t NumMorsels(size_t n) { return (n + kMorselRows - 1) / kMorselRows; }
+
+/// Runs `fn(begin, end, morsel)` over fixed kMorselRows chunks of [0, n) —
+/// on the pool when the context allows it and there is more than one
+/// morsel, inline (in morsel order) otherwise. The decomposition is
+/// identical either way, so per-morsel results never depend on the degree
+/// of parallelism. Records fan-out stats into `stats` when non-null.
+Status RunMorsels(ExecContext* ctx, OpStats* stats, size_t n,
+                  const std::function<Status(size_t, size_t, size_t)>& fn) {
+  const size_t num_morsels = NumMorsels(n);
+  if (!ctx->parallel() || num_morsels <= 1) {
+    for (size_t m = 0; m < num_morsels; ++m) {
+      const size_t begin = m * kMorselRows;
+      LDV_RETURN_IF_ERROR(fn(begin, std::min(n, begin + kMorselRows), m));
+    }
+    return Status::Ok();
+  }
+  std::atomic<int64_t> cpu{0};
+  const bool timing = ctx->profile;
+  auto timed = [&](size_t begin, size_t end, size_t morsel) -> Status {
+    if (!timing) return fn(begin, end, morsel);
+    const int64_t start = NowNanos();
+    Status status = fn(begin, end, morsel);
+    cpu.fetch_add(NowNanos() - start, std::memory_order_relaxed);
+    return status;
+  };
+  Status status = ctx->pool->ParallelFor(n, kMorselRows, timed, ctx->dop);
+  if (stats != nullptr) {
+    stats->parallel_morsels += static_cast<int64_t>(num_morsels);
+    stats->parallel_workers = std::max(
+        stats->parallel_workers,
+        static_cast<int64_t>(
+            std::min(static_cast<size_t>(ctx->dop), num_morsels)));
+    stats->cpu_nanos += cpu.load(std::memory_order_relaxed);
+  }
+  const ParallelMetrics& metrics = GetParallelMetrics();
+  metrics.fanouts->Add(1);
+  metrics.morsels->Add(static_cast<int64_t>(num_morsels));
+  return status;
+}
+
+/// Appends `src` to `dst`, moving rows (and lineage when tracked).
+void AppendBatch(Batch* dst, Batch&& src) {
+  if (dst->rows.empty() && dst->lineage.empty()) {
+    *dst = std::move(src);
+    return;
+  }
+  dst->rows.insert(dst->rows.end(),
+                   std::make_move_iterator(src.rows.begin()),
+                   std::make_move_iterator(src.rows.end()));
+  dst->lineage.insert(dst->lineage.end(),
+                      std::make_move_iterator(src.lineage.begin()),
+                      std::make_move_iterator(src.lineage.end()));
+}
+
+/// Concatenates per-morsel batches in morsel order — the parallel
+/// operators' emission order is therefore exactly the serial one.
+Batch ConcatBatches(std::vector<Batch>&& parts) {
+  size_t rows = 0;
+  size_t lineage = 0;
+  for (const Batch& part : parts) {
+    rows += part.rows.size();
+    lineage += part.lineage.size();
+  }
+  Batch out;
+  out.rows.reserve(rows);
+  out.lineage.reserve(lineage);
+  for (Batch& part : parts) AppendBatch(&out, std::move(part));
+  return out;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ScanNode
@@ -76,7 +171,8 @@ ScanNode::ScanNode(storage::Table* table, const std::string& alias,
   }
 }
 
-Status ScanNode::EmitRow(ExecContext* ctx, RowVersion* row, Batch* out) {
+Status ScanNode::EmitRow(ExecContext* ctx, RowVersion* row, Batch* out,
+                         ProvRecords* prov) {
   Tuple values = row->values;
   if (expose_prov_columns_) {
     values.push_back(Value::Int(row->rowid));
@@ -90,12 +186,13 @@ Status ScanNode::EmitRow(ExecContext* ctx, RowVersion* row, Batch* out) {
   }
   if (ctx->track_lineage) {
     // Lineage-tracked scans stamp the prov_usedby / prov_p attributes of
-    // every tuple they read (§VII-B).
+    // every tuple they read (§VII-B). A parallel scan's morsels touch
+    // disjoint rows, so the stamps are race-free.
     TupleVid vid{table_->id(), row->rowid, row->version};
     row->used_by_query = ctx->query_id;
     row->used_by_process = ctx->process_id;
     out->lineage.push_back({vid});
-    ctx->prov_tuples.emplace(vid, row->values);
+    prov->emplace_back(vid, row->values);
   }
   out->rows.push_back(std::move(values));
   return Status::Ok();
@@ -109,21 +206,56 @@ std::string ScanNode::detail() const {
 }
 
 Result<Batch> ScanNode::ExecuteImpl(ExecContext* ctx) {
+  ProvRecords prov;
   Batch out;
   if (has_index_probe() && table_->HasIndexOn(probe_column_)) {
     // Point lookup through the hash index; rowid order keeps emission order
-    // identical to a full scan over the same qualifying rows.
+    // identical to a full scan over the same qualifying rows. Stays serial:
+    // index probes select few rows by construction.
     for (storage::RowId rowid :
          table_->IndexLookup(probe_column_, probe_value_)) {
       RowVersion* row = table_->FindMutable(rowid);
       if (row == nullptr) continue;
-      LDV_RETURN_IF_ERROR(EmitRow(ctx, row, &out));
+      LDV_RETURN_IF_ERROR(EmitRow(ctx, row, &out, &prov));
     }
-    return out;
+  } else {
+    std::vector<RowVersion>& rows = table_->mutable_rows();
+    const size_t n = rows.size();
+    if (!ctx->parallel() || NumMorsels(n) <= 1) {
+      out.rows.reserve(n);
+      if (ctx->track_lineage) out.lineage.reserve(n);
+      for (RowVersion& row : rows) {
+        if (row.deleted) continue;
+        LDV_RETURN_IF_ERROR(EmitRow(ctx, &row, &out, &prov));
+      }
+    } else {
+      // Morsel-parallel scan with the pushed-down filter fused into each
+      // morsel; per-morsel outputs concatenate to the serial emission order.
+      std::vector<Batch> parts(NumMorsels(n));
+      std::vector<ProvRecords> part_prov(parts.size());
+      LDV_RETURN_IF_ERROR(RunMorsels(
+          ctx, &stats_, n,
+          [&](size_t begin, size_t end, size_t morsel) -> Status {
+            Batch& part = parts[morsel];
+            part.rows.reserve(end - begin);
+            for (size_t i = begin; i < end; ++i) {
+              if (rows[i].deleted) continue;
+              LDV_RETURN_IF_ERROR(
+                  EmitRow(ctx, &rows[i], &part, &part_prov[morsel]));
+            }
+            return Status::Ok();
+          }));
+      out = ConcatBatches(std::move(parts));
+      size_t total = 0;
+      for (const ProvRecords& records : part_prov) total += records.size();
+      prov.reserve(total);
+      for (ProvRecords& records : part_prov) {
+        std::move(records.begin(), records.end(), std::back_inserter(prov));
+      }
+    }
   }
-  for (RowVersion& row : table_->mutable_rows()) {
-    if (row.deleted) continue;
-    LDV_RETURN_IF_ERROR(EmitRow(ctx, &row, &out));
+  for (auto& [vid, values] : prov) {
+    ctx->prov_tuples.emplace(vid, std::move(values));
   }
   return out;
 }
@@ -161,12 +293,13 @@ Result<Batch> JoinNode::ExecuteImpl(ExecContext* ctx) {
   const bool timing = ctx->profile;
   const size_t right_width =
       static_cast<size_t>(right_->scope().num_columns());
-  Batch out;
 
-  // Emits left[li] + right[ri]; returns whether the pair survived the
-  // residual predicate (needed for outer-join match bookkeeping).
-  auto emit = [&](size_t li, size_t ri) -> Result<bool> {
-    Tuple row = left.rows[li];
+  // Emits left[li] + right[ri] into `out`; returns whether the pair
+  // survived the residual predicate (outer-join match bookkeeping).
+  auto emit = [&](size_t li, size_t ri, Batch* out) -> Result<bool> {
+    Tuple row;
+    row.reserve(left.rows[li].size() + right.rows[ri].size());
+    row = left.rows[li];
     row.insert(row.end(), right.rows[ri].begin(), right.rows[ri].end());
     if (residual_ != nullptr) {
       LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*residual_, row));
@@ -175,35 +308,54 @@ Result<Batch> JoinNode::ExecuteImpl(ExecContext* ctx) {
     if (lineage) {
       LineageSet merged = left.lineage[li];
       MergeLineage(&merged, right.lineage[ri]);
-      out.lineage.push_back(std::move(merged));
+      out->lineage.push_back(std::move(merged));
     }
-    out.rows.push_back(std::move(row));
+    out->rows.push_back(std::move(row));
     return true;
   };
 
-  auto emit_unmatched = [&](size_t li) {
+  auto emit_unmatched = [&](size_t li, Batch* out) {
     Tuple row = left.rows[li];
     row.resize(row.size() + right_width);  // NULL padding
-    if (lineage) out.lineage.push_back(left.lineage[li]);
-    out.rows.push_back(std::move(row));
+    if (lineage) out->lineage.push_back(left.lineage[li]);
+    out->rows.push_back(std::move(row));
+  };
+
+  // Both join strategies fan out over morsels of the left (probe) input;
+  // per-morsel outputs concatenate to left-row order, matches within one
+  // left row are emitted in ascending right-row order — deterministic and
+  // identical at every degree of parallelism.
+  auto probe_morsels =
+      [&](const std::function<Status(size_t, Batch*)>& per_left_row)
+      -> Result<Batch> {
+    const size_t n = left.rows.size();
+    std::vector<Batch> parts(NumMorsels(n));
+    LDV_RETURN_IF_ERROR(RunMorsels(
+        ctx, &stats_, n, [&](size_t begin, size_t end, size_t morsel) {
+          for (size_t li = begin; li < end; ++li) {
+            LDV_RETURN_IF_ERROR(per_left_row(li, &parts[morsel]));
+          }
+          return Status::Ok();
+        }));
+    return ConcatBatches(std::move(parts));
   };
 
   if (key_pairs_.empty()) {
     // Nested loop (the residual is the join predicate).
-    for (size_t li = 0; li < left.rows.size(); ++li) {
+    return probe_morsels([&](size_t li, Batch* out) -> Status {
       bool matched = false;
       for (size_t ri = 0; ri < right.rows.size(); ++ri) {
-        LDV_ASSIGN_OR_RETURN(bool hit, emit(li, ri));
+        LDV_ASSIGN_OR_RETURN(bool hit, emit(li, ri, out));
         matched |= hit;
       }
-      if (left_outer_ && !matched) emit_unmatched(li);
-    }
-    return out;
+      if (left_outer_ && !matched) emit_unmatched(li, out);
+      return Status::Ok();
+    });
   }
 
-  // Build a hash table on the right input.
-  std::unordered_multimap<uint64_t, size_t> build;
-  build.reserve(right.rows.size());
+  // Partitioned hash join. Right rows are hashed in parallel, split into
+  // hash-disjoint partitions built concurrently (bucket lists keep
+  // ascending right-row order), then the left side probes in parallel.
   auto key_of = [&](const Tuple& row, bool is_right) {
     Tuple key;
     key.reserve(key_pairs_.size());
@@ -212,43 +364,91 @@ Result<Batch> JoinNode::ExecuteImpl(ExecContext* ctx) {
     }
     return key;
   };
+
   const int64_t build_start = timing ? NowNanos() : 0;
-  for (size_t ri = 0; ri < right.rows.size(); ++ri) {
-    build.emplace(storage::HashTuple(key_of(right.rows[ri], true)), ri);
+  const size_t num_rights = right.rows.size();
+  std::vector<uint64_t> right_hash(num_rights);
+  std::vector<char> right_null_key(num_rights, 0);
+  LDV_RETURN_IF_ERROR(RunMorsels(
+      ctx, &stats_, num_rights, [&](size_t begin, size_t end, size_t) {
+        for (size_t ri = begin; ri < end; ++ri) {
+          Tuple key = key_of(right.rows[ri], true);
+          for (const Value& v : key) {
+            if (v.is_null()) right_null_key[ri] = 1;
+          }
+          right_hash[ri] = storage::HashTuple(key);
+        }
+        return Status::Ok();
+      }));
+
+  // Buckets hold right-row indexes in insertion (= ascending) order. SQL
+  // equality never matches NULL, so null-keyed right rows skip the build.
+  using PartitionTable = std::unordered_map<uint64_t, std::vector<size_t>>;
+  const size_t num_partitions =
+      ctx->parallel()
+          ? std::min<size_t>(static_cast<size_t>(ctx->dop), 16)
+          : 1;
+  std::vector<PartitionTable> partitions(num_partitions);
+  {
+    std::vector<std::function<Status()>> build_tasks;
+    build_tasks.reserve(num_partitions);
+    for (size_t p = 0; p < num_partitions; ++p) {
+      build_tasks.push_back([&, p]() -> Status {
+        PartitionTable& table = partitions[p];
+        for (size_t ri = 0; ri < num_rights; ++ri) {
+          if (right_null_key[ri]) continue;
+          if (right_hash[ri] % num_partitions != p) continue;
+          table[right_hash[ri]].push_back(ri);
+        }
+        return Status::Ok();
+      });
+    }
+    if (num_partitions > 1) {
+      LDV_RETURN_IF_ERROR(ctx->pool->RunTasks(std::move(build_tasks),
+                                              ctx->dop));
+    } else {
+      LDV_RETURN_IF_ERROR(build_tasks[0]());
+    }
   }
   const int64_t probe_start = timing ? NowNanos() : 0;
   if (timing) stats_.build_nanos += probe_start - build_start;
-  for (size_t li = 0; li < left.rows.size(); ++li) {
+
+  Result<Batch> out = probe_morsels([&](size_t li, Batch* out) -> Status {
     Tuple probe = key_of(left.rows[li], false);
     bool null_key = false;
     for (const Value& v : probe) null_key |= v.is_null();
     bool matched = false;
     if (!null_key) {  // SQL equality never matches NULL
-      auto [begin, end] = build.equal_range(storage::HashTuple(probe));
-      for (auto it = begin; it != end; ++it) {
-        size_t ri = it->second;
-        // Verify equality (hash collisions, and = semantics with coercion).
-        bool keys_equal = true;
-        for (size_t k = 0; keys_equal && k < key_pairs_.size(); ++k) {
-          const Value& lv =
-              left.rows[li][static_cast<size_t>(key_pairs_[k].first)];
-          const Value& rv =
-              right.rows[ri][static_cast<size_t>(key_pairs_[k].second)];
-          if (lv.is_null() || rv.is_null()) {
-            keys_equal = false;
-            break;
+      const uint64_t h = storage::HashTuple(probe);
+      const PartitionTable& table = partitions[h % num_partitions];
+      auto it = table.find(h);
+      if (it != table.end()) {
+        for (size_t ri : it->second) {
+          // Verify equality (hash collisions, and = semantics with
+          // coercion).
+          bool keys_equal = true;
+          for (size_t k = 0; keys_equal && k < key_pairs_.size(); ++k) {
+            const Value& lv =
+                left.rows[li][static_cast<size_t>(key_pairs_[k].first)];
+            const Value& rv =
+                right.rows[ri][static_cast<size_t>(key_pairs_[k].second)];
+            if (lv.is_null() || rv.is_null()) {
+              keys_equal = false;
+              break;
+            }
+            Result<int> cmp = lv.Compare(rv);
+            if (!cmp.ok() || *cmp != 0) keys_equal = false;
           }
-          Result<int> cmp = lv.Compare(rv);
-          if (!cmp.ok() || *cmp != 0) keys_equal = false;
-        }
-        if (keys_equal) {
-          LDV_ASSIGN_OR_RETURN(bool hit, emit(li, ri));
-          matched |= hit;
+          if (keys_equal) {
+            LDV_ASSIGN_OR_RETURN(bool hit, emit(li, ri, out));
+            matched |= hit;
+          }
         }
       }
     }
-    if (left_outer_ && !matched) emit_unmatched(li);
-  }
+    if (left_outer_ && !matched) emit_unmatched(li, out);
+    return Status::Ok();
+  });
   if (timing) stats_.probe_nanos += NowNanos() - probe_start;
   return out;
 }
@@ -265,14 +465,22 @@ FilterNode::FilterNode(std::unique_ptr<PlanNode> child,
 
 Result<Batch> FilterNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
-  Batch out;
-  for (size_t i = 0; i < in.rows.size(); ++i) {
-    LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*predicate_, in.rows[i]));
-    if (!keep.IsTruthy()) continue;
-    out.rows.push_back(std::move(in.rows[i]));
-    if (ctx->track_lineage) out.lineage.push_back(std::move(in.lineage[i]));
-  }
-  return out;
+  std::vector<Batch> parts(NumMorsels(in.rows.size()));
+  LDV_RETURN_IF_ERROR(RunMorsels(
+      ctx, &stats_, in.rows.size(),
+      [&](size_t begin, size_t end, size_t morsel) -> Status {
+        Batch& part = parts[morsel];
+        for (size_t i = begin; i < end; ++i) {
+          LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*predicate_, in.rows[i]));
+          if (!keep.IsTruthy()) continue;
+          part.rows.push_back(std::move(in.rows[i]));
+          if (ctx->track_lineage) {
+            part.lineage.push_back(std::move(in.lineage[i]));
+          }
+        }
+        return Status::Ok();
+      }));
+  return ConcatBatches(std::move(parts));
 }
 
 // ---------------------------------------------------------------------------
@@ -291,17 +499,22 @@ ProjectNode::ProjectNode(std::unique_ptr<PlanNode> child,
 Result<Batch> ProjectNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
   Batch out;
-  out.rows.reserve(in.rows.size());
-  for (size_t i = 0; i < in.rows.size(); ++i) {
-    Tuple row;
-    row.reserve(exprs_.size());
-    for (const auto& e : exprs_) {
-      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.rows[i]));
-      row.push_back(std::move(v));
-    }
-    out.rows.push_back(std::move(row));
-    if (ctx->track_lineage) out.lineage.push_back(std::move(in.lineage[i]));
-  }
+  out.rows.resize(in.rows.size());
+  LDV_RETURN_IF_ERROR(RunMorsels(
+      ctx, &stats_, in.rows.size(),
+      [&](size_t begin, size_t end, size_t) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          Tuple row;
+          row.reserve(exprs_.size());
+          for (const auto& e : exprs_) {
+            LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.rows[i]));
+            row.push_back(std::move(v));
+          }
+          out.rows[i] = std::move(row);
+        }
+        return Status::Ok();
+      }));
+  if (ctx->track_lineage) out.lineage = std::move(in.lineage);
   return out;
 }
 
@@ -340,6 +553,30 @@ struct GroupState {
   Tuple keys;
   std::vector<AggState> aggs;
   LineageSet lineage;
+};
+
+/// Hash table of groups in first-appearance order — built per morsel in
+/// phase 1, merged (in morsel order) into the global table in phase 2.
+struct GroupTable {
+  std::vector<GroupState> groups;
+  std::vector<uint64_t> hashes;  // parallel to groups
+  std::unordered_multimap<uint64_t, size_t> index;
+
+  /// Index of the group with `keys`, creating it if needed.
+  size_t FindOrCreate(uint64_t hash, Tuple&& keys, size_t num_aggs) {
+    auto [begin, end] = index.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      if (groups[it->second].keys == keys) return it->second;
+    }
+    size_t id = groups.size();
+    GroupState g;
+    g.keys = std::move(keys);
+    g.aggs.resize(num_aggs);
+    groups.push_back(std::move(g));
+    hashes.push_back(hash);
+    index.emplace(hash, id);
+    return id;
+  }
 };
 
 Status Accumulate(AggState* state, AggregateSpec::Fn fn, const Value& v) {
@@ -384,6 +621,51 @@ Status Accumulate(AggState* state, AggregateSpec::Fn fn, const Value& v) {
   return Status::Internal("unreachable aggregate fn");
 }
 
+/// Folds a morsel-local partial into the global state. Partials are merged
+/// in morsel order, so the (floating-point sensitive) accumulation order is
+/// a pure function of the input — never of the thread count.
+Status MergeAggState(AggState* into, const AggState& from,
+                     AggregateSpec::Fn fn) {
+  switch (fn) {
+    case AggregateSpec::Fn::kCountStar:
+    case AggregateSpec::Fn::kCount:
+      into->count += from.count;
+      return Status::Ok();
+    case AggregateSpec::Fn::kSum:
+    case AggregateSpec::Fn::kAvg:
+      into->count += from.count;
+      if (!from.any) return Status::Ok();
+      into->any = true;
+      if (from.sum_is_double || into->sum_is_double) {
+        if (!into->sum_is_double) {
+          into->sum_double = static_cast<double>(into->sum_int);
+          into->sum_is_double = true;
+        }
+        into->sum_double += from.sum_is_double
+                                ? from.sum_double
+                                : static_cast<double>(from.sum_int);
+      } else {
+        into->sum_int += from.sum_int;
+      }
+      return Status::Ok();
+    case AggregateSpec::Fn::kMin:
+    case AggregateSpec::Fn::kMax: {
+      if (!from.any) return Status::Ok();
+      if (!into->any) {
+        *into = from;
+        return Status::Ok();
+      }
+      LDV_ASSIGN_OR_RETURN(int cmp, from.extreme.Compare(into->extreme));
+      if ((fn == AggregateSpec::Fn::kMin && cmp < 0) ||
+          (fn == AggregateSpec::Fn::kMax && cmp > 0)) {
+        into->extreme = from.extreme;
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable aggregate fn");
+}
+
 Value Finalize(const AggState& state, const AggregateSpec& spec) {
   switch (spec.fn) {
     case AggregateSpec::Fn::kCountStar:
@@ -416,49 +698,78 @@ std::string AggregateNode::detail() const {
 Result<Batch> AggregateNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
   const bool lineage = ctx->track_lineage;
-  // Group index: key hash -> candidate group ids (chained for collisions).
-  std::unordered_multimap<uint64_t, size_t> index;
-  std::vector<GroupState> groups;
 
-  for (size_t i = 0; i < in.rows.size(); ++i) {
-    Tuple keys;
-    keys.reserve(group_exprs_.size());
-    for (const auto& g : group_exprs_) {
-      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, in.rows[i]));
-      keys.push_back(std::move(v));
-    }
-    uint64_t h = storage::HashTuple(keys);
-    size_t group_id = SIZE_MAX;
-    auto [begin, end] = index.equal_range(h);
-    for (auto it = begin; it != end; ++it) {
-      if (groups[it->second].keys == keys) {
-        group_id = it->second;
-        break;
+  // Phase 1: thread-local partial group tables, one per morsel. The
+  // partials depend only on the (fixed) morsel boundaries, so phase 2's
+  // merge — and with it every result bit — is reproducible at any DOP.
+  std::vector<GroupTable> partials(NumMorsels(in.rows.size()));
+  LDV_RETURN_IF_ERROR(RunMorsels(
+      ctx, &stats_, in.rows.size(),
+      [&](size_t begin, size_t end, size_t morsel) -> Status {
+        GroupTable& local = partials[morsel];
+        for (size_t i = begin; i < end; ++i) {
+          Tuple keys;
+          keys.reserve(group_exprs_.size());
+          for (const auto& g : group_exprs_) {
+            LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, in.rows[i]));
+            keys.push_back(std::move(v));
+          }
+          uint64_t h = storage::HashTuple(keys);
+          size_t group_id = local.FindOrCreate(h, std::move(keys),
+                                               aggs_.size());
+          GroupState& group = local.groups[group_id];
+          for (size_t a = 0; a < aggs_.size(); ++a) {
+            Value arg;
+            if (aggs_[a].arg != nullptr) {
+              LDV_ASSIGN_OR_RETURN(arg, EvalExpr(*aggs_[a].arg, in.rows[i]));
+            }
+            LDV_RETURN_IF_ERROR(Accumulate(&group.aggs[a], aggs_[a].fn, arg));
+          }
+          if (lineage) {
+            // Append now, dedup once at finalize: merging per-row keeps the
+            // whole accumulation quadratic for large groups (e.g. count(*)
+            // over a join).
+            group.lineage.insert(group.lineage.end(), in.lineage[i].begin(),
+                                 in.lineage[i].end());
+          }
+        }
+        return Status::Ok();
+      }));
+
+  // Phase 2: deterministic merge in morsel order. A group's global position
+  // is its first appearance over the input — exactly the serial order.
+  GroupTable global;
+  for (GroupTable& partial : partials) {
+    for (size_t g = 0; g < partial.groups.size(); ++g) {
+      GroupState& local_group = partial.groups[g];
+      const uint64_t h = partial.hashes[g];
+      auto [begin, end] = global.index.equal_range(h);
+      size_t id = SIZE_MAX;
+      for (auto it = begin; it != end; ++it) {
+        if (global.groups[it->second].keys == local_group.keys) {
+          id = it->second;
+          break;
+        }
       }
-    }
-    if (group_id == SIZE_MAX) {
-      group_id = groups.size();
-      GroupState g;
-      g.keys = std::move(keys);
-      g.aggs.resize(aggs_.size());
-      groups.push_back(std::move(g));
-      index.emplace(h, group_id);
-    }
-    GroupState& group = groups[group_id];
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      Value arg;
-      if (aggs_[a].arg != nullptr) {
-        LDV_ASSIGN_OR_RETURN(arg, EvalExpr(*aggs_[a].arg, in.rows[i]));
+      if (id == SIZE_MAX) {
+        global.hashes.push_back(h);
+        global.index.emplace(h, global.groups.size());
+        global.groups.push_back(std::move(local_group));
+        continue;
       }
-      LDV_RETURN_IF_ERROR(Accumulate(&group.aggs[a], aggs_[a].fn, arg));
-    }
-    if (lineage) {
-      // Append now, dedup once at finalize: merging per-row keeps the whole
-      // accumulation quadratic for large groups (e.g. count(*) over a join).
-      group.lineage.insert(group.lineage.end(), in.lineage[i].begin(),
-                           in.lineage[i].end());
+      GroupState& into = global.groups[id];
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        LDV_RETURN_IF_ERROR(
+            MergeAggState(&into.aggs[a], local_group.aggs[a], aggs_[a].fn));
+      }
+      if (lineage) {
+        into.lineage.insert(into.lineage.end(),
+                            std::make_move_iterator(local_group.lineage.begin()),
+                            std::make_move_iterator(local_group.lineage.end()));
+      }
     }
   }
+  std::vector<GroupState>& groups = global.groups;
 
   // A global aggregate (no GROUP BY) over empty input yields one row.
   if (groups.empty() && group_exprs_.empty()) {
@@ -469,8 +780,10 @@ Result<Batch> AggregateNode::ExecuteImpl(ExecContext* ctx) {
 
   Batch out;
   out.rows.reserve(groups.size());
+  if (lineage) out.lineage.reserve(groups.size());
   for (GroupState& g : groups) {
     Tuple row = std::move(g.keys);
+    row.reserve(row.size() + aggs_.size());
     for (size_t a = 0; a < aggs_.size(); ++a) {
       row.push_back(Finalize(g.aggs[a], aggs_[a]));
     }
@@ -496,24 +809,64 @@ DistinctNode::DistinctNode(std::unique_ptr<PlanNode> child)
 
 Result<Batch> DistinctNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
-  std::unordered_multimap<uint64_t, size_t> seen;  // hash -> out index
+  const bool lineage = ctx->track_lineage;
+
+  // Phase 1: dedup within each morsel (first appearance kept, duplicate
+  // lineage unioned locally), keeping row hashes for the merge.
+  struct Partial {
+    Batch out;
+    std::vector<uint64_t> hashes;
+    std::unordered_multimap<uint64_t, size_t> seen;
+  };
+  std::vector<Partial> partials(NumMorsels(in.rows.size()));
+  LDV_RETURN_IF_ERROR(RunMorsels(
+      ctx, &stats_, in.rows.size(),
+      [&](size_t begin, size_t end, size_t morsel) -> Status {
+        Partial& local = partials[morsel];
+        for (size_t i = begin; i < end; ++i) {
+          uint64_t h = storage::HashTuple(in.rows[i]);
+          size_t found = SIZE_MAX;
+          auto [first, last] = local.seen.equal_range(h);
+          for (auto it = first; it != last; ++it) {
+            if (local.out.rows[it->second] == in.rows[i]) {
+              found = it->second;
+              break;
+            }
+          }
+          if (found == SIZE_MAX) {
+            local.seen.emplace(h, local.out.rows.size());
+            local.hashes.push_back(h);
+            local.out.rows.push_back(std::move(in.rows[i]));
+            if (lineage) local.out.lineage.push_back(std::move(in.lineage[i]));
+          } else if (lineage) {
+            MergeLineage(&local.out.lineage[found], in.lineage[i]);
+          }
+        }
+        return Status::Ok();
+      }));
+
+  // Phase 2: merge partials in morsel order — global first-appearance
+  // order and lineage unions match the serial pass exactly.
+  std::unordered_multimap<uint64_t, size_t> seen;
   Batch out;
-  for (size_t i = 0; i < in.rows.size(); ++i) {
-    uint64_t h = storage::HashTuple(in.rows[i]);
-    size_t found = SIZE_MAX;
-    auto [begin, end] = seen.equal_range(h);
-    for (auto it = begin; it != end; ++it) {
-      if (out.rows[it->second] == in.rows[i]) {
-        found = it->second;
-        break;
+  for (Partial& partial : partials) {
+    for (size_t i = 0; i < partial.out.rows.size(); ++i) {
+      const uint64_t h = partial.hashes[i];
+      size_t found = SIZE_MAX;
+      auto [first, last] = seen.equal_range(h);
+      for (auto it = first; it != last; ++it) {
+        if (out.rows[it->second] == partial.out.rows[i]) {
+          found = it->second;
+          break;
+        }
       }
-    }
-    if (found == SIZE_MAX) {
-      seen.emplace(h, out.rows.size());
-      out.rows.push_back(std::move(in.rows[i]));
-      if (ctx->track_lineage) out.lineage.push_back(std::move(in.lineage[i]));
-    } else if (ctx->track_lineage) {
-      MergeLineage(&out.lineage[found], in.lineage[i]);
+      if (found == SIZE_MAX) {
+        seen.emplace(h, out.rows.size());
+        out.rows.push_back(std::move(partial.out.rows[i]));
+        if (lineage) out.lineage.push_back(std::move(partial.out.lineage[i]));
+      } else if (lineage) {
+        MergeLineage(&out.lineage[found], partial.out.lineage[i]);
+      }
     }
   }
   return out;
@@ -538,36 +891,90 @@ std::string SortLimitNode::detail() const {
 
 Result<Batch> SortLimitNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
-  std::vector<size_t> order(in.rows.size());
+  const size_t n = in.rows.size();
+  std::vector<size_t> order(n);
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
-  if (!keys_.empty()) {
-    // Precompute sort keys; evaluation errors surface before sorting.
-    std::vector<Tuple> sort_keys(in.rows.size());
-    for (size_t i = 0; i < in.rows.size(); ++i) {
-      for (const SortKey& k : keys_) {
-        LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, in.rows[i]));
-        sort_keys[i].push_back(std::move(v));
-      }
-    }
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+  if (!keys_.empty() && n > 1) {
+    // Precompute sort keys (parallel over morsels; evaluation errors
+    // surface before sorting, lowest-indexed morsel first — the serial
+    // error too).
+    std::vector<Tuple> sort_keys(n);
+    LDV_RETURN_IF_ERROR(RunMorsels(
+        ctx, &stats_, n, [&](size_t begin, size_t end, size_t) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            Tuple key;
+            key.reserve(keys_.size());
+            for (const SortKey& k : keys_) {
+              LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, in.rows[i]));
+              key.push_back(std::move(v));
+            }
+            sort_keys[i] = std::move(key);
+          }
+          return Status::Ok();
+        }));
+    auto key_less = [&](size_t a, size_t b) {
       for (size_t k = 0; k < keys_.size(); ++k) {
         Result<int> cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
         int c = cmp.ok() ? *cmp : 0;
         if (c != 0) return keys_[k].ascending ? c < 0 : c > 0;
       }
       return false;
-    });
+    };
+
+    // Sort each morsel's index range (stable within the morsel), then
+    // k-way merge the runs, breaking key ties by original index — which
+    // reproduces one global stable sort at any DOP.
+    LDV_RETURN_IF_ERROR(RunMorsels(
+        ctx, &stats_, n, [&](size_t begin, size_t end, size_t) -> Status {
+          std::stable_sort(order.begin() + static_cast<long>(begin),
+                           order.begin() + static_cast<long>(end), key_less);
+          return Status::Ok();
+        }));
+    const size_t num_runs = NumMorsels(n);
+    if (num_runs > 1) {
+      auto merge_less = [&](size_t a, size_t b) {
+        if (key_less(a, b)) return true;
+        if (key_less(b, a)) return false;
+        return a < b;  // stability: input order among equal keys
+      };
+      std::vector<size_t> run_pos(num_runs), run_end(num_runs);
+      for (size_t r = 0; r < num_runs; ++r) {
+        run_pos[r] = r * kMorselRows;
+        run_end[r] = std::min(n, run_pos[r] + kMorselRows);
+      }
+      std::vector<size_t> merged;
+      merged.reserve(n);
+      const size_t want =
+          limit_.has_value() && *limit_ >= 0 &&
+                  static_cast<size_t>(*limit_) < n
+              ? static_cast<size_t>(*limit_)
+              : n;
+      while (merged.size() < want) {
+        size_t best = SIZE_MAX;
+        for (size_t r = 0; r < num_runs; ++r) {
+          if (run_pos[r] == run_end[r]) continue;
+          if (best == SIZE_MAX ||
+              merge_less(order[run_pos[r]], order[run_pos[best]])) {
+            best = r;
+          }
+        }
+        if (best == SIZE_MAX) break;
+        merged.push_back(order[run_pos[best]++]);
+      }
+      order = std::move(merged);
+    }
   }
 
-  size_t n = order.size();
+  size_t count = order.size();
   if (limit_.has_value() && *limit_ >= 0 &&
-      static_cast<size_t>(*limit_) < n) {
-    n = static_cast<size_t>(*limit_);
+      static_cast<size_t>(*limit_) < count) {
+    count = static_cast<size_t>(*limit_);
   }
   Batch out;
-  out.rows.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
+  out.rows.reserve(count);
+  if (ctx->track_lineage) out.lineage.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
     out.rows.push_back(std::move(in.rows[order[i]]));
     if (ctx->track_lineage) {
       out.lineage.push_back(std::move(in.lineage[order[i]]));

@@ -10,8 +10,15 @@
 #include "common/result.h"
 #include "exec/expression.h"
 #include "storage/database.h"
+#include "util/thread_pool.h"
 
 namespace ldv::exec {
+
+/// Rows per morsel — the unit of work parallel operators fan out over.
+/// Morsel boundaries depend only on input size, never on thread count, so
+/// every decomposition-sensitive result (floating-point aggregate partials,
+/// group emission order) is reproducible at any degree of parallelism.
+inline constexpr size_t kMorselRows = 2048;
 
 /// Lineage of one output row: the set of input tuple versions it was derived
 /// from (paper Definition 7, the P_Lin dependency set).
@@ -45,6 +52,13 @@ struct ExecContext {
   /// collected so the caller can persist provenance without re-querying.
   std::unordered_map<storage::TupleVid, storage::Tuple, storage::TupleVidHash>
       prov_tuples;
+  /// Worker pool for morsel-parallel operators; null or dop <= 1 runs every
+  /// operator on the calling thread (the decomposition stays the same, so
+  /// results are identical — see kMorselRows).
+  ThreadPool* pool = nullptr;
+  int dop = 1;
+
+  bool parallel() const { return pool != nullptr && dop > 1; }
 };
 
 /// Execution statistics one operator accumulates while profiling or tracing
@@ -58,6 +72,14 @@ struct OpStats {
   /// (children excluded). Zero for every other operator.
   int64_t build_nanos = 0;
   int64_t probe_nanos = 0;
+  /// Morsels this operator fanned out over the pool (0 when it ran the
+  /// plain serial path).
+  int64_t parallel_morsels = 0;
+  /// Degree of parallelism of those fan-outs (max over invocations).
+  int64_t parallel_workers = 0;
+  /// CPU time summed across workers for the parallel sections; compared
+  /// against wall_nanos this shows the wall/CPU split in EXPLAIN ANALYZE.
+  int64_t cpu_nanos = 0;
 };
 
 /// Base class of the materialized operator tree. Execute() returns the full
@@ -130,7 +152,12 @@ class ScanNode final : public PlanNode {
   Result<Batch> ExecuteImpl(ExecContext* ctx) override;
 
  private:
-  Status EmitRow(ExecContext* ctx, storage::RowVersion* row, Batch* out);
+  /// Tuple versions a morsel's rows contributed to lineage; merged into
+  /// ExecContext::prov_tuples after the (possibly parallel) scan finishes.
+  using ProvRecords = std::vector<std::pair<storage::TupleVid, storage::Tuple>>;
+
+  Status EmitRow(ExecContext* ctx, storage::RowVersion* row, Batch* out,
+                 ProvRecords* prov);
 
   storage::Table* table_;
   std::string alias_;

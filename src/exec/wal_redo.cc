@@ -8,7 +8,11 @@ storage::WalRedoFn MakeWalRedo(storage::Database* db) {
   // One Executor shared across redo calls, like the live engine shares one.
   auto executor = std::make_shared<Executor>(db);
   return [executor](const std::string& sql) -> Status {
-    Result<ResultSet> result = executor->Execute(sql, ExecOptions{});
+    // Redo replays one statement at a time in log order; force serial
+    // execution so recovery never contends with (or waits on) the pool.
+    ExecOptions options;
+    options.threads = 1;
+    Result<ResultSet> result = executor->Execute(sql, options);
     return result.status();
   };
 }

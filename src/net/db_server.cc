@@ -55,10 +55,9 @@ void DbServer::Stop() {
   // Graceful drain: reject requests that arrive from here on; requests
   // already executing finish and their responses are still delivered.
   draining_.store(true);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (int fd = listen_fd_.exchange(-1); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   if (was_running && accept_thread_.joinable()) accept_thread_.join();
   {
@@ -117,7 +116,7 @@ void DbServer::ReapFinished() {
 void DbServer::AcceptLoop() {
   while (running_.load()) {
     ReapFinished();  // joins threads of connections that already hung up
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listener closed by Stop()

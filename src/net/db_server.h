@@ -107,7 +107,8 @@ class DbServer {
   EngineHandle* engine_;
   std::string socket_path_;
   DbServerOptions options_;
-  int listen_fd_ = -1;
+  // Atomic: Stop() invalidates the fd while AcceptLoop blocks in accept().
+  std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::thread accept_thread_;

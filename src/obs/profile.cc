@@ -24,6 +24,11 @@ Json OperatorToJson(const OperatorProfile& op) {
     node.Set("build_nanos", Json::MakeInt(op.build_nanos));
     node.Set("probe_nanos", Json::MakeInt(op.probe_nanos));
   }
+  if (op.parallel_morsels > 0) {
+    node.Set("parallel_morsels", Json::MakeInt(op.parallel_morsels));
+    node.Set("parallel_workers", Json::MakeInt(op.parallel_workers));
+    node.Set("cpu_nanos", Json::MakeInt(op.cpu_nanos));
+  }
   if (!op.children.empty()) {
     Json children = Json::MakeArray();
     for (const OperatorProfile& child : op.children) {
@@ -45,6 +50,11 @@ void RenderOperator(const OperatorProfile& op, bool analyze, int depth,
     if (op.build_nanos > 0 || op.probe_nanos > 0) {
       line += " build=" + FormatMillis(op.build_nanos);
       line += " probe=" + FormatMillis(op.probe_nanos);
+    }
+    if (op.parallel_morsels > 0) {
+      line += " workers=" + std::to_string(op.parallel_workers);
+      line += " morsels=" + std::to_string(op.parallel_morsels);
+      line += " cpu=" + FormatMillis(op.cpu_nanos);
     }
   }
   out->push_back(std::move(line));

@@ -22,6 +22,12 @@ struct OperatorProfile {
   // nested-loop fallback probes that never build a hash table.
   int64_t build_nanos = 0;
   int64_t probe_nanos = 0;
+  // Morsel-parallel operators only (all 0 on the serial path): morsels
+  // fanned out, the degree of parallelism used, and worker CPU time summed
+  // across threads — against wall_nanos this is the wall/CPU split.
+  int64_t parallel_morsels = 0;
+  int64_t parallel_workers = 0;
+  int64_t cpu_nanos = 0;
   std::vector<OperatorProfile> children;
 };
 

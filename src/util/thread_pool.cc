@@ -1,0 +1,204 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace ldv {
+
+/// One RunTasks submission: the task list plus claim/done bookkeeping.
+/// Shared-ptr'd so a worker finishing the last task after the submitter
+/// already returned keeps the batch alive.
+struct ThreadPool::TaskBatch {
+  std::vector<std::function<Status()>> tasks;
+  std::vector<Status> results;
+  /// Next unclaimed task index; claims are atomic so workers and the
+  /// submitter never run the same task twice.
+  std::atomic<size_t> next{0};
+  /// Worker slots still available (max_concurrency minus the submitter and
+  /// the workers currently helping). Guarded by the pool's mu_.
+  int worker_slots = 0;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;
+
+  bool drained() const {
+    return next.load(std::memory_order_relaxed) >= tasks.size();
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::RunOne(const std::shared_ptr<TaskBatch>& batch) {
+  size_t index = batch->next.fetch_add(1, std::memory_order_relaxed);
+  if (index >= batch->tasks.size()) return false;
+  Status status;
+  try {
+    status = batch->tasks[index]();
+  } catch (const std::exception& e) {
+    status = Status::Internal(std::string("task threw: ") + e.what());
+  } catch (...) {
+    status = Status::Internal("task threw a non-exception object");
+  }
+  std::lock_guard<std::mutex> lock(batch->mu);
+  batch->results[index] = std::move(status);
+  if (++batch->completed == batch->tasks.size()) {
+    batch->done_cv.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<TaskBatch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        if (stopping_) return true;
+        for (const auto& b : pending_) {
+          if (b->worker_slots > 0 && !b->drained()) return true;
+        }
+        return false;
+      });
+      if (stopping_) return;
+      for (const auto& b : pending_) {
+        if (b->worker_slots > 0 && !b->drained()) {
+          batch = b;
+          --batch->worker_slots;
+          break;
+        }
+      }
+      if (batch == nullptr) continue;
+    }
+    while (RunOne(batch)) {
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++batch->worker_slots;
+      auto it = std::find(pending_.begin(), pending_.end(), batch);
+      if (it != pending_.end() && batch->drained()) pending_.erase(it);
+    }
+    // A freed slot may unblock a waiter on a capped batch.
+    work_cv_.notify_one();
+  }
+}
+
+Status ThreadPool::RunTasks(std::vector<std::function<Status()>> tasks,
+                            int max_concurrency) {
+  if (tasks.empty()) return Status::Ok();
+  if (tasks.size() == 1 || max_concurrency == 1) {
+    for (auto& task : tasks) {
+      // Serial degeneration still runs everything (batch semantics), but
+      // reports the first error, which is also the lowest-indexed one.
+      Status status = task();
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    return Status::Ok();
+  }
+  auto batch = std::make_shared<TaskBatch>();
+  batch->results.resize(tasks.size());
+  batch->tasks = std::move(tasks);
+  // The submitter occupies one concurrency slot itself.
+  const int cap = max_concurrency <= 0 ? num_threads() + 1 : max_concurrency;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch->worker_slots =
+        std::min(cap - 1, static_cast<int>(batch->tasks.size()));
+    pending_.push_back(batch);
+  }
+  work_cv_.notify_all();
+  // The submitter works too: with all workers busy elsewhere the batch
+  // still makes progress, and the common single-query case uses every core
+  // rather than num_threads - 1.
+  while (RunOne(batch)) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(pending_.begin(), pending_.end(), batch);
+    if (it != pending_.end()) pending_.erase(it);
+  }
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait(
+        lock, [&] { return batch->completed == batch->tasks.size(); });
+  }
+  for (Status& status : batch->results) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::Ok();
+}
+
+Status ThreadPool::ParallelFor(
+    size_t n, size_t chunk,
+    const std::function<Status(size_t, size_t, size_t)>& fn,
+    int max_concurrency) {
+  if (n == 0) return Status::Ok();
+  if (chunk == 0) chunk = 1;
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    size_t begin = c * chunk;
+    size_t end = std::min(n, begin + chunk);
+    tasks.push_back([&fn, begin, end, c] { return fn(begin, end, c); });
+  }
+  return RunTasks(std::move(tasks), max_concurrency);
+}
+
+namespace {
+
+std::mutex g_shared_mu;
+ThreadPool* g_shared_pool = nullptr;  // leaked: workers may outlive main
+int g_default_dop = 0;                // 0 = not yet resolved
+
+int HardwareDop() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool* ThreadPool::Shared() {
+  std::lock_guard<std::mutex> lock(g_shared_mu);
+  if (g_default_dop == 0) g_default_dop = HardwareDop();
+  if (g_shared_pool == nullptr) {
+    g_shared_pool = new ThreadPool(g_default_dop);
+  }
+  return g_shared_pool;
+}
+
+void ThreadPool::SetDefaultDop(int n) {
+  std::lock_guard<std::mutex> lock(g_shared_mu);
+  g_default_dop = n > 0 ? n : HardwareDop();
+  if (g_shared_pool != nullptr &&
+      g_shared_pool->num_threads() != g_default_dop) {
+    delete g_shared_pool;
+    g_shared_pool = nullptr;  // recreated on next Shared()
+  }
+}
+
+int ThreadPool::default_dop() {
+  std::lock_guard<std::mutex> lock(g_shared_mu);
+  if (g_default_dop == 0) g_default_dop = HardwareDop();
+  return g_default_dop;
+}
+
+}  // namespace ldv

@@ -1,0 +1,87 @@
+#ifndef LDV_UTIL_THREAD_POOL_H_
+#define LDV_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ldv {
+
+/// Fixed-size worker pool for intra-query parallelism (morsel-driven
+/// execution, DESIGN.md §10). Threads are started once and block on a
+/// condition variable while no work is queued, so an idle pool costs
+/// nothing on the query path.
+///
+/// Error contract: every task returns a Status. A batch submission
+/// (RunTasks / ParallelFor) always runs *all* tasks to completion, then
+/// reports the non-OK Status of the lowest-indexed failed task — the same
+/// error a serial left-to-right loop would have surfaced first, so error
+/// behavior is deterministic regardless of scheduling. A task that throws
+/// is converted to Status::Internal instead of tearing down the process.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs every task (possibly concurrently) and blocks until all finish.
+  /// The calling thread participates, so a pool is never a bottleneck for
+  /// a single submission and `tasks.size() == 1` degenerates to a plain
+  /// call. At most `max_concurrency` threads (including the caller) touch
+  /// the batch; 0 means no cap. Returns the Status of the lowest-indexed
+  /// failed task.
+  Status RunTasks(std::vector<std::function<Status()>> tasks,
+                  int max_concurrency = 0);
+
+  /// Chunked parallel-for over [0, n): invokes
+  /// `fn(chunk_begin, chunk_end, chunk_index)` for consecutive chunks of
+  /// `chunk` items. Chunk boundaries depend only on (n, chunk) — never on
+  /// thread count — so any decomposition-sensitive computation is
+  /// reproducible across degrees of parallelism.
+  Status ParallelFor(size_t n, size_t chunk,
+                     const std::function<Status(size_t, size_t, size_t)>& fn,
+                     int max_concurrency = 0);
+
+  /// The process-wide pool shared by query execution. Created on first use
+  /// with `default_dop()` threads.
+  static ThreadPool* Shared();
+
+  /// Sets the default degree of parallelism (the `--threads` flag): the
+  /// shared pool's size and the DOP queries run at when ExecOptions does
+  /// not override it. `n <= 0` selects the hardware concurrency. Must be
+  /// called before queries run concurrently (process startup); an existing
+  /// shared pool is replaced.
+  static void SetDefaultDop(int n);
+
+  /// Current default degree of parallelism (>= 1).
+  static int default_dop();
+
+ private:
+  struct TaskBatch;
+
+  void WorkerLoop();
+  /// Runs one pending task of `batch`; returns false when none remain.
+  static bool RunOne(const std::shared_ptr<TaskBatch>& batch);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool stopping_ = false;
+  /// Batches with unclaimed tasks, oldest first.
+  std::vector<std::shared_ptr<TaskBatch>> pending_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ldv
+
+#endif  // LDV_UTIL_THREAD_POOL_H_

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/operators.h"
+#include "storage/database.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace ldv::exec {
+namespace {
+
+using storage::Database;
+using storage::TupleVid;
+using storage::Value;
+
+/// Serial-vs-parallel equivalence: every query must return bit-identical
+/// results (row values, row order, lineage sets, ORDER BY tie order, GROUP
+/// BY contents) at --threads 1, 4, and 8. The engine guarantees this by
+/// decomposing work into fixed-size morsels whose boundaries never depend
+/// on the thread count (DESIGN.md §10); these tests are the contract.
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { exec_ = std::make_unique<Executor>(&db_); }
+
+  ResultSet Run(const std::string& sql, int threads) {
+    ExecOptions options;
+    options.threads = threads;
+    options.query_id = ++next_query_id_;
+    options.process_id = 9;
+    auto result = exec_->Execute(sql, options);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : ResultSet{};
+  }
+
+  /// Asserts threads=4 and threads=8 reproduce the serial result exactly.
+  void ExpectEquivalent(const std::string& sql) {
+    ResultSet serial = Run(sql, 1);
+    for (int threads : {4, 8}) {
+      ResultSet parallel = Run(sql, threads);
+      ASSERT_EQ(parallel.rows.size(), serial.rows.size())
+          << sql << " threads=" << threads;
+      EXPECT_EQ(parallel.Fingerprint(), serial.Fingerprint())
+          << sql << " threads=" << threads;
+      for (size_t i = 0; i < serial.rows.size(); ++i) {
+        EXPECT_EQ(parallel.rows[i], serial.rows[i])
+            << sql << " threads=" << threads << " row " << i;
+      }
+      ASSERT_EQ(parallel.lineage.size(), serial.lineage.size());
+      for (size_t i = 0; i < serial.lineage.size(); ++i) {
+        EXPECT_EQ(parallel.lineage[i], serial.lineage[i])
+            << sql << " threads=" << threads << " lineage of row " << i;
+      }
+      ASSERT_EQ(parallel.prov_tuples.size(), serial.prov_tuples.size());
+    }
+  }
+
+  /// Populates `items` with `n` rows spanning several morsels; values repeat
+  /// so GROUP BY / DISTINCT / joins have real work to do.
+  void FillItems(size_t n, uint64_t seed) {
+    (void)Run("CREATE TABLE items (id INT, grp INT, val DOUBLE, tag TEXT)", 1);
+    Rng rng(seed);
+    std::string insert;
+    size_t pending = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (pending == 0) insert = "INSERT INTO items VALUES ";
+      if (pending > 0) insert += ", ";
+      insert += "(" + std::to_string(i) + ", " +
+                std::to_string(rng.Uniform(0, 37)) + ", " +
+                std::to_string(rng.Uniform(-500, 500)) + "." +
+                std::to_string(rng.Uniform(0, 99)) + ", 't" +
+                std::to_string(rng.Uniform(0, 11)) + "')";
+      if (++pending == 512 || i + 1 == n) {
+        (void)Run(insert, 1);
+        pending = 0;
+      }
+    }
+  }
+
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+  int64_t next_query_id_ = 0;
+};
+
+TEST_F(ParallelExecTest, ScanFilterProject) {
+  FillItems(3 * kMorselRows + 517, /*seed=*/11);
+  ExpectEquivalent("SELECT id, val * 2 FROM items WHERE grp < 19");
+  ExpectEquivalent("SELECT tag FROM items WHERE val > 0 AND id % 3 = 0");
+}
+
+TEST_F(ParallelExecTest, AggregateAndDistinct) {
+  FillItems(4 * kMorselRows + 33, /*seed=*/12);
+  // Group emission order is first appearance over the input; double sums
+  // accumulate in morsel order — both must survive parallelism bit-for-bit.
+  ExpectEquivalent(
+      "SELECT grp, count(*), sum(val), avg(val), min(val), max(val) "
+      "FROM items GROUP BY grp");
+  ExpectEquivalent("SELECT DISTINCT grp, tag FROM items");
+  ExpectEquivalent("SELECT sum(val), count(id) FROM items");
+}
+
+TEST_F(ParallelExecTest, OrderByStabilityAcrossThreadCounts) {
+  FillItems(3 * kMorselRows + 100, /*seed=*/13);
+  // grp has ~38 distinct values over thousands of rows: heavy ties, so a
+  // non-stable parallel merge would reorder equal keys.
+  ExpectEquivalent("SELECT id, grp FROM items ORDER BY grp");
+  ExpectEquivalent("SELECT id, grp, tag FROM items ORDER BY grp DESC, tag");
+  ExpectEquivalent("SELECT id, val FROM items ORDER BY val LIMIT 57");
+}
+
+TEST_F(ParallelExecTest, JoinEquivalence) {
+  FillItems(2 * kMorselRows + 700, /*seed=*/14);
+  (void)Run("CREATE TABLE grps (g INT, label TEXT)", 1);
+  (void)Run(
+      "INSERT INTO grps VALUES (0,'a'),(1,'b'),(2,'c'),(3,'d'),(4,'e'),"
+      "(5,'f'),(6,'g'),(7,'h'),(8,'i'),(9,'j'),(3,'d2'),(7,'h2')", 1);
+  // Duplicate right keys (3, 7): equal-key match order must be ascending
+  // right-row order at every DOP.
+  ExpectEquivalent(
+      "SELECT i.id, g.label FROM items i, grps g WHERE i.grp = g.g "
+      "AND i.id < 3000");
+  ExpectEquivalent(
+      "SELECT g.label, count(*) FROM items i, grps g WHERE i.grp = g.g "
+      "GROUP BY g.label");
+}
+
+TEST_F(ParallelExecTest, LineageEquivalence) {
+  FillItems(2 * kMorselRows + 91, /*seed=*/15);
+  db_.FindTable("items")->set_provenance_tracking(true);
+  ExpectEquivalent("PROVENANCE SELECT id FROM items WHERE grp = 5");
+  ExpectEquivalent(
+      "PROVENANCE SELECT grp, sum(val) FROM items WHERE val > 0 "
+      "GROUP BY grp");
+  ExpectEquivalent("PROVENANCE SELECT DISTINCT tag FROM items");
+}
+
+TEST_F(ParallelExecTest, RandomizedQueriesAcrossSeeds) {
+  FillItems(3 * kMorselRows + 777, /*seed=*/16);
+  (void)Run("CREATE TABLE dims (k INT, w DOUBLE)", 1);
+  (void)Run(
+      "INSERT INTO dims VALUES (0, 0.5), (1, 1.5), (2, 2.5), (3, 3.5), "
+      "(4, 4.5), (5, 5.5), (6, 6.5), (7, 7.5)", 1);
+  Rng rng(2026);
+  const std::vector<std::string> filters = {
+      "", " WHERE val > 0", " WHERE grp < 20", " WHERE id % 7 = 1",
+      " WHERE tag = 't3'"};
+  for (int q = 0; q < 20; ++q) {
+    std::string filter = filters[rng.Next() % filters.size()];
+    switch (rng.Next() % 4) {
+      case 0:
+        ExpectEquivalent("SELECT id, val FROM items" + filter);
+        break;
+      case 1:
+        ExpectEquivalent("SELECT grp, count(*), sum(val) FROM items" + filter +
+                         " GROUP BY grp");
+        break;
+      case 2:
+        ExpectEquivalent("SELECT id, grp, val FROM items" + filter +
+                         " ORDER BY grp, val LIMIT " +
+                         std::to_string(rng.Uniform(1, 4000)));
+        break;
+      default:
+        ExpectEquivalent(
+            "SELECT i.id, d.w FROM items i, dims d WHERE i.grp = d.k" +
+            (filter.empty() ? std::string()
+                            : " AND" + filter.substr(6)));
+        break;
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, ExplainAnalyzeReportsWorkers) {
+  FillItems(3 * kMorselRows, /*seed=*/17);
+  ExecOptions options;
+  options.threads = 4;
+  auto result =
+      exec_->Execute("EXPLAIN ANALYZE SELECT grp, count(*) FROM items "
+                     "GROUP BY grp", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->profile, nullptr);
+  // The scan fans out over 3 morsels; the profile must say so.
+  std::string rendered;
+  for (const std::string& line : result->profile->ToTextLines(true)) {
+    rendered += line + "\n";
+  }
+  EXPECT_NE(rendered.find("workers="), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("morsels="), std::string::npos) << rendered;
+}
+
+TEST_F(ParallelExecTest, SerialDefaultHasNoParallelStats) {
+  FillItems(2 * kMorselRows, /*seed=*/18);
+  ExecOptions options;
+  options.threads = 1;
+  options.profile = true;
+  auto result = exec_->Execute("SELECT count(*) FROM items", options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->profile, nullptr);
+  std::string rendered;
+  for (const std::string& line : result->profile->ToTextLines(true)) {
+    rendered += line + "\n";
+  }
+  EXPECT_EQ(rendered.find("workers="), std::string::npos) << rendered;
+}
+
+}  // namespace
+}  // namespace ldv::exec

@@ -1,0 +1,181 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace ldv {
+namespace {
+
+TEST(ThreadPoolTest, EmptyBatchIsOk) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.RunTasks({}).ok());
+  EXPECT_TRUE(pool.ParallelFor(0, 16, [](size_t, size_t, size_t) {
+                    return Status::Ok();
+                  }).ok());
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&hits, i] {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+      return Status::Ok();
+    });
+  }
+  ASSERT_TRUE(pool.RunTasks(std::move(tasks)).ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeWithFixedChunks) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 10000;
+  constexpr size_t kChunk = 128;
+  std::vector<std::atomic<int>> hits(kN);
+  std::mutex mu;
+  std::set<size_t> chunk_indexes;
+  Status status = pool.ParallelFor(
+      kN, kChunk, [&](size_t begin, size_t end, size_t chunk) {
+        // Boundaries must be a pure function of (n, chunk size).
+        EXPECT_EQ(begin, chunk * kChunk);
+        EXPECT_EQ(end, std::min(kN, begin + kChunk));
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+        std::lock_guard<std::mutex> lock(mu);
+        chunk_indexes.insert(chunk);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(status.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(chunk_indexes.size(), (kN + kChunk - 1) / kChunk);
+}
+
+TEST(ThreadPoolTest, ReportsLowestIndexedFailure) {
+  ThreadPool pool(4);
+  // Every task runs (batch semantics); the reported Status is task 3's —
+  // the one a serial left-to-right loop would have hit first.
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([&ran, i]() -> Status {
+      ran.fetch_add(1);
+      if (i == 3) return Status::InvalidArgument("task three");
+      if (i == 11) return Status::Internal("task eleven");
+      return Status::Ok();
+    });
+  }
+  Status status = pool.RunTasks(std::move(tasks));
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("task three"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, ExceptionBecomesInternalStatus) {
+  ThreadPool pool(2);
+  std::vector<std::function<Status()>> tasks;
+  tasks.push_back([] { return Status::Ok(); });
+  tasks.push_back([]() -> Status { throw std::runtime_error("boom"); });
+  Status status = pool.RunTasks(std::move(tasks));
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, UsableAfterFailedBatch) {
+  ThreadPool pool(2);
+  std::vector<std::function<Status()>> bad;
+  bad.push_back([]() -> Status { return Status::Internal("first"); });
+  bad.push_back([]() -> Status { throw 42; });  // non-exception object
+  EXPECT_FALSE(pool.RunTasks(std::move(bad)).ok());
+
+  std::atomic<int> sum{0};
+  std::vector<std::function<Status()>> good;
+  for (int i = 1; i <= 10; ++i) {
+    good.push_back([&sum, i] {
+      sum.fetch_add(i);
+      return Status::Ok();
+    });
+  }
+  EXPECT_TRUE(pool.RunTasks(std::move(good)).ok());
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, MaxConcurrencyOneRunsInline) {
+  ThreadPool pool(4);
+  // With a cap of 1 only the submitting thread executes, in order.
+  std::vector<int> order;  // unsynchronized on purpose: single thread
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&order, i] {
+      order.push_back(i);
+      return Status::Ok();
+    });
+  }
+  ASSERT_TRUE(pool.RunTasks(std::move(tasks), /*max_concurrency=*/1).ok());
+  std::vector<int> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ConcurrencyCapIsRespected) {
+  ThreadPool pool(8);
+  constexpr int kCap = 3;
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&] {
+      int now = active.fetch_add(1) + 1;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      // Give other workers a chance to pile in if the cap were broken.
+      std::this_thread::yield();
+      active.fetch_sub(1);
+      return Status::Ok();
+    });
+  }
+  ASSERT_TRUE(pool.RunTasks(std::move(tasks), kCap).ok());
+  EXPECT_LE(peak.load(), kCap);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersShareThePool) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &total] {
+      Status status = pool.ParallelFor(
+          1000, 64, [&total](size_t begin, size_t end, size_t) {
+            total.fetch_add(static_cast<int64_t>(end - begin));
+            return Status::Ok();
+          });
+      EXPECT_TRUE(status.ok());
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * 1000);
+}
+
+TEST(ThreadPoolTest, DefaultDopOverride) {
+  int original = ThreadPool::default_dop();
+  ThreadPool::SetDefaultDop(3);
+  EXPECT_EQ(ThreadPool::default_dop(), 3);
+  EXPECT_EQ(ThreadPool::Shared()->num_threads(), 3);
+  ThreadPool::SetDefaultDop(0);  // back to hardware concurrency
+  EXPECT_GE(ThreadPool::default_dop(), 1);
+  ThreadPool::SetDefaultDop(original);
+}
+
+}  // namespace
+}  // namespace ldv

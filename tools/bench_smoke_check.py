@@ -8,9 +8,23 @@ Asserts the group-commit bound: at 8 concurrent writers the WAL's
 piggybacked fsync must recover >= 3x the single-writer fsync-on-commit
 throughput (DESIGN.md §9). Also validates that the LDV_METRICS_OUT
 snapshot bench_micro wrote is a well-formed metrics JSON document.
+
+Given a third argument (the BENCH_PARALLEL.json trajectory the parallel
+benchmarks emit), asserts the morsel-driven scaling bound (DESIGN.md §10):
+with >= 4 hardware threads, BM_ParallelScan plus at least one of
+BM_ParallelHashJoin / BM_ParallelAgg must reach >= 2.5x the --threads 1
+throughput at 8 threads. On boxes without enough cores the scaling bound is
+physically unreachable, so it is SKIPPED (loudly) and only a no-regression
+bound is enforced: parallel execution at 8 threads must keep >= 0.7x the
+serial throughput (the morsel machinery must not tax a serial box).
 """
 import json
 import sys
+
+PARALLEL_SPEEDUP = 2.5
+PARALLEL_NO_REGRESSION = 0.7
+# Cores needed before the 2.5x-at-8-threads bound is physically meaningful.
+PARALLEL_MIN_HW = 4
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -35,9 +49,60 @@ def items_per_second(benchmarks, name):
     raise SystemExit(f"bench_smoke_check: benchmark {name!r} missing from results")
 
 
+def curve_point(curve, threads):
+    for point in curve:
+        if point.get("threads") == threads:
+            return point["items_per_second"]
+    raise SystemExit(
+        f"bench_smoke_check: threads={threads} point missing from curve")
+
+
+def check_parallel(path):
+    with open(path) as f:
+        trajectory = json.load(f)
+    hw = trajectory.get("hardware_threads", 1)
+    curves = trajectory.get("curves", {})
+    if "scan" not in curves:
+        raise SystemExit(
+            "bench_smoke_check: scan curve missing from " + path)
+    speedups = {}
+    for name, curve in sorted(curves.items()):
+        serial = curve_point(curve, 1)
+        eight = curve_point(curve, 8)
+        speedups[name] = eight / serial
+        print(f"bench_smoke_check: parallel {name}: {serial:.0f} rows/s at 1"
+              f" thread, {eight:.0f} at 8 = {speedups[name]:.2f}x")
+    if hw >= PARALLEL_MIN_HW:
+        if speedups["scan"] < PARALLEL_SPEEDUP:
+            raise SystemExit(
+                f"bench_smoke_check: BM_ParallelScan reached only"
+                f" {speedups['scan']:.2f}x at 8 threads"
+                f" (need >= {PARALLEL_SPEEDUP}x)")
+        others = [speedups[n] for n in ("hash_join", "agg") if n in speedups]
+        if others and max(others) < PARALLEL_SPEEDUP:
+            raise SystemExit(
+                f"bench_smoke_check: neither join nor agg reached"
+                f" {PARALLEL_SPEEDUP}x at 8 threads"
+                f" (best {max(others):.2f}x)")
+        print(f"bench_smoke_check: parallel scaling bound"
+              f" ({PARALLEL_SPEEDUP}x at 8 threads) met on {hw} cores")
+    else:
+        print(f"bench_smoke_check: SKIPPING the {PARALLEL_SPEEDUP}x scaling"
+              f" bound: only {hw} hardware thread(s) available"
+              f" (needs >= {PARALLEL_MIN_HW}); enforcing no-regression only")
+        for name, speedup in speedups.items():
+            if speedup < PARALLEL_NO_REGRESSION:
+                raise SystemExit(
+                    f"bench_smoke_check: parallel {name} regressed to"
+                    f" {speedup:.2f}x of serial at 8 threads on a"
+                    f" {hw}-core box (floor {PARALLEL_NO_REGRESSION}x)")
+
+
 def main():
-    if len(sys.argv) != 3:
-        raise SystemExit("usage: bench_smoke_check.py BENCH_JSON METRICS_JSON")
+    if len(sys.argv) not in (3, 4):
+        raise SystemExit(
+            "usage: bench_smoke_check.py BENCH_JSON METRICS_JSON"
+            " [PARALLEL_JSON]")
     with open(sys.argv[1]) as f:
         benchmarks = json.load(f)["benchmarks"]
     span_ns = real_ns(benchmarks, "BM_ObsSpanDisabled")
@@ -73,6 +138,9 @@ def main():
     if not histogram or not histogram.get("buckets"):
         raise SystemExit(
             "bench_smoke_check: bench.latency histogram missing from snapshot")
+
+    if len(sys.argv) == 4:
+        check_parallel(sys.argv[3])
     print("bench_smoke_check: ok")
 
 

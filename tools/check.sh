@@ -4,10 +4,16 @@
 # (see the LDV_SANITIZE option in the top-level CMakeLists.txt).
 #
 # --bench-smoke additionally runs bench_micro once, asserts the
-# disabled-instrumentation overhead bound (<2%, see DESIGN.md §8) and the
+# disabled-instrumentation overhead bound (<2%, see DESIGN.md §8), the
 # group-commit bound (>= 3x single-writer fsync throughput at 8 writers,
-# DESIGN.md §9), and leaves the run's metrics snapshot in
-# build/metrics_smoke.json.
+# DESIGN.md §9) and the morsel-parallel scaling bound (>= 2.5x at 8 threads
+# with enough cores, no-regression otherwise, DESIGN.md §10), and leaves the
+# run's metrics snapshot in build/metrics_smoke.json and the scaling curve
+# in build/bench_parallel.json.
+#
+# --tsan additionally builds with ThreadSanitizer (LDV_SANITIZE=thread) and
+# runs the concurrency-sensitive suites (thread pool, parallel execution,
+# exec, net) under it.
 #
 # --torture N runs N seeded kill-at-faultpoint iterations of crash_torture
 # (on top of the short smoke pass ctest already includes).
@@ -15,6 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+TSAN=0
 TORTURE_ITERS=0
 expect_torture=0
 for arg in "$@"; do
@@ -23,6 +30,7 @@ for arg in "$@"; do
   fi
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --tsan) TSAN=1 ;;
     --torture) expect_torture=1 ;;
     *) echo "check.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -46,11 +54,12 @@ cmake --build build -j
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then
   echo "== bench smoke =="
-  LDV_METRICS_OUT=build/metrics_smoke.json ./build/bench/bench_micro \
-    --benchmark_filter='BM_Obs|BM_ScanFilter|BM_WalCommit/sync:2' \
+  LDV_METRICS_OUT=build/metrics_smoke.json \
+  LDV_BENCH_PARALLEL_OUT=build/bench_parallel.json ./build/bench/bench_micro \
+    --benchmark_filter='BM_Obs|BM_ScanFilter|BM_WalCommit/sync:2|BM_Parallel' \
     --benchmark_out=build/bench_smoke.json --benchmark_out_format=json
   python3 tools/bench_smoke_check.py build/bench_smoke.json \
-    build/metrics_smoke.json
+    build/metrics_smoke.json build/bench_parallel.json
 fi
 
 if [[ "$TORTURE_ITERS" -gt 0 ]]; then
@@ -63,5 +72,17 @@ echo "== asan+ubsan build =="
 cmake -B build-san -S . -DLDV_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j
 (cd build-san && ctest --output-on-failure -j)
+
+if [[ "$TSAN" == 1 ]]; then
+  echo "== tsan build (concurrency suites) =="
+  cmake -B build-tsan -S . -DLDV_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target \
+    thread_pool_test parallel_exec_test exec_select_test exec_features_test \
+    net_test txn_test
+  # -R must precede the bare -j: ctest would otherwise swallow it as the
+  # job count and silently run the whole (mostly unbuilt) suite.
+  (cd build-tsan && ctest --output-on-failure \
+    -R 'ThreadPool|Parallel|ExecSelect|ExecFeatures|Net|Txn' -j)
+fi
 
 echo "check.sh: plain and sanitizer suites both passed"

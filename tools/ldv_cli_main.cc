@@ -49,6 +49,7 @@
 #include "trace/serialize.h"
 #include "util/fsutil.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -70,7 +71,9 @@ int Usage() {
       "  ldv inspect --package DIR\n"
       "  ldv trace-dot --package DIR\n"
       "  ldv trace-prov --package DIR      (W3C PROV-JSON export)\n"
-      "  ldv ptrace  --out DIR -- <command> [args...]\n");
+      "  ldv ptrace  --out DIR -- <command> [args...]\n"
+      "global: --threads N   query degree of parallelism (default: hardware\n"
+      "                      concurrency; 1 disables parallel execution)\n");
   return 2;
 }
 
@@ -381,6 +384,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   Flags flags = ParseFlags(argc, argv, 2);
+  if (flags.named.count("threads")) {
+    // Pool size for morsel-parallel query execution; results are
+    // bit-identical at any value (DESIGN.md §10).
+    ldv::ThreadPool::SetDefaultDop(
+        std::atoi(flags.named.at("threads").c_str()));
+  }
   if (command == "audit") return CmdAudit(flags);
   if (command == "replay") return CmdReplay(flags);
   if (command == "inspect") return CmdInspect(flags);

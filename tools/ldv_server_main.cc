@@ -27,6 +27,9 @@
 //   --trace-out F     record spans for the whole run; write a Chrome
 //                     trace_event file to F on shutdown (clients can still
 //                     collect spans mid-run via TraceStart/TraceDump)
+//   --threads N       query degree of parallelism (morsel-driven execution;
+//                     default hardware concurrency, 1 disables). Results are
+//                     bit-identical at any value.
 
 #include <signal.h>
 
@@ -47,6 +50,7 @@
 #include "storage/wal.h"
 #include "tpch/generator.h"
 #include "util/fsutil.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -105,13 +109,15 @@ int main(int argc, char** argv) {
       metrics_out = next();
     } else if (arg == "--trace-out") {
       trace_out = next();
+    } else if (arg == "--threads") {
+      ldv::ThreadPool::SetDefaultDop(std::atoi(next()));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ldv_server --socket PATH [--data DIR] [--tpch SF] "
           "[--seed N] [--wal-dir DIR] [--checkpoint-every N] "
           "[--sync-mode fsync|fdatasync|none] [--max-conns N] "
           "[--io-timeout-ms N] [--fault SPEC] [--fault-seed N] "
-          "[--metrics-out FILE] [--trace-out FILE]\n");
+          "[--metrics-out FILE] [--trace-out FILE] [--threads N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "ldv_server: unknown flag %s\n", arg.c_str());
