@@ -6,12 +6,17 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
+#include <thread>
 
 #include "common/clock.h"
+#include "common/json.h"
 #include "common/logging.h"
+#include "exec/governor.h"
 #include "harness.h"
 #include "exec/executor.h"
 #include "net/db_client.h"
@@ -433,6 +438,88 @@ BENCHMARK(BM_ParallelAgg)
     ->Arg(4)
     ->Arg(8);
 
+// --- Resource-governance latency probe (DESIGN.md §11): how fast a
+// mid-scan statement unwinds after a cancel lands, and how far past its
+// deadline a statement overshoots, at threads 1 and 8 over the 150k-row
+// table. Not a google-benchmark (the interesting number is one latency, not
+// a throughput): main() runs it when LDV_BENCH_GOVERNANCE_OUT is set and
+// tools/bench_smoke_check.py enforces the <=100 ms acceptance bound. ---
+
+/// Cross join whose predicate never matches (val and w are non-negative):
+/// 15M predicate evaluations with governor checks at every morsel boundary.
+constexpr char kGovernanceProbeSql[] =
+    "SELECT count(*) FROM wide, dims WHERE val + w < -1";
+
+/// Runs the probe query with a cancel fired ~30 ms in; returns the
+/// cancel-to-return latency in milliseconds.
+double GovernanceCancelLatencyMs(int threads) {
+  ldv::exec::Executor executor(ParallelBenchDb());
+  ldv::exec::QueryGovernor governor;
+  ldv::exec::ExecOptions options;
+  options.threads = threads;
+  options.governor = &governor;
+  std::atomic<int64_t> finished{0};
+  ldv::Status verdict = ldv::Status::Ok();
+  std::thread worker([&] {
+    auto result = executor.Execute(kGovernanceProbeSql, options);
+    verdict = result.status();
+    finished.store(ldv::NowNanos(), std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const int64_t cancelled_at = ldv::NowNanos();
+  governor.Cancel(ldv::StatusCode::kCancelled, "bench probe");
+  worker.join();
+  if (verdict.ok()) {
+    // The scan finished before the cancel landed — unwinding cost nothing.
+    return 0.0;
+  }
+  LDV_CHECK(verdict.code() == ldv::StatusCode::kCancelled);
+  return static_cast<double>(finished.load(std::memory_order_acquire) -
+                             cancelled_at) /
+         1e6;
+}
+
+/// Runs the probe query under a 25 ms deadline; returns how many
+/// milliseconds past the deadline the statement actually returned.
+double GovernanceDeadlineOvershootMs(int threads) {
+  constexpr int64_t kDeadlineMs = 25;
+  ldv::exec::Executor executor(ParallelBenchDb());
+  ldv::exec::QueryGovernor governor;
+  ldv::exec::ExecOptions options;
+  options.threads = threads;
+  options.governor = &governor;
+  const int64_t start = ldv::NowNanos();
+  governor.set_deadline_nanos(start + kDeadlineMs * 1'000'000);
+  auto result = executor.Execute(kGovernanceProbeSql, options);
+  const double elapsed_ms =
+      static_cast<double>(ldv::NowNanos() - start) / 1e6;
+  if (result.ok()) return 0.0;  // finished inside the deadline
+  LDV_CHECK(result.status().code() == ldv::StatusCode::kDeadlineExceeded);
+  const double overshoot = elapsed_ms - static_cast<double>(kDeadlineMs);
+  return overshoot > 0 ? overshoot : 0.0;
+}
+
+int RunGovernanceProbe(const char* path) {
+  ldv::Json cancel = ldv::Json::MakeObject();
+  ldv::Json overshoot = ldv::Json::MakeObject();
+  for (int threads : {1, 8}) {
+    const std::string key = "threads_" + std::to_string(threads);
+    cancel.Set(key, ldv::Json::MakeDouble(GovernanceCancelLatencyMs(threads)));
+    overshoot.Set(
+        key, ldv::Json::MakeDouble(GovernanceDeadlineOvershootMs(threads)));
+  }
+  ldv::Json doc = ldv::Json::MakeObject();
+  doc.Set("rows", ldv::Json::MakeInt(kParallelBenchRows));
+  doc.Set("cancel_latency_ms", std::move(cancel));
+  doc.Set("deadline_overshoot_ms", std::move(overshoot));
+  ldv::Status written = ldv::WriteStringToFile(path, doc.Dump(true) + "\n");
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench_micro: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 void BM_TpchGenerate(benchmark::State& state) {
   for (auto _ : state) {
     ldv::storage::Database db;
@@ -460,6 +547,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_micro: %s\n", written.ToString().c_str());
       return 1;
     }
+  }
+  if (const char* path = std::getenv("LDV_BENCH_GOVERNANCE_OUT")) {
+    int failed = RunGovernanceProbe(path);
+    if (failed != 0) return failed;
   }
   if (const char* path = std::getenv("LDV_BENCH_PARALLEL_OUT")) {
     if (!ldv::bench::ParallelCurve::Global().empty()) {

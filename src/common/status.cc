@@ -24,6 +24,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ConstraintViolation";
     case StatusCode::kReplayMismatch:
       return "ReplayMismatch";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

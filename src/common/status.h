@@ -21,6 +21,12 @@ enum class StatusCode {
   kParseError,
   kConstraintViolation,
   kReplayMismatch,
+  /// Resource-governance taxonomy (DESIGN.md §11). These three are
+  /// definitive per-statement verdicts: clients must not transparently
+  /// retry them (a retry would resurrect the query the governor killed).
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
@@ -67,6 +73,15 @@ class Status {
   }
   static Status ReplayMismatch(std::string msg) {
     return Status(StatusCode::kReplayMismatch, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -111,6 +111,11 @@ Result<ResultSet> Executor::Execute(std::string_view sql,
 
 Result<ResultSet> Executor::ExecuteParsed(const Statement& stmt,
                                           const ExecOptions& options) {
+  // A cancel/deadline that landed while the statement was queued (e.g.
+  // waiting behind another session's transaction) aborts before any work.
+  if (options.governor != nullptr) {
+    LDV_RETURN_IF_ERROR(options.governor->Check());
+  }
   if (stmt.explain) return ExecExplain(stmt, options);
   switch (stmt.kind) {
     case StatementKind::kSelect:
@@ -280,6 +285,7 @@ Result<ResultSet> Executor::ExecSelect(const sql::SelectStmt& select,
   ctx.profile = options.profile;
   ctx.query_id = options.query_id;
   ctx.process_id = options.process_id;
+  ctx.governor = options.governor;
   const int dop =
       options.threads > 0 ? options.threads : ThreadPool::default_dop();
   if (dop > 1) {

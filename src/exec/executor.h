@@ -71,6 +71,10 @@ struct ExecOptions {
   /// Results are bit-identical at any value. DML, reenactment, and WAL redo
   /// always run serial regardless (DESIGN.md §10).
   int threads = 0;
+  /// Cooperative cancellation token + memory budget for this statement; may
+  /// be null (internal statements run ungoverned). Owned by the caller and
+  /// must outlive the Execute call (DESIGN.md §11).
+  QueryGovernor* governor = nullptr;
 };
 
 /// The query/DML engine over one Database. Statements carrying the

@@ -1,0 +1,199 @@
+#include "exec/governor.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace ldv::exec {
+
+namespace {
+
+/// Counters/gauges the governance paths feed; resolved once (registry
+/// lookups take a mutex, observations are relaxed atomics).
+struct GovernorMetrics {
+  obs::Counter* cancelled;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* mem_rejected;
+  obs::Gauge* mem_peak;
+};
+
+const GovernorMetrics& Metrics() {
+  static const GovernorMetrics metrics{
+      obs::MetricsRegistry::Global().counter("exec.cancelled"),
+      obs::MetricsRegistry::Global().counter("exec.deadline_exceeded"),
+      obs::MetricsRegistry::Global().counter("exec.mem_rejected"),
+      obs::MetricsRegistry::Global().gauge("exec.mem_peak_bytes")};
+  return metrics;
+}
+
+}  // namespace
+
+bool IsGovernanceStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+size_t ApproxTupleBytes(const storage::Tuple& tuple) {
+  size_t bytes = sizeof(storage::Tuple) +
+                 tuple.capacity() * sizeof(storage::Value);
+  for (const storage::Value& v : tuple) {
+    if (v.type() == storage::ValueType::kString) {
+      bytes += v.AsString().capacity();
+    }
+  }
+  return bytes;
+}
+
+Status MemoryBudget::Charge(size_t bytes) {
+  const size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  if (limit_ > 0 && now > limit_) {
+    return Status::ResourceExhausted(
+        "per-query memory budget exceeded: " + std::to_string(now) +
+        " bytes charged, limit " + std::to_string(limit_));
+  }
+  return Status::Ok();
+}
+
+QueryGovernor::~QueryGovernor() {
+  // Publish the statement's high-water mark into the process-wide peak
+  // gauge (monotone max; a lost race only under-reports transiently).
+  const auto peak = static_cast<int64_t>(budget_.peak());
+  obs::Gauge* gauge = Metrics().mem_peak;
+  if (peak > gauge->Value()) gauge->Set(peak);
+}
+
+bool QueryGovernor::Cancel(StatusCode code, std::string reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancel_code_.load(std::memory_order_relaxed) != 0) return false;
+  cancel_reason_ = std::move(reason);
+  // Release pairs with Check()'s acquire: a worker that sees the code also
+  // sees the reason (the reason is only ever read under mu_ anyway).
+  cancel_code_.store(static_cast<int>(code), std::memory_order_release);
+  return true;
+}
+
+Status QueryGovernor::VerdictLocked() {
+  return Status(
+      static_cast<StatusCode>(cancel_code_.load(std::memory_order_relaxed)),
+      cancel_reason_);
+}
+
+Status QueryGovernor::Check() {
+  LDV_FAULT_POINT("exec.cancel_check");
+  if (cancel_code_.load(std::memory_order_acquire) == 0) {
+    if (deadline_nanos_ <= 0 || NowNanos() <= deadline_nanos_) {
+      return Status::Ok();
+    }
+    Cancel(StatusCode::kDeadlineExceeded, "statement deadline exceeded");
+  }
+  if (!kill_reported_.exchange(true)) {
+    const auto code = static_cast<StatusCode>(
+        cancel_code_.load(std::memory_order_acquire));
+    if (code == StatusCode::kDeadlineExceeded) {
+      Metrics().deadline_exceeded->Add(1);
+    } else {
+      Metrics().cancelled->Add(1);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return VerdictLocked();
+}
+
+Status QueryGovernor::ChargeMemory(size_t bytes) {
+  LDV_FAULT_POINT("governor.mem_charge");
+  Status charged = budget_.Charge(bytes);
+  if (!charged.ok() && !mem_reported_.exchange(true)) {
+    Metrics().mem_rejected->Add(1);
+  }
+  return charged;
+}
+
+QueryRegistry& QueryRegistry::Global() {
+  static QueryRegistry* registry = new QueryRegistry();
+  return *registry;
+}
+
+QueryRegistry::Registration::Registration(Registration&& other) noexcept
+    : registry_(other.registry_), token_(other.token_) {
+  other.registry_ = nullptr;
+  other.token_ = 0;
+}
+
+QueryRegistry::Registration& QueryRegistry::Registration::operator=(
+    Registration&& other) noexcept {
+  if (this != &other) {
+    if (registry_ != nullptr) registry_->Unregister(token_);
+    registry_ = other.registry_;
+    token_ = other.token_;
+    other.registry_ = nullptr;
+    other.token_ = 0;
+  }
+  return *this;
+}
+
+QueryRegistry::Registration::~Registration() {
+  if (registry_ != nullptr) registry_->Unregister(token_);
+}
+
+QueryRegistry::Registration QueryRegistry::Register(QueryGovernor* governor,
+                                                    InflightQuery info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_token_++;
+  entries_.emplace(token, Entry{governor, std::move(info)});
+  return Registration(this, token);
+}
+
+void QueryRegistry::Unregister(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(token);
+}
+
+int64_t QueryRegistry::CancelQuery(int64_t process_id, int64_t query_id,
+                                   StatusCode code, std::string reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t signalled = 0;
+  for (auto& [token, entry] : entries_) {
+    if (entry.info.process_id != process_id) continue;
+    if (query_id != 0 && entry.info.query_id != query_id) continue;
+    if (entry.governor->Cancel(code, reason)) ++signalled;
+  }
+  return signalled;
+}
+
+int64_t QueryRegistry::CancelSession(int64_t session_id, StatusCode code,
+                                     std::string reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t signalled = 0;
+  for (auto& [token, entry] : entries_) {
+    if (entry.info.session_id != session_id) continue;
+    if (entry.governor->Cancel(code, reason)) ++signalled;
+  }
+  return signalled;
+}
+
+std::vector<InflightQuery> QueryRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<InflightQuery> out;
+  out.reserve(entries_.size());
+  for (const auto& [token, entry] : entries_) out.push_back(entry.info);
+  return out;
+}
+
+int64_t QueryRegistry::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace ldv::exec

@@ -1,0 +1,184 @@
+#ifndef LDV_EXEC_GOVERNOR_H_
+#define LDV_EXEC_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace ldv::exec {
+
+/// True for the resource-governance status taxonomy (DESIGN.md §11):
+/// Cancelled / DeadlineExceeded / ResourceExhausted. These are definitive
+/// per-statement verdicts — never transport errors — so retry layers must
+/// not re-run them and the server's response-dedup cache must not record
+/// them (a retried request id means "run it again", not "replay the kill").
+bool IsGovernanceStatus(StatusCode code);
+
+/// Rough retained-heap estimate of one tuple: the inline Value
+/// representations plus string heap. Used by the memory-charging operators;
+/// precision is not the point — catching a build table or partial that is
+/// orders of magnitude over budget before it OOMs the process is.
+size_t ApproxTupleBytes(const storage::Tuple& tuple);
+
+/// Per-query memory accounting. Charges are cumulative high-water
+/// accounting (operators charge what they materialize and never release —
+/// a statement's budget dies with the statement), so `used` tracks the
+/// statement's total materialization, not its instantaneous heap.
+/// Thread-safe: morsel workers charge concurrently.
+class MemoryBudget {
+ public:
+  /// `limit_bytes` == 0 disables the cap (accounting still runs).
+  explicit MemoryBudget(size_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  void set_limit(size_t limit_bytes) { limit_ = limit_bytes; }
+  size_t limit() const { return limit_; }
+
+  /// Adds `bytes`; fails with kResourceExhausted once the total passes the
+  /// cap. The charge sticks either way (the statement is unwinding).
+  Status Charge(size_t bytes);
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  size_t limit_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+/// Cooperative cancellation token + memory budget for one statement.
+/// Carried in ExecContext; operators call Check() at every morsel boundary
+/// and expression-loop stride, and ChargeMemory() when they materialize.
+/// Cancellation triggers (kCancel protocol verb, statement deadline, client
+/// disconnect) only flip a flag — the executing threads observe it at the
+/// next check and unwind through the normal Status error path, which is
+/// what keeps ThreadPool slots reclaimed promptly and transactions on the
+/// existing TxnScope undo path.
+class QueryGovernor {
+ public:
+  QueryGovernor() = default;
+  ~QueryGovernor();
+
+  QueryGovernor(const QueryGovernor&) = delete;
+  QueryGovernor& operator=(const QueryGovernor&) = delete;
+
+  /// Absolute NowNanos() deadline; 0 disables.
+  void set_deadline_nanos(int64_t deadline) { deadline_nanos_ = deadline; }
+  int64_t deadline_nanos() const { return deadline_nanos_; }
+
+  void set_mem_limit_bytes(size_t bytes) { budget_.set_limit(bytes); }
+
+  /// Requests cancellation with the given verdict. Idempotent; the first
+  /// cancel wins (returns true iff this call installed the verdict).
+  /// `code` must be a governance code (kCancelled for the protocol verb and
+  /// disconnects, kDeadlineExceeded for deadlines).
+  bool Cancel(StatusCode code, std::string reason);
+
+  bool cancelled() const {
+    return cancel_code_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// The cooperative check: OK while the statement may keep running,
+  /// the governance verdict once it must stop. Also trips the deadline.
+  /// Fault point `exec.cancel_check`.
+  Status Check();
+
+  /// Charges the per-query budget; kResourceExhausted at the cap.
+  /// Fault point `governor.mem_charge`.
+  Status ChargeMemory(size_t bytes);
+
+  const MemoryBudget& budget() const { return budget_; }
+
+ private:
+  Status VerdictLocked();
+
+  std::atomic<int> cancel_code_{0};  // StatusCode, 0 = not cancelled
+  std::mutex mu_;                    // guards cancel_reason_
+  std::string cancel_reason_;
+  int64_t deadline_nanos_ = 0;
+  MemoryBudget budget_;
+  // First-observer flags so each kill/rejection bumps its metric once per
+  // statement, not once per worker that notices.
+  std::atomic<bool> kill_reported_{false};
+  std::atomic<bool> mem_reported_{false};
+};
+
+/// One in-flight statement as reported by the kStats control message.
+struct InflightQuery {
+  int64_t process_id = 0;
+  int64_t query_id = 0;
+  int64_t session_id = 0;
+  std::string sql;
+  int64_t start_nanos = 0;
+};
+
+/// Process-wide registry of in-flight statements and their governors — the
+/// lookup structure behind the kCancel protocol verb (by pid/qid), the
+/// server's abort-on-disconnect watcher (by session), and the stats
+/// in-flight listing. Registration is RAII: the engine registers each
+/// statement before executing (even while queued behind another session's
+/// transaction, so queued statements are cancellable too) and the entry
+/// disappears when the statement returns. A cancel that arrives after the
+/// statement finished finds nothing and cancels nothing.
+class QueryRegistry {
+ public:
+  static QueryRegistry& Global();
+
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept;
+    Registration& operator=(Registration&& other) noexcept;
+    ~Registration();
+
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+   private:
+    friend class QueryRegistry;
+    Registration(QueryRegistry* registry, uint64_t token)
+        : registry_(registry), token_(token) {}
+    QueryRegistry* registry_ = nullptr;
+    uint64_t token_ = 0;
+  };
+
+  /// `governor` must outlive the returned Registration (both are stack
+  /// locals of EngineHandle::ExecuteSession, destroyed in reverse order).
+  Registration Register(QueryGovernor* governor, InflightQuery info);
+
+  /// Cancels every in-flight statement with this process id (and query id,
+  /// unless `query_id` == 0, which matches the whole process). Returns how
+  /// many governors were signalled.
+  int64_t CancelQuery(int64_t process_id, int64_t query_id, StatusCode code,
+                      std::string reason);
+
+  /// Cancels every in-flight statement of one server session (client
+  /// disconnect). Returns how many governors were signalled.
+  int64_t CancelSession(int64_t session_id, StatusCode code,
+                        std::string reason);
+
+  std::vector<InflightQuery> Snapshot() const;
+  int64_t inflight() const;
+
+ private:
+  void Unregister(uint64_t token);
+
+  struct Entry {
+    QueryGovernor* governor = nullptr;
+    InflightQuery info;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t next_token_ = 1;
+  std::map<uint64_t, Entry> entries_;
+};
+
+}  // namespace ldv::exec
+
+#endif  // LDV_EXEC_GOVERNOR_H_

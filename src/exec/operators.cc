@@ -88,6 +88,10 @@ Status RunMorsels(ExecContext* ctx, OpStats* stats, size_t n,
   const size_t num_morsels = NumMorsels(n);
   if (!ctx->parallel() || num_morsels <= 1) {
     for (size_t m = 0; m < num_morsels; ++m) {
+      // Cooperative cancellation at every morsel boundary: a CANCEL, an
+      // expired deadline or a vanished client is observed within one
+      // morsel's worth of work.
+      LDV_RETURN_IF_ERROR(ctx->CheckGovernor());
       const size_t begin = m * kMorselRows;
       LDV_RETURN_IF_ERROR(fn(begin, std::min(n, begin + kMorselRows), m));
     }
@@ -95,7 +99,11 @@ Status RunMorsels(ExecContext* ctx, OpStats* stats, size_t n,
   }
   std::atomic<int64_t> cpu{0};
   const bool timing = ctx->profile;
+  // The governor check leads every pooled morsel: once a statement is
+  // cancelled, its remaining queued morsels return immediately, which is
+  // what hands the ThreadPool slots back promptly.
   auto timed = [&](size_t begin, size_t end, size_t morsel) -> Status {
+    LDV_RETURN_IF_ERROR(ctx->CheckGovernor());
     if (!timing) return fn(begin, end, morsel);
     const int64_t start = NowNanos();
     Status status = fn(begin, end, morsel);
@@ -129,6 +137,14 @@ void AppendBatch(Batch* dst, Batch&& src) {
   dst->lineage.insert(dst->lineage.end(),
                       std::make_move_iterator(src.lineage.begin()),
                       std::make_move_iterator(src.lineage.end()));
+}
+
+/// Approximate retained bytes of rows[begin, end) (memory-budget charges).
+size_t ApproxRowsBytes(const std::vector<Tuple>& rows, size_t begin,
+                       size_t end) {
+  size_t bytes = 0;
+  for (size_t i = begin; i < end; ++i) bytes += ApproxTupleBytes(rows[i]);
+  return bytes;
 }
 
 /// Concatenates per-morsel batches in morsel order — the parallel
@@ -341,10 +357,20 @@ Result<Batch> JoinNode::ExecuteImpl(ExecContext* ctx) {
   };
 
   if (key_pairs_.empty()) {
-    // Nested loop (the residual is the join predicate).
+    // Nested loop (the residual is the join predicate). One morsel covers
+    // kMorselRows left rows x |right| evaluations — far more work than any
+    // other morsel — so the governor is also checked at a fixed
+    // pair-evaluation stride (thread_local: each worker counts its own
+    // pairs, no sharing across morsel threads). A cross join is cancellable
+    // mid-morsel, whatever the shape of the two sides.
     return probe_morsels([&](size_t li, Batch* out) -> Status {
       bool matched = false;
+      thread_local size_t pairs_since_check = 0;
       for (size_t ri = 0; ri < right.rows.size(); ++ri) {
+        if (++pairs_since_check >= kMorselRows) {
+          pairs_since_check = 0;
+          LDV_RETURN_IF_ERROR(ctx->CheckGovernor());
+        }
         LDV_ASSIGN_OR_RETURN(bool hit, emit(li, ri, out));
         matched |= hit;
       }
@@ -367,6 +393,12 @@ Result<Batch> JoinNode::ExecuteImpl(ExecContext* ctx) {
 
   const int64_t build_start = timing ? NowNanos() : 0;
   const size_t num_rights = right.rows.size();
+  // The build side is held materialized for the whole build+probe, plus
+  // per-row hash/bucket bookkeeping — charge it against the query budget
+  // before allocating any of it.
+  LDV_RETURN_IF_ERROR(ctx->ChargeMemory(
+      ApproxRowsBytes(right.rows, 0, num_rights) +
+      num_rights * (sizeof(uint64_t) + sizeof(char) + 3 * sizeof(size_t))));
   std::vector<uint64_t> right_hash(num_rights);
   std::vector<char> right_null_key(num_rights, 0);
   LDV_RETURN_IF_ERROR(RunMorsels(
@@ -733,7 +765,14 @@ Result<Batch> AggregateNode::ExecuteImpl(ExecContext* ctx) {
                                  in.lineage[i].end());
           }
         }
-        return Status::Ok();
+        // Charge the morsel's partial table against the query budget: the
+        // partials are all retained until the phase-2 merge.
+        size_t partial_bytes = 0;
+        for (const GroupState& g : local.groups) {
+          partial_bytes += sizeof(GroupState) + ApproxTupleBytes(g.keys) +
+                           g.aggs.size() * sizeof(AggState);
+        }
+        return ctx->ChargeMemory(partial_bytes);
       }));
 
   // Phase 2: deterministic merge in morsel order. A group's global position
@@ -842,7 +881,10 @@ Result<Batch> DistinctNode::ExecuteImpl(ExecContext* ctx) {
             MergeLineage(&local.out.lineage[found], in.lineage[i]);
           }
         }
-        return Status::Ok();
+        // Charge the retained (deduped) morsel output plus its hash index.
+        return ctx->ChargeMemory(
+            ApproxRowsBytes(local.out.rows, 0, local.out.rows.size()) +
+            local.out.rows.size() * (sizeof(uint64_t) + 4 * sizeof(size_t)));
       }));
 
   // Phase 2: merge partials in morsel order — global first-appearance
@@ -911,7 +953,9 @@ Result<Batch> SortLimitNode::ExecuteImpl(ExecContext* ctx) {
             }
             sort_keys[i] = std::move(key);
           }
-          return Status::Ok();
+          // The evaluated sort keys are retained for the whole sort+merge.
+          return ctx->ChargeMemory(ApproxRowsBytes(sort_keys, begin, end) +
+                                   (end - begin) * sizeof(size_t));
         }));
     auto key_less = [&](size_t a, size_t b) {
       for (size_t k = 0; k < keys_.size(); ++k) {
@@ -951,6 +995,11 @@ Result<Batch> SortLimitNode::ExecuteImpl(ExecContext* ctx) {
               ? static_cast<size_t>(*limit_)
               : n;
       while (merged.size() < want) {
+        // The k-way merge is serial and can cover the full input; keep it
+        // cancellable at the same stride the morsel loops use.
+        if ((merged.size() % kMorselRows) == kMorselRows - 1) {
+          LDV_RETURN_IF_ERROR(ctx->CheckGovernor());
+        }
         size_t best = SIZE_MAX;
         for (size_t r = 0; r < num_runs; ++r) {
           if (run_pos[r] == run_end[r]) continue;

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "exec/expression.h"
+#include "exec/governor.h"
 #include "storage/database.h"
 #include "util/thread_pool.h"
 
@@ -57,8 +58,26 @@ struct ExecContext {
   /// results are identical — see kMorselRows).
   ThreadPool* pool = nullptr;
   int dop = 1;
+  /// Cooperative cancellation token + per-query memory budget; may be null
+  /// (tests, internal statements). Operators call CheckGovernor() at every
+  /// morsel boundary and expression-loop stride and ChargeMemory() when
+  /// they materialize (DESIGN.md §11).
+  QueryGovernor* governor = nullptr;
 
   bool parallel() const { return pool != nullptr && dop > 1; }
+
+  /// The cooperative cancellation check, inlined to a null test plus one
+  /// relaxed-ish atomic load on the fast path.
+  Status CheckGovernor() {
+    return governor == nullptr ? Status::Ok() : governor->Check();
+  }
+
+  /// Charges `bytes` against the statement's memory budget (no-op without
+  /// a governor).
+  Status ChargeMemory(size_t bytes) {
+    return governor == nullptr ? Status::Ok()
+                               : governor->ChargeMemory(bytes);
+  }
 };
 
 /// Execution statistics one operator accumulates while profiling or tracing

@@ -105,6 +105,18 @@ Result<std::vector<RowVersion>> MatchPreState(
   return matched;
 }
 
+/// Charges the reenactment pre-state snapshot (the version-archive capture
+/// of every matched row) against the statement's memory budget.
+Status ChargePreState(const ExecOptions& options,
+                      const std::vector<RowVersion>& matched) {
+  if (options.governor == nullptr) return Status::Ok();
+  size_t bytes = 0;
+  for (const RowVersion& row : matched) {
+    bytes += sizeof(RowVersion) + ApproxTupleBytes(row.values);
+  }
+  return options.governor->ChargeMemory(bytes);
+}
+
 }  // namespace
 
 Result<ResultSet> ExecUpdate(storage::Database* db,
@@ -139,6 +151,7 @@ Result<ResultSet> ExecUpdate(storage::Database* db,
   LDV_ASSIGN_OR_RETURN(
       std::vector<RowVersion> matched,
       MatchPreState(table, where.get(), FindIndexProbe(*table, where_expr)));
+  LDV_RETURN_IF_ERROR(ChargePreState(options, matched));
 
   ResultSet result;
   const int64_t stmt_seq = db->NextStatementSeq();
@@ -189,6 +202,7 @@ Result<ResultSet> ExecDelete(storage::Database* db, const sql::DeleteStmt& del,
   LDV_ASSIGN_OR_RETURN(
       std::vector<RowVersion> matched,
       MatchPreState(table, where.get(), FindIndexProbe(*table, where_expr)));
+  LDV_RETURN_IF_ERROR(ChargePreState(options, matched));
 
   ResultSet result;
   const int64_t stmt_seq = db->NextStatementSeq();

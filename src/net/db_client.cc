@@ -146,19 +146,46 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
   LDV_FAULT_POINT("engine.execute");
   LDV_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(request.sql));
 
+  // One governor per statement (DESIGN.md §11): the cancellation token the
+  // operators poll, the statement deadline, and the memory budget. It is
+  // registered before the engine lock is taken, so a statement queued
+  // behind another session's transaction is cancellable too.
+  exec::QueryGovernor governor;
+  const int64_t timeout_millis = request.timeout_millis > 0
+                                     ? request.timeout_millis
+                                     : statement_timeout_millis_;
+  if (timeout_millis > 0) {
+    governor.set_deadline_nanos(NowNanos() + timeout_millis * 1'000'000);
+  }
+  governor.set_mem_limit_bytes(mem_limit_bytes_);
+  exec::InflightQuery info;
+  info.process_id = request.process_id;
+  info.query_id = request.query_id;
+  info.session_id = session_id;
+  info.sql = request.sql;
+  info.start_nanos = NowNanos();
+  exec::QueryRegistry::Registration registration =
+      exec::QueryRegistry::Global().Register(&governor, std::move(info));
+
   uint64_t sync_lsn = 0;
   Result<exec::ResultSet> result = Status::Internal("unreachable");
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (!txn_cv_.wait_for(lock, std::chrono::milliseconds(txn_wait_millis_),
-                          [&] {
-                            return txn_owner_ == kNoSession ||
-                                   txn_owner_ == session_id;
-                          })) {
-      return Status::IOError(
-          "engine busy: another session's transaction held the engine past "
-          "the wait limit");
+    // Sliced wait for the engine: a cancel/deadline must be able to kick a
+    // statement out of the queue, so the wait polls the governor instead of
+    // sleeping the whole txn_wait_millis_ budget in one block.
+    const int64_t wait_deadline =
+        NowNanos() + txn_wait_millis_ * 1'000'000;
+    while (txn_owner_ != kNoSession && txn_owner_ != session_id) {
+      LDV_RETURN_IF_ERROR(governor.Check());
+      if (NowNanos() >= wait_deadline) {
+        return Status::IOError(
+            "engine busy: another session's transaction held the engine past "
+            "the wait limit");
+      }
+      txn_cv_.wait_for(lock, std::chrono::milliseconds(50));
     }
+    LDV_RETURN_IF_ERROR(governor.Check());
     obs::Span span("engine.statement", "engine");
     if (span.recording()) {
       span.AddArg("sql", request.sql.size() <= 120
@@ -185,11 +212,17 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
       exec::ExecOptions options;
       options.process_id = request.process_id;
       options.query_id = request.query_id;
+      options.governor = &governor;
       const int64_t seq_before = db()->current_statement_seq();
       const int64_t start = NowNanos();
       result = executor_.ExecuteParsed(stmt, options);
       statement_latency_->Observe((NowNanos() - start) / 1000);
 
+      if (!result.ok() && span.recording() &&
+          exec::IsGovernanceStatus(result.status().code())) {
+        span.AddArg("governance",
+                    std::string(StatusCodeName(result.status().code())));
+      }
       if (!result.ok()) {
         if (guarded) LDV_RETURN_IF_ERROR(autocommit.Rollback());
         if (in_txn) {
@@ -375,6 +408,20 @@ Status StartServerTrace(DbClient* client) {
 
 Result<Json> FetchServerTrace(DbClient* client) {
   return ControlRequestJson(client, RequestKind::kTraceDump, "trace");
+}
+
+Result<int64_t> CancelServerQuery(DbClient* client, int64_t process_id,
+                                  int64_t query_id) {
+  DbRequest request;
+  request.kind = RequestKind::kCancel;
+  request.process_id = process_id;
+  request.query_id = query_id;
+  LDV_ASSIGN_OR_RETURN(exec::ResultSet result, client->Execute(request));
+  if (result.rows.size() != 1 || result.rows[0].size() != 1 ||
+      result.rows[0][0].type() != storage::ValueType::kInt64) {
+    return Status::IOError("malformed cancel response");
+  }
+  return result.rows[0][0].AsInt();
 }
 
 }  // namespace ldv::net

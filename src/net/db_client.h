@@ -105,6 +105,14 @@ class EngineHandle {
   /// giving up with an error.
   void set_txn_wait_millis(int64_t millis) { txn_wait_millis_ = millis; }
 
+  /// Default per-statement deadline (--statement-timeout-ms); 0 disables.
+  /// A request's own timeout_millis overrides it.
+  void set_statement_timeout_millis(int64_t millis) {
+    statement_timeout_millis_ = millis;
+  }
+  /// Per-query memory budget cap (--mem-limit-mb); 0 disables.
+  void set_mem_limit_bytes(size_t bytes) { mem_limit_bytes_ = bytes; }
+
   storage::Database* db() { return executor_.db(); }
   storage::Wal* wal() { return wal_.get(); }
 
@@ -132,6 +140,11 @@ class EngineHandle {
   std::vector<storage::WalOp> txn_ops_;
   int64_t next_txn_id_ = 1;
   int64_t txn_wait_millis_ = 10'000;
+
+  // Resource-governance defaults (DESIGN.md §11); set at startup, read-only
+  // afterwards.
+  int64_t statement_timeout_millis_ = 0;
+  size_t mem_limit_bytes_ = 0;
 
   // Durability state, guarded by mu_ (Wal has its own lock; only the
   // pointer and the checkpoint counter live under mu_).
@@ -195,6 +208,12 @@ Status StartServerTrace(DbClient* client);
 /// Fetches the server's buffered spans as a parsed Chrome trace_event
 /// document; recording stops and the buffer clears server-side.
 Result<Json> FetchServerTrace(DbClient* client);
+
+/// Sends a kCancel request for (process_id, query_id) through `client`;
+/// query_id == 0 targets every in-flight statement of the process. Returns
+/// the number of statements the server signalled.
+Result<int64_t> CancelServerQuery(DbClient* client, int64_t process_id,
+                                  int64_t query_id);
 
 }  // namespace ldv::net
 

@@ -1,14 +1,21 @@
 #include "net/db_server.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <utility>
+#include <vector>
+
 #include "common/clock.h"
+#include "common/json.h"
 #include "common/logging.h"
+#include "exec/governor.h"
 #include "obs/span.h"
 
 namespace ldv::net {
@@ -47,6 +54,7 @@ Status DbServer::Start() {
   draining_.store(false);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  disconnect_watch_thread_ = std::thread([this] { DisconnectWatchLoop(); });
   return Status::Ok();
 }
 
@@ -60,6 +68,13 @@ void DbServer::Stop() {
     ::close(fd);
   }
   if (was_running && accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    exec_cv_.notify_all();
+  }
+  if (was_running && disconnect_watch_thread_.joinable()) {
+    disconnect_watch_thread_.join();
+  }
   {
     // Wake connection threads blocked in recv; the write side stays open so
     // an in-flight response can still be sent.
@@ -143,6 +158,37 @@ void DbServer::AcceptLoop() {
   }
 }
 
+void DbServer::DisconnectWatchLoop() {
+  std::unique_lock<std::mutex> lock(exec_mu_);
+  while (running_.load()) {
+    exec_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    std::vector<std::pair<int64_t, int>> watch(executing_.begin(),
+                                               executing_.end());
+    lock.unlock();
+    for (const auto& [session, fd] : watch) {
+      pollfd p{};
+      p.fd = fd;
+#ifdef POLLRDHUP
+      // Half-close (client shutdown of its write side) counts as gone too.
+      p.events = POLLRDHUP;
+#endif
+      // POLLHUP/POLLERR are always reported regardless of `events`.
+      if (::poll(&p, 1, 0) <= 0) continue;
+      if ((p.revents & (POLLHUP | POLLERR
+#ifdef POLLRDHUP
+                        | POLLRDHUP
+#endif
+                        )) == 0) {
+        continue;
+      }
+      const int64_t n = exec::QueryRegistry::Global().CancelSession(
+          session, StatusCode::kCancelled, "client disconnected");
+      if (n > 0) disconnect_cancels_.fetch_add(n);
+    }
+    lock.lock();
+  }
+}
+
 std::string DbServer::ExecuteDeduped(const DbRequest& request,
                                      int64_t session_id) {
   const bool use_dedup =
@@ -179,12 +225,20 @@ std::string DbServer::ExecuteDeduped(const DbRequest& request,
     std::lock_guard<std::mutex> lock(dedup_mu_);
     auto it = dedup_.find(key);
     if (it != dedup_.end()) {
-      it->second.done = true;
-      it->second.response = response;
-      dedup_order_.push_back(key);
-      while (dedup_order_.size() > options_.dedup_capacity) {
-        dedup_.erase(dedup_order_.front());
-        dedup_order_.pop_front();
+      if (!result.ok() && exec::IsGovernanceStatus(result.status().code())) {
+        // A governance kill must never poison the cache: a client resending
+        // the same (pid, qid, sql) after a cancel/timeout means "run it
+        // again", not "replay the kill". Drop the in-progress marker so the
+        // retry executes afresh.
+        dedup_.erase(it);
+      } else {
+        it->second.done = true;
+        it->second.response = response;
+        dedup_order_.push_back(key);
+        while (dedup_order_.size() > options_.dedup_capacity) {
+          dedup_.erase(dedup_order_.front());
+          dedup_order_.pop_front();
+        }
       }
     }
     dedup_cv_.notify_all();
@@ -203,11 +257,30 @@ std::string DbServer::HandleControl(const DbRequest& request) {
       reg.gauge("server.total_connections")->Set(total_connections());
       reg.gauge("server.rejected_connections")->Set(rejected_connections());
       reg.gauge("server.deduped_requests")->Set(deduped_requests());
+      reg.gauge("server.disconnect_cancels")->Set(disconnect_cancels());
+      exec::QueryRegistry& registry = exec::QueryRegistry::Global();
+      reg.gauge("exec.inflight")->Set(registry.inflight());
       obs::CaptureFaultInjectorMetrics(&reg);
+      Json stats = reg.Snapshot().ToJson();
+      // The in-flight listing rides along in the same stats_json document:
+      // who is running what, and for how long (the CANCEL verb's targets).
+      Json inflight = Json::MakeArray();
+      const int64_t now = NowNanos();
+      for (const exec::InflightQuery& q : registry.Snapshot()) {
+        Json item = Json::MakeObject();
+        item.Set("process_id", Json::MakeInt(q.process_id));
+        item.Set("query_id", Json::MakeInt(q.query_id));
+        item.Set("session_id", Json::MakeInt(q.session_id));
+        item.Set("elapsed_micros", Json::MakeInt((now - q.start_nanos) / 1000));
+        item.Set("sql", Json::MakeString(q.sql.size() <= 120
+                                             ? q.sql
+                                             : q.sql.substr(0, 117) + "..."));
+        inflight.Append(std::move(item));
+      }
+      stats.Set("inflight_queries", std::move(inflight));
       rs.schema = storage::Schema(
           {storage::Column{"stats_json", storage::ValueType::kString}});
-      rs.rows.push_back(
-          {storage::Value::Str(reg.Snapshot().ToJson().Dump())});
+      rs.rows.push_back({storage::Value::Str(stats.Dump())});
       rs.affected = 1;
       break;
     }
@@ -226,6 +299,16 @@ std::string DbServer::HandleControl(const DbRequest& request) {
       // kTraceStart clears.
       obs::TraceRecorder::Disable();
       break;
+    case RequestKind::kCancel: {
+      const int64_t n = exec::QueryRegistry::Global().CancelQuery(
+          request.process_id, request.query_id, StatusCode::kCancelled,
+          "cancelled by CANCEL request");
+      rs.schema = storage::Schema(
+          {storage::Column{"cancelled", storage::ValueType::kInt64}});
+      rs.rows.push_back({storage::Value::Int(n)});
+      rs.affected = n;
+      break;
+    }
     case RequestKind::kQuery:
       break;  // dispatched to ExecuteDeduped, never here
   }
@@ -259,7 +342,18 @@ void DbServer::ServeConnection(int64_t id, int fd) {
     } else {
       requests_total_->Add(1);
       const int64_t start = NowNanos();
+      {
+        // Expose this session to the disconnect watcher for the duration of
+        // the statement: a client that hangs up mid-query gets its work
+        // cancelled instead of burning worker slots to completion.
+        std::lock_guard<std::mutex> lock(exec_mu_);
+        executing_[id] = fd;
+      }
       response = ExecuteDeduped(*request, id);
+      {
+        std::lock_guard<std::mutex> lock(exec_mu_);
+        executing_.erase(id);
+      }
       request_latency_->Observe((NowNanos() - start) / 1000);
     }
     if (!SendFrame(fd, response).ok()) break;

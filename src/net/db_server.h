@@ -73,6 +73,8 @@ class DbServer {
   }
   /// Requests answered from the dedup cache instead of re-executing.
   int64_t deduped_requests() const { return deduped_requests_.load(); }
+  /// Statements cancelled because their client disconnected mid-execution.
+  int64_t disconnect_cancels() const { return disconnect_cancels_.load(); }
 
  private:
   struct Connection {
@@ -94,6 +96,10 @@ class DbServer {
 
   void AcceptLoop();
   void ServeConnection(int64_t id, int fd);
+  /// Polls the fds of connections that are executing a statement; a peer
+  /// that hung up gets its in-flight statements cancelled through the
+  /// QueryRegistry (abort-on-client-disconnect, DESIGN.md §11).
+  void DisconnectWatchLoop();
   /// Joins threads of connections that finished serving.
   void ReapFinished();
   void ApplyIoTimeouts(int fd);
@@ -112,6 +118,13 @@ class DbServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::thread accept_thread_;
+  std::thread disconnect_watch_thread_;
+
+  /// session id -> connection fd, present only while that session executes
+  /// a query — the watch set of DisconnectWatchLoop.
+  std::mutex exec_mu_;
+  std::condition_variable exec_cv_;
+  std::map<int64_t, int> executing_;
 
   mutable std::mutex conn_mu_;
   std::map<int64_t, Connection> connections_;
@@ -126,6 +139,7 @@ class DbServer {
   std::atomic<int64_t> total_connections_{0};
   std::atomic<int64_t> rejected_connections_{0};
   std::atomic<int64_t> deduped_requests_{0};
+  std::atomic<int64_t> disconnect_cancels_{0};
 
   // Pointers into MetricsRegistry::Global(), resolved once in the
   // constructor (registry lookups take a mutex; observations are relaxed

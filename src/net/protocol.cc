@@ -68,6 +68,7 @@ std::string EncodeRequest(const DbRequest& request) {
   w.PutVarint(request.process_id);
   w.PutVarint(request.query_id);
   w.PutU8(static_cast<uint8_t>(request.kind));
+  w.PutVarint(request.timeout_millis);
   return w.TakeData();
 }
 
@@ -81,11 +82,16 @@ Result<DbRequest> DecodeRequest(std::string_view bytes) {
   // replay logs) end here; they are plain queries.
   if (r.remaining() > 0) {
     LDV_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
-    if (kind > static_cast<uint8_t>(RequestKind::kTraceDump)) {
+    if (kind > static_cast<uint8_t>(RequestKind::kCancel)) {
       return Status::InvalidArgument("unknown request kind: " +
                                      std::to_string(kind));
     }
     request.kind = static_cast<RequestKind>(kind);
+  }
+  // Frames written before the deadline field existed end here; they carry
+  // no per-request timeout (the server default applies).
+  if (r.remaining() > 0) {
+    LDV_ASSIGN_OR_RETURN(request.timeout_millis, r.GetVarint());
   }
   return request;
 }

@@ -22,6 +22,12 @@ enum class RequestKind : uint8_t {
   /// Return buffered spans as one `trace_json` string column (Chrome
   /// trace_event JSON), then stop recording and clear the buffer.
   kTraceDump = 3,
+  /// Cancel every in-flight statement matching (process_id, query_id);
+  /// query_id == 0 matches the whole process. `sql` is ignored. Returns one
+  /// `cancelled` int column with the number of statements signalled. The
+  /// kill is cooperative — targets observe it at their next governor check
+  /// and unwind with kCancelled (DESIGN.md §11).
+  kCancel = 4,
 };
 
 /// One client->server request. The process and query identifiers are the
@@ -32,6 +38,10 @@ struct DbRequest {
   int64_t process_id = 0;
   int64_t query_id = 0;
   RequestKind kind = RequestKind::kQuery;
+  /// Per-statement deadline in milliseconds; 0 means "use the server's
+  /// --statement-timeout-ms default". Encoded as a trailing varint (after
+  /// the kind byte), absent on old frames — which decode as 0.
+  int64_t timeout_millis = 0;
 };
 
 /// Binary encoding of requests/responses (varint-based, little-endian).

@@ -33,10 +33,24 @@ std::unique_ptr<RetryingDbClient> RetryingDbClient::ForSocket(
 }
 
 bool RetryingDbClient::IsRetryable(const Status& status) {
-  // IOError is the transport taxonomy: socket failures, injected faults,
-  // decode failures from torn streams, server overload/drain rejections.
-  // Every other code is a definitive engine answer.
-  return status.code() == StatusCode::kIOError;
+  switch (status.code()) {
+    // IOError is the transport taxonomy: socket failures, injected faults,
+    // decode failures from torn streams, server overload/drain rejections.
+    case StatusCode::kIOError:
+      return true;
+    // The governance verdicts are explicitly NOT retryable: the governor
+    // killed the statement on purpose, and a transparent retry would
+    // resurrect exactly the work that was just cancelled, re-arm an
+    // already-expired deadline, or re-run an over-budget query into the
+    // same wall (DESIGN.md §11).
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return false;
+    // Every other code is a definitive engine answer.
+    default:
+      return false;
+  }
 }
 
 Result<exec::ResultSet> RetryingDbClient::Execute(const DbRequest& request) {

@@ -66,8 +66,13 @@ class RetryingDbClient final : public DbClient {
   /// Times the wrapped client was (re)created through the factory.
   int64_t reconnects() const { return reconnects_; }
 
- private:
+  /// The retry classification: true only for transport errors (kIOError).
+  /// Governance verdicts (kCancelled / kDeadlineExceeded /
+  /// kResourceExhausted) are explicitly non-retryable — the statement was
+  /// killed on purpose, and a transparent retry would resurrect it.
   static bool IsRetryable(const Status& status);
+
+ private:
 
   std::unique_ptr<DbClient> client_;
   Factory factory_;

@@ -64,21 +64,43 @@ TEST(ProtocolTest, RequestKindRoundTripsAndOldFramesDefaultToQuery) {
   EXPECT_EQ(decoded->kind, RequestKind::kStats);
 
   // A frame from before the kind byte existed (e.g. an old replay log)
-  // still decodes, defaulting to a plain query.
+  // still decodes, defaulting to a plain query. Strip the trailing timeout
+  // varint (one byte for timeout 0) and the kind byte.
   DbRequest old_style;
   old_style.sql = "SELECT 1";
   old_style.process_id = 3;
   old_style.query_id = 4;
   std::string encoded = EncodeRequest(old_style);
-  encoded.pop_back();  // strip the trailing kind byte
+  encoded.pop_back();  // strip the trailing timeout varint
+  encoded.pop_back();  // strip the kind byte
   auto legacy = DecodeRequest(encoded);
   ASSERT_TRUE(legacy.ok());
   EXPECT_EQ(legacy->kind, RequestKind::kQuery);
   EXPECT_EQ(legacy->sql, "SELECT 1");
+  EXPECT_EQ(legacy->timeout_millis, 0);
+
+  // A kind-byte-era frame (no timeout field) decodes with no per-request
+  // timeout.
+  encoded.push_back(static_cast<char>(RequestKind::kStats));
+  auto kind_only = DecodeRequest(encoded);
+  ASSERT_TRUE(kind_only.ok());
+  EXPECT_EQ(kind_only->kind, RequestKind::kStats);
+  EXPECT_EQ(kind_only->timeout_millis, 0);
 
   // An out-of-range kind byte is rejected, not misinterpreted.
+  encoded.pop_back();
   encoded.push_back('\x7f');
   EXPECT_FALSE(DecodeRequest(encoded).ok());
+}
+
+TEST(ProtocolTest, TimeoutFieldRoundTrips) {
+  DbRequest request;
+  request.sql = "SELECT 1";
+  request.timeout_millis = 1500;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->timeout_millis, 1500);
+  EXPECT_EQ(decoded->kind, RequestKind::kQuery);
 }
 
 TEST(ProtocolTest, ResultSetRoundTrip) {
@@ -412,6 +434,43 @@ TEST(EngineHandleTest, SerializesConcurrentClients) {
     for (int k = 0; k < kInsertsEach; ++k) expected_sum += i * 1000 + k;
   }
   EXPECT_EQ(count->rows[0][1].AsInt(), expected_sum);
+}
+
+/// Fake client that fails every request with a fixed status, counting calls
+/// — proves what the retry layer does and does not re-run.
+class FailingDbClient final : public DbClient {
+ public:
+  explicit FailingDbClient(Status status) : status_(std::move(status)) {}
+  Result<exec::ResultSet> Execute(const DbRequest&) override {
+    ++calls_;
+    return status_;
+  }
+  int calls() const { return calls_; }
+
+ private:
+  Status status_;
+  int calls_ = 0;
+};
+
+TEST(RetryingDbClientTest, GovernanceVerdictsAreNotRetried) {
+  // A cancelled statement must not be transparently re-run: the retry would
+  // resurrect exactly the work the governor killed. Same for expired
+  // deadlines and blown memory budgets.
+  const Status verdicts[] = {Status::Cancelled("killed"),
+                             Status::DeadlineExceeded("too slow"),
+                             Status::ResourceExhausted("over budget")};
+  for (const Status& verdict : verdicts) {
+    EXPECT_FALSE(RetryingDbClient::IsRetryable(verdict)) << verdict.ToString();
+    auto failing = std::make_unique<FailingDbClient>(verdict);
+    FailingDbClient* raw = failing.get();
+    RetryingDbClient client(std::move(failing), nullptr, {});
+    auto result = client.Query("SELECT 1");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), verdict.code());
+    EXPECT_EQ(raw->calls(), 1);  // executed once, never re-run
+  }
+  // Transport errors stay retryable (the pre-existing contract).
+  EXPECT_TRUE(RetryingDbClient::IsRetryable(Status::IOError("socket reset")));
 }
 
 TEST(SocketDbClientTest, ConnectFailure) {

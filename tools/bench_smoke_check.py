@@ -17,6 +17,12 @@ throughput at 8 threads. On boxes without enough cores the scaling bound is
 physically unreachable, so it is SKIPPED (loudly) and only a no-regression
 bound is enforced: parallel execution at 8 threads must keep >= 0.7x the
 serial throughput (the morsel machinery must not tax a serial box).
+
+Given a fourth argument (the governance-latency JSON the LDV_BENCH_GOVERNANCE_OUT
+probe emits), asserts the resource-governance responsiveness bound
+(DESIGN.md §11): a cancel landing mid-scan on the 150k-row table must
+unwind within 100 ms, and a statement deadline must not overshoot by more
+than 100 ms, at both 1 and 8 threads.
 """
 import json
 import sys
@@ -25,6 +31,8 @@ PARALLEL_SPEEDUP = 2.5
 PARALLEL_NO_REGRESSION = 0.7
 # Cores needed before the 2.5x-at-8-threads bound is physically meaningful.
 PARALLEL_MIN_HW = 4
+# Cancel-to-return / deadline-overshoot ceiling (milliseconds).
+GOVERNANCE_LATENCY_MS = 100.0
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -98,11 +106,29 @@ def check_parallel(path):
                     f" {hw}-core box (floor {PARALLEL_NO_REGRESSION}x)")
 
 
+def check_governance(path):
+    with open(path) as f:
+        probe = json.load(f)
+    for bound in ("cancel_latency_ms", "deadline_overshoot_ms"):
+        points = probe.get(bound)
+        if not points:
+            raise SystemExit(
+                f"bench_smoke_check: {bound} missing from {path}")
+        for threads, latency in sorted(points.items()):
+            print(f"bench_smoke_check: governance {bound} {threads}:"
+                  f" {latency:.1f}ms (bound {GOVERNANCE_LATENCY_MS:.0f}ms)")
+            if latency > GOVERNANCE_LATENCY_MS:
+                raise SystemExit(
+                    f"bench_smoke_check: governance {bound} at {threads} ="
+                    f" {latency:.1f}ms exceeds the"
+                    f" {GOVERNANCE_LATENCY_MS:.0f}ms responsiveness bound")
+
+
 def main():
-    if len(sys.argv) not in (3, 4):
+    if len(sys.argv) not in (3, 4, 5):
         raise SystemExit(
             "usage: bench_smoke_check.py BENCH_JSON METRICS_JSON"
-            " [PARALLEL_JSON]")
+            " [PARALLEL_JSON [GOVERNANCE_JSON]]")
     with open(sys.argv[1]) as f:
         benchmarks = json.load(f)["benchmarks"]
     span_ns = real_ns(benchmarks, "BM_ObsSpanDisabled")
@@ -139,8 +165,10 @@ def main():
         raise SystemExit(
             "bench_smoke_check: bench.latency histogram missing from snapshot")
 
-    if len(sys.argv) == 4:
+    if len(sys.argv) >= 4:
         check_parallel(sys.argv[3])
+    if len(sys.argv) == 5:
+        check_governance(sys.argv[4])
     print("bench_smoke_check: ok")
 
 

@@ -6,10 +6,12 @@
 # --bench-smoke additionally runs bench_micro once, asserts the
 # disabled-instrumentation overhead bound (<2%, see DESIGN.md §8), the
 # group-commit bound (>= 3x single-writer fsync throughput at 8 writers,
-# DESIGN.md §9) and the morsel-parallel scaling bound (>= 2.5x at 8 threads
-# with enough cores, no-regression otherwise, DESIGN.md §10), and leaves the
-# run's metrics snapshot in build/metrics_smoke.json and the scaling curve
-# in build/bench_parallel.json.
+# DESIGN.md §9), the morsel-parallel scaling bound (>= 2.5x at 8 threads
+# with enough cores, no-regression otherwise, DESIGN.md §10) and the
+# resource-governance responsiveness bound (cancel/deadline kills land
+# within 100 ms mid-scan at 1 and 8 threads, DESIGN.md §11). The artifacts
+# (benchmark results, metrics snapshot, scaling curve, governance probe)
+# are left in build/ and mirrored to BENCH_*.json in the repo root.
 #
 # --tsan additionally builds with ThreadSanitizer (LDV_SANITIZE=thread) and
 # runs the concurrency-sensitive suites (thread pool, parallel execution,
@@ -50,16 +52,25 @@ fi
 echo "== plain build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
-(cd build && ctest --output-on-failure -j)
+# --timeout: no single test may wedge the gate — a hung cancellation or a
+# deadlocked pool shows up as a per-test failure, not a stuck CI job.
+(cd build && ctest --output-on-failure --timeout 120 -j)
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then
   echo "== bench smoke =="
   LDV_METRICS_OUT=build/metrics_smoke.json \
-  LDV_BENCH_PARALLEL_OUT=build/bench_parallel.json ./build/bench/bench_micro \
+  LDV_BENCH_PARALLEL_OUT=build/bench_parallel.json \
+  LDV_BENCH_GOVERNANCE_OUT=build/bench_governance.json \
+  ./build/bench/bench_micro \
     --benchmark_filter='BM_Obs|BM_ScanFilter|BM_WalCommit/sync:2|BM_Parallel' \
     --benchmark_out=build/bench_smoke.json --benchmark_out_format=json
   python3 tools/bench_smoke_check.py build/bench_smoke.json \
-    build/metrics_smoke.json build/bench_parallel.json
+    build/metrics_smoke.json build/bench_parallel.json \
+    build/bench_governance.json
+  # Repo-root artifacts so a gate run leaves an inspectable record.
+  cp build/bench_smoke.json BENCH_SMOKE.json
+  cp build/bench_parallel.json BENCH_PARALLEL.json
+  cp build/bench_governance.json BENCH_GOVERNANCE.json
 fi
 
 if [[ "$TORTURE_ITERS" -gt 0 ]]; then
@@ -71,18 +82,18 @@ fi
 echo "== asan+ubsan build =="
 cmake -B build-san -S . -DLDV_SANITIZE=address,undefined >/dev/null
 cmake --build build-san -j
-(cd build-san && ctest --output-on-failure -j)
+(cd build-san && ctest --output-on-failure --timeout 240 -j)
 
 if [[ "$TSAN" == 1 ]]; then
   echo "== tsan build (concurrency suites) =="
   cmake -B build-tsan -S . -DLDV_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target \
     thread_pool_test parallel_exec_test exec_select_test exec_features_test \
-    net_test txn_test
+    net_test txn_test governance_test
   # -R must precede the bare -j: ctest would otherwise swallow it as the
   # job count and silently run the whole (mostly unbuilt) suite.
-  (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|Parallel|ExecSelect|ExecFeatures|Net|Txn' -j)
+  (cd build-tsan && ctest --output-on-failure --timeout 240 \
+    -R 'ThreadPool|Parallel|ExecSelect|ExecFeatures|Net|Txn|Governance' -j)
 fi
 
 echo "check.sh: plain and sanitizer suites both passed"

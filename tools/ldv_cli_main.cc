@@ -72,6 +72,9 @@ int Usage() {
       "  ldv trace-dot --package DIR\n"
       "  ldv trace-prov --package DIR      (W3C PROV-JSON export)\n"
       "  ldv ptrace  --out DIR -- <command> [args...]\n"
+      "  ldv cancel  --db-socket PATH --pid N [--qid N]\n"
+      "              (cancel in-flight statements on a live server; --qid 0\n"
+      "               or omitted targets every statement of the process)\n"
       "global: --threads N   query degree of parallelism (default: hardware\n"
       "                      concurrency; 1 disables parallel execution)\n");
   return 2;
@@ -378,6 +381,28 @@ int CmdPtrace(const Flags& flags) {
   return 0;
 }
 
+/// `ldv cancel`: sends the kCancel protocol verb to a live server. The kill
+/// is cooperative — targets unwind with Cancelled at their next governor
+/// check (DESIGN.md §11).
+int CmdCancel(const Flags& flags) {
+  if (!flags.named.count("db-socket") || !flags.named.count("pid")) {
+    return Usage();
+  }
+  auto client =
+      ldv::net::SocketDbClient::Connect(flags.named.at("db-socket"));
+  if (!client.ok()) return Fail(client.status());
+  const int64_t pid = std::atoll(flags.named.at("pid").c_str());
+  const int64_t qid = flags.named.count("qid")
+                          ? std::atoll(flags.named.at("qid").c_str())
+                          : 0;
+  ldv::Result<int64_t> cancelled =
+      ldv::net::CancelServerQuery(client->get(), pid, qid);
+  if (!cancelled.ok()) return Fail(cancelled.status());
+  std::printf("ldv: signalled %lld in-flight statement(s)\n",
+              static_cast<long long>(*cancelled));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -396,5 +421,6 @@ int main(int argc, char** argv) {
   if (command == "trace-dot") return CmdTraceDot(flags);
   if (command == "trace-prov") return CmdTraceProv(flags);
   if (command == "ptrace") return CmdPtrace(flags);
+  if (command == "cancel") return CmdCancel(flags);
   return Usage();
 }

@@ -30,6 +30,13 @@
 //   --threads N       query degree of parallelism (morsel-driven execution;
 //                     default hardware concurrency, 1 disables). Results are
 //                     bit-identical at any value.
+//   --statement-timeout-ms N  default per-statement deadline; a statement
+//                     running past it is cooperatively cancelled with
+//                     DeadlineExceeded (0 = no default; a request's own
+//                     timeout field overrides)
+//   --mem-limit-mb N  per-query memory budget: a statement materializing
+//                     more than N MiB fails with ResourceExhausted instead
+//                     of OOMing the server (0 = unlimited)
 
 #include <signal.h>
 
@@ -77,6 +84,8 @@ int main(int argc, char** argv) {
   double tpch_sf = 0;
   uint64_t seed = 42;
   uint64_t fault_seed = 42;
+  int64_t statement_timeout_ms = 0;
+  int64_t mem_limit_mb = 0;
   ldv::net::DbServerOptions server_options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -111,13 +120,18 @@ int main(int argc, char** argv) {
       trace_out = next();
     } else if (arg == "--threads") {
       ldv::ThreadPool::SetDefaultDop(std::atoi(next()));
+    } else if (arg == "--statement-timeout-ms") {
+      statement_timeout_ms = std::atoll(next());
+    } else if (arg == "--mem-limit-mb") {
+      mem_limit_mb = std::atoll(next());
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ldv_server --socket PATH [--data DIR] [--tpch SF] "
           "[--seed N] [--wal-dir DIR] [--checkpoint-every N] "
           "[--sync-mode fsync|fdatasync|none] [--max-conns N] "
           "[--io-timeout-ms N] [--fault SPEC] [--fault-seed N] "
-          "[--metrics-out FILE] [--trace-out FILE] [--threads N]\n");
+          "[--metrics-out FILE] [--trace-out FILE] [--threads N] "
+          "[--statement-timeout-ms N] [--mem-limit-mb N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "ldv_server: unknown flag %s\n", arg.c_str());
@@ -187,6 +201,16 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) ldv::obs::TraceRecorder::Enable();
 
   ldv::net::EngineHandle engine(&db);
+  if (statement_timeout_ms > 0) {
+    engine.set_statement_timeout_millis(statement_timeout_ms);
+    std::printf("ldv_server: statement timeout %lld ms\n",
+                static_cast<long long>(statement_timeout_ms));
+  }
+  if (mem_limit_mb > 0) {
+    engine.set_mem_limit_bytes(static_cast<size_t>(mem_limit_mb) << 20);
+    std::printf("ldv_server: per-query memory limit %lld MiB\n",
+                static_cast<long long>(mem_limit_mb));
+  }
   if (!wal_dir.empty()) {
     ldv::storage::WalOptions wal_options;
     wal_options.sync_mode = *parsed_sync;
