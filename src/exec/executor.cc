@@ -286,6 +286,7 @@ Result<ResultSet> Executor::ExecSelect(const sql::SelectStmt& select,
   ctx.query_id = options.query_id;
   ctx.process_id = options.process_id;
   ctx.governor = options.governor;
+  ctx.snapshot_epoch = options.snapshot_epoch;
   const int dop =
       options.threads > 0 ? options.threads : ThreadPool::default_dop();
   if (dop > 1) {

@@ -75,6 +75,9 @@ struct ExecOptions {
   /// be null (internal statements run ungoverned). Owned by the caller and
   /// must outlive the Execute call (DESIGN.md §11).
   QueryGovernor* governor = nullptr;
+  /// Read at this snapshot epoch instead of the live state (DESIGN.md §12).
+  /// Set by the engine's concurrent read path; 0 = live state.
+  int64_t snapshot_epoch = 0;
 };
 
 /// The query/DML engine over one Database. Statements carrying the

@@ -224,7 +224,17 @@ std::string ScanNode::detail() const {
 Result<Batch> ScanNode::ExecuteImpl(ExecContext* ctx) {
   ProvRecords prov;
   Batch out;
-  if (has_index_probe() && table_->HasIndexOn(probe_column_)) {
+  // Snapshot-isolated scan (DESIGN.md §12): when the table carries
+  // mutations newer than the snapshot epoch, every slot resolves to the
+  // newest version the snapshot may see — possibly an archived pre-image,
+  // possibly none. Tables untouched since the epoch take the plain path,
+  // so snapshot reads on a quiescent table cost nothing extra.
+  const int64_t epoch = ctx->snapshot_epoch;
+  const bool versioned = epoch > 0 && table_->last_mutation_seq() > epoch;
+  // The hash index covers live rows only; a snapshot that must see rows
+  // updated or deleted after its epoch would miss them through the probe,
+  // so the scan falls back to the full version-resolving path.
+  if (has_index_probe() && table_->HasIndexOn(probe_column_) && !versioned) {
     // Point lookup through the hash index; rowid order keeps emission order
     // identical to a full scan over the same qualifying rows. Stays serial:
     // index probes select few rows by construction.
@@ -237,12 +247,26 @@ Result<Batch> ScanNode::ExecuteImpl(ExecContext* ctx) {
   } else {
     std::vector<RowVersion>& rows = table_->mutable_rows();
     const size_t n = rows.size();
+    // Emits the version of rows[i] this statement may see. Snapshot reads
+    // never track lineage, so the cast-away const on an archived version is
+    // never written through (EmitRow mutates only under track_lineage).
+    auto emit_visible = [&](size_t i, Batch* batch,
+                            ProvRecords* records) -> Status {
+      RowVersion* row = &rows[i];
+      if (versioned) {
+        const RowVersion* visible = table_->VisibleVersion(*row, epoch);
+        if (visible == nullptr) return Status::Ok();
+        row = const_cast<RowVersion*>(visible);
+      } else if (row->deleted) {
+        return Status::Ok();
+      }
+      return EmitRow(ctx, row, batch, records);
+    };
     if (!ctx->parallel() || NumMorsels(n) <= 1) {
       out.rows.reserve(n);
       if (ctx->track_lineage) out.lineage.reserve(n);
-      for (RowVersion& row : rows) {
-        if (row.deleted) continue;
-        LDV_RETURN_IF_ERROR(EmitRow(ctx, &row, &out, &prov));
+      for (size_t i = 0; i < n; ++i) {
+        LDV_RETURN_IF_ERROR(emit_visible(i, &out, &prov));
       }
     } else {
       // Morsel-parallel scan with the pushed-down filter fused into each
@@ -255,9 +279,8 @@ Result<Batch> ScanNode::ExecuteImpl(ExecContext* ctx) {
             Batch& part = parts[morsel];
             part.rows.reserve(end - begin);
             for (size_t i = begin; i < end; ++i) {
-              if (rows[i].deleted) continue;
               LDV_RETURN_IF_ERROR(
-                  EmitRow(ctx, &rows[i], &part, &part_prov[morsel]));
+                  emit_visible(i, &part, &part_prov[morsel]));
             }
             return Status::Ok();
           }));

@@ -63,6 +63,13 @@ struct ExecContext {
   /// morsel boundary and expression-loop stride and ChargeMemory() when
   /// they materialize (DESIGN.md §11).
   QueryGovernor* governor = nullptr;
+  /// Snapshot-isolated read (DESIGN.md §12): scans resolve each row to the
+  /// newest version created at or before this epoch, so the statement sees
+  /// a frozen committed state regardless of concurrent writers. 0 reads the
+  /// live current state (DML, transactions, provenance, internal reads).
+  /// Snapshot reads never run with track_lineage (lineage stamps mutate the
+  /// rows being scanned).
+  int64_t snapshot_epoch = 0;
 
   bool parallel() const { return pool != nullptr && dop > 1; }
 

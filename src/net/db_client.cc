@@ -6,7 +6,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <functional>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/fault.h"
@@ -57,18 +60,83 @@ bool IsDdlOrCopy(const sql::Statement& stmt) {
   }
 }
 
+/// DDL proper (table-set or schema changes): serialized against every
+/// reader via the exclusive catalog lock. COPY is excluded — it mutates one
+/// table's rows, so it takes that table's data lock like DML.
+bool IsDdl(const sql::Statement& stmt) {
+  return IsDdlOrCopy(stmt) && stmt.kind != sql::StatementKind::kCopy;
+}
+
+/// The table a mutating non-DDL statement writes; nullptr for statements
+/// without a single target.
+const std::string* MutationTarget(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kInsert:
+      return &stmt.insert->table;
+    case sql::StatementKind::kUpdate:
+      return &stmt.update->table;
+    case sql::StatementKind::kDelete:
+      return &stmt.del->table;
+    case sql::StatementKind::kCopy:
+      return &stmt.copy->table;
+    default:
+      return nullptr;
+  }
+}
+
+void CollectSelectTables(const sql::SelectStmt& select,
+                         std::vector<std::string>* out);
+
+void CollectExprTables(const sql::Expr& expr, std::vector<std::string>* out) {
+  for (const auto& child : expr.children) {
+    if (child != nullptr) CollectExprTables(*child, out);
+  }
+  if (expr.subquery != nullptr) CollectSelectTables(*expr.subquery, out);
+}
+
+/// Every table name a SELECT may read: FROM entries plus the tables of any
+/// subquery anywhere in the tree. Names that resolve to nothing are the
+/// planner's problem; the read path just skips them.
+void CollectSelectTables(const sql::SelectStmt& select,
+                         std::vector<std::string>* out) {
+  for (const auto& ref : select.from) {
+    out->push_back(ref.table);
+    if (ref.join_condition != nullptr) {
+      CollectExprTables(*ref.join_condition, out);
+    }
+  }
+  for (const auto& item : select.items) {
+    if (item.expr != nullptr) CollectExprTables(*item.expr, out);
+  }
+  if (select.where != nullptr) CollectExprTables(*select.where, out);
+  for (const auto& expr : select.group_by) {
+    if (expr != nullptr) CollectExprTables(*expr, out);
+  }
+  if (select.having != nullptr) CollectExprTables(*select.having, out);
+  for (const auto& item : select.order_by) {
+    if (item.expr != nullptr) CollectExprTables(*item.expr, out);
+  }
+}
+
 }  // namespace
 
 EngineHandle::EngineHandle(storage::Database* db)
     : executor_(db),
       statement_latency_(obs::MetricsRegistry::Global().latency_histogram(
           "engine.statement_micros")),
+      concurrent_reads_(
+          obs::MetricsRegistry::Global().counter("engine.concurrent_reads")),
       txns_committed_(
           obs::MetricsRegistry::Global().counter("engine.txns_committed")),
       txns_rolled_back_(
           obs::MetricsRegistry::Global().counter("engine.txns_rolled_back")),
       checkpoints_(
-          obs::MetricsRegistry::Global().counter("engine.checkpoints")) {}
+          obs::MetricsRegistry::Global().counter("engine.checkpoints")) {
+  // Retain superseded versions for snapshot readers and start the committed
+  // epoch at whatever state the database already holds (recovery, loads).
+  db->SetMvccRetention(true);
+  snapshots_.AdvanceCommitted(db->current_statement_seq());
+}
 
 void EngineHandle::AttachWal(std::unique_ptr<storage::Wal> wal,
                              EngineDurabilityOptions durability) {
@@ -76,12 +144,26 @@ void EngineHandle::AttachWal(std::unique_ptr<storage::Wal> wal,
   wal_ = std::move(wal);
   durability_ = std::move(durability);
   commits_since_checkpoint_ = 0;
+  // Redo may have advanced the statement sequence past the epoch the
+  // constructor saw.
+  snapshots_.AdvanceCommitted(db()->current_statement_seq());
 }
 
 void EngineHandle::EndTxnLocked() {
   txn_owner_ = kNoSession;
   txn_ops_.clear();
+  txn_snapshot_.Release();
   txn_cv_.notify_all();
+}
+
+Status EngineHandle::LockAllTablesExclusive(txn::LockSet* locks) {
+  std::vector<int32_t> ids;
+  for (storage::Table* table : db()->Tables()) ids.push_back(table->id());
+  std::sort(ids.begin(), ids.end());
+  for (int32_t id : ids) {
+    LDV_RETURN_IF_ERROR(locks->AcquireExclusive(locks_.TableLock(id)));
+  }
+  return Status::Ok();
 }
 
 Result<uint64_t> EngineHandle::AppendGroupLocked(
@@ -103,6 +185,9 @@ Result<exec::ResultSet> EngineHandle::ExecTransactionLocked(
       LDV_RETURN_IF_ERROR(txn_.Begin(db()));
       txn_owner_ = session_id;
       txn_ops_.clear();
+      // Pin the begin epoch: archive GC must not reclaim pre-images the
+      // transaction's rollback (or readers concurrent with it) still needs.
+      txn_snapshot_ = txn::SnapshotRef(&snapshots_);
       return exec::ResultSet{};
     }
     case sql::TransactionStmt::Kind::kCommit: {
@@ -113,6 +198,9 @@ Result<exec::ResultSet> EngineHandle::ExecTransactionLocked(
         Result<uint64_t> lsn = AppendGroupLocked(txn_ops_);
         if (!lsn.ok()) {
           // The group never reached the log; abort so memory and log agree.
+          // Undo rewrites rows in place, so readers drain first.
+          txn::LockSet undo_locks;
+          LDV_RETURN_IF_ERROR(LockAllTablesExclusive(&undo_locks));
           Status rolled = txn_.Rollback();
           EndTxnLocked();
           txns_rolled_back_->Add(1);
@@ -131,6 +219,11 @@ Result<exec::ResultSet> EngineHandle::ExecTransactionLocked(
       if (txn_owner_ != session_id) {
         return Status::InvalidArgument("ROLLBACK: no transaction is open");
       }
+      // Undo restores rows in place and truncates archives across every
+      // table the transaction touched; in-flight snapshot readers must
+      // drain first (acquisition blocks until they finish).
+      txn::LockSet undo_locks;
+      LDV_RETURN_IF_ERROR(LockAllTablesExclusive(&undo_locks));
       Status rolled = txn_.Rollback();
       EndTxnLocked();
       txns_rolled_back_->Add(1);
@@ -167,6 +260,17 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
   exec::QueryRegistry::Registration registration =
       exec::QueryRegistry::Global().Register(&governor, std::move(info));
 
+  // Plain non-provenance SELECTs run on the concurrent read path: shared
+  // data locks and a frozen snapshot epoch instead of the engine mutex, so
+  // independent readers overlap. The owner of an open transaction must see
+  // its own uncommitted writes, so its reads stay on the serialized path
+  // (provenance queries do too — they stamp used_by markers into the rows
+  // they read).
+  if (stmt.kind == sql::StatementKind::kSelect && !stmt.provenance &&
+      txn_owner_.load(std::memory_order_acquire) != session_id) {
+    return ExecConcurrentRead(stmt, request, &governor);
+  }
+
   uint64_t sync_lsn = 0;
   Result<exec::ResultSet> result = Status::Internal("unreachable");
   {
@@ -195,6 +299,11 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
 
     if (stmt.kind == sql::StatementKind::kTransaction) {
       result = ExecTransactionLocked(session_id, *stmt.transaction, &sync_lsn);
+      if (txn_owner_ == kNoSession) {
+        // COMMIT/ROLLBACK resolved the transaction: its outcome (or the
+        // restored pre-state) is now the committed epoch readers pin.
+        snapshots_.AdvanceCommitted(db()->current_statement_seq());
+      }
     } else {
       const bool in_txn = txn_owner_ == session_id;
       const bool mutates = StatementMutates(stmt);
@@ -202,21 +311,48 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
         return Status::InvalidArgument(
             "DDL and COPY are not allowed inside a transaction");
       }
+      // Data locks (DESIGN.md §12): DML and COPY take the target table
+      // exclusively so snapshot readers never observe a row vector
+      // mid-mutation; DDL takes the catalog exclusively so readers never
+      // observe the table set or a schema changing. SELECTs here (the
+      // transaction owner's reads, provenance queries) take none — mu_
+      // already excludes every other writer, and snapshot readers do not
+      // touch the fields provenance stamps.
+      txn::LockSet data_locks;
+      storage::Table* locked_table = nullptr;
+      Status acquired = Status::Ok();
+      if (mutates) {
+        auto poll = [&governor] { return governor.Check(); };
+        if (IsDdl(stmt)) {
+          acquired = data_locks.AcquireExclusive(locks_.catalog(), poll);
+        } else if (const std::string* target = MutationTarget(stmt)) {
+          locked_table = db()->FindTable(*target);
+          if (locked_table != nullptr) {
+            acquired = data_locks.AcquireExclusive(
+                locks_.TableLock(locked_table->id()), poll);
+          }
+        }
+      }
+
       // With a WAL attached, an autocommit mutation runs under its own undo
       // scope: if execution or the log append fails, the statement's partial
       // effects are rolled back and the client's error means "not applied".
       storage::TxnScope autocommit;
       const bool guarded = mutates && !in_txn && wal_ != nullptr;
-      if (guarded) LDV_RETURN_IF_ERROR(autocommit.Begin(db()));
 
-      exec::ExecOptions options;
-      options.process_id = request.process_id;
-      options.query_id = request.query_id;
-      options.governor = &governor;
       const int64_t seq_before = db()->current_statement_seq();
-      const int64_t start = NowNanos();
-      result = executor_.ExecuteParsed(stmt, options);
-      statement_latency_->Observe((NowNanos() - start) / 1000);
+      if (!acquired.ok()) {
+        result = acquired;  // cancelled while waiting for a data lock
+      } else {
+        if (guarded) LDV_RETURN_IF_ERROR(autocommit.Begin(db()));
+        exec::ExecOptions options;
+        options.process_id = request.process_id;
+        options.query_id = request.query_id;
+        options.governor = &governor;
+        const int64_t start = NowNanos();
+        result = executor_.ExecuteParsed(stmt, options);
+        statement_latency_->Observe((NowNanos() - start) / 1000);
+      }
 
       if (!result.ok() && span.recording() &&
           exec::IsGovernanceStatus(result.status().code())) {
@@ -224,8 +360,18 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
                     std::string(StatusCodeName(result.status().code())));
       }
       if (!result.ok()) {
-        if (guarded) LDV_RETURN_IF_ERROR(autocommit.Rollback());
+        if (guarded && acquired.ok()) {
+          LDV_RETURN_IF_ERROR(autocommit.Rollback());
+        }
         if (in_txn) {
+          // Release this statement's data locks before taking every table
+          // for the undo: holding one lock while waiting for the rest could
+          // deadlock against a reader holding part of the set. The interim
+          // state is invisible to readers anyway — every uncommitted write
+          // postdates their snapshot epochs.
+          data_locks.Release();
+          txn::LockSet undo_locks;
+          LDV_RETURN_IF_ERROR(LockAllTablesExclusive(&undo_locks));
           Status rolled = txn_.Rollback();
           EndTxnLocked();
           txns_rolled_back_->Add(1);
@@ -255,6 +401,16 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
           MaybeCheckpointLocked();
         }
       }
+      if (txn_owner_ == kNoSession) {
+        // Commit point: the statement's effects (or its rolled-back
+        // pre-state) are now the committed epoch new readers pin, and
+        // pre-images only older snapshots could see become reclaimable.
+        // GC runs under the target's exclusive lock, already held.
+        snapshots_.AdvanceCommitted(db()->current_statement_seq());
+        if (result.ok() && locked_table != nullptr) {
+          locked_table->GcArchive(snapshots_.OldestLiveEpoch());
+        }
+      }
     }
   }
   // Group commit: the fsync happens outside the engine lock, so concurrent
@@ -270,6 +426,13 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
 void EngineHandle::AbortSession(int64_t session_id) {
   std::lock_guard<std::mutex> lock(mu_);
   if (txn_owner_ != session_id) return;
+  // Same drill as ROLLBACK: readers drain before undo rewrites rows.
+  txn::LockSet undo_locks;
+  Status locked = LockAllTablesExclusive(&undo_locks);
+  if (!locked.ok()) {
+    LDV_LOG(Error) << "lock acquisition on session teardown failed: "
+                   << locked.ToString();
+  }
   Status rolled = txn_.Rollback();
   if (!rolled.ok()) {
     LDV_LOG(Error) << "rollback on session teardown failed: "
@@ -277,6 +440,55 @@ void EngineHandle::AbortSession(int64_t session_id) {
   }
   EndTxnLocked();
   txns_rolled_back_->Add(1);
+  snapshots_.AdvanceCommitted(db()->current_statement_seq());
+}
+
+Result<exec::ResultSet> EngineHandle::ExecConcurrentRead(
+    const sql::Statement& stmt, const DbRequest& request,
+    exec::QueryGovernor* governor) {
+  obs::Span span("engine.read", "engine");
+  if (span.recording()) {
+    span.AddArg("sql", request.sql.size() <= 120
+                           ? request.sql
+                           : request.sql.substr(0, 117) + "...");
+  }
+  auto poll = [governor] { return governor->Check(); };
+
+  // Lock hierarchy (DESIGN.md §12): catalog shared first — the table set
+  // and schemas cannot change underneath the statement — then the data
+  // locks of every referenced table, shared, in ascending id order. The
+  // whole set is acquired up front, which keeps the hierarchy
+  // deadlock-free; waiters stay cancellable through the governor poll.
+  txn::LockSet locks;
+  LDV_RETURN_IF_ERROR(locks.AcquireShared(locks_.catalog(), poll));
+  std::vector<std::string> names;
+  CollectSelectTables(*stmt.select, &names);
+  std::vector<int32_t> ids;
+  for (const std::string& name : names) {
+    const storage::Table* table = db()->FindTable(name);
+    if (table != nullptr) ids.push_back(table->id());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (int32_t id : ids) {
+    LDV_RETURN_IF_ERROR(locks.AcquireShared(locks_.TableLock(id), poll));
+  }
+
+  // The snapshot is taken after the locks are held: every commit point
+  // before this instant is fully applied (writers hold their data locks to
+  // completion), and the pin is as fresh as possible for the GC watermark.
+  txn::SnapshotRef snapshot(&snapshots_);
+
+  exec::ExecOptions options;
+  options.process_id = request.process_id;
+  options.query_id = request.query_id;
+  options.governor = governor;
+  options.snapshot_epoch = snapshot.epoch();
+  const int64_t start = NowNanos();
+  Result<exec::ResultSet> result = executor_.ExecuteParsed(stmt, options);
+  statement_latency_->Observe((NowNanos() - start) / 1000);
+  concurrent_reads_->Add(1);
+  return result;
 }
 
 Status EngineHandle::FlushWal() {

@@ -1,6 +1,7 @@
 #ifndef LDV_NET_DB_CLIENT_H_
 #define LDV_NET_DB_CLIENT_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,8 @@
 #include "storage/database.h"
 #include "storage/txn.h"
 #include "storage/wal.h"
+#include "txn/lock_registry.h"
+#include "txn/snapshot.h"
 
 namespace ldv::net {
 
@@ -51,6 +54,14 @@ struct EngineDurabilityOptions {
 
 /// Thread-safe façade over a Database + Executor, shared by the in-process
 /// client and the socket server (the engine is single-writer).
+///
+/// Concurrency (DESIGN.md §12): plain non-provenance SELECTs from sessions
+/// without an open transaction run on a concurrent read path — catalog and
+/// table locks shared, a consistent snapshot epoch from the SnapshotManager,
+/// no engine mutex — so independent readers overlap with each other and
+/// with writers on other tables. Everything else (DML, DDL, provenance
+/// queries, transaction control) serializes under mu_ as before, taking
+/// exclusive data locks so in-place mutations never race a reader.
 ///
 /// Transactions: BEGIN/COMMIT/ROLLBACK are intercepted here, above the
 /// executor. One explicit transaction runs at a time, owned by a session
@@ -116,6 +127,9 @@ class EngineHandle {
   storage::Database* db() { return executor_.db(); }
   storage::Wal* wal() { return wal_.get(); }
 
+  /// The MVCC snapshot source (stats, tests, benchmarks).
+  txn::SnapshotManager* snapshots() { return &snapshots_; }
+
  private:
   static constexpr int64_t kNoSession = -1;
 
@@ -124,6 +138,16 @@ class EngineHandle {
   Result<exec::ResultSet> ExecTransactionLocked(
       int64_t session_id, const sql::TransactionStmt& stmt,
       uint64_t* sync_lsn);
+  /// The concurrent read path: shared catalog/table locks, a snapshot
+  /// epoch, no mu_. Runs the statement on the caller's thread; independent
+  /// readers proceed in parallel.
+  Result<exec::ResultSet> ExecConcurrentRead(const sql::Statement& stmt,
+                                             const DbRequest& request,
+                                             exec::QueryGovernor* governor);
+  /// Takes every table's data lock exclusively, ascending by id (the
+  /// acquisition order that makes the hierarchy deadlock-free). Used by
+  /// transaction rollback, whose undo rewrites rows across tables.
+  Status LockAllTablesExclusive(txn::LockSet* locks);
   /// Appends one commit group; returns its commit LSN.
   Result<uint64_t> AppendGroupLocked(const std::vector<storage::WalOp>& ops);
   Status CheckpointLocked();
@@ -134,8 +158,17 @@ class EngineHandle {
   std::condition_variable txn_cv_;
   exec::Executor executor_;
 
-  // Explicit-transaction state, guarded by mu_.
-  int64_t txn_owner_ = kNoSession;
+  // MVCC state (DESIGN.md §12). The snapshot manager and lock registry are
+  // internally synchronized; txn_snapshot_ (the open transaction's pinned
+  // begin epoch) is guarded by mu_.
+  txn::SnapshotManager snapshots_;
+  txn::LockRegistry locks_;
+  txn::SnapshotRef txn_snapshot_;
+
+  // Explicit-transaction state, guarded by mu_. txn_owner_ is additionally
+  // readable outside mu_ (atomic) so the concurrent-read dispatch check
+  // never waits behind a long serialized statement.
+  std::atomic<int64_t> txn_owner_{kNoSession};
   storage::TxnScope txn_;
   std::vector<storage::WalOp> txn_ops_;
   int64_t next_txn_id_ = 1;
@@ -153,6 +186,7 @@ class EngineHandle {
   int64_t commits_since_checkpoint_ = 0;
 
   obs::Histogram* statement_latency_;
+  obs::Counter* concurrent_reads_;
   obs::Counter* txns_committed_;
   obs::Counter* txns_rolled_back_;
   obs::Counter* checkpoints_;

@@ -159,9 +159,20 @@ void DbServer::AcceptLoop() {
 }
 
 void DbServer::DisconnectWatchLoop() {
+  const auto poll_interval =
+      std::chrono::milliseconds(options_.disconnect_poll_millis > 0
+                                    ? options_.disconnect_poll_millis
+                                    : 20);
   std::unique_lock<std::mutex> lock(exec_mu_);
   while (running_.load()) {
-    exec_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    if (executing_.empty()) {
+      // Nothing in flight: sleep until a statement starts (or Stop()),
+      // instead of waking every poll interval on an idle server.
+      exec_cv_.wait(lock,
+                    [&] { return !running_.load() || !executing_.empty(); });
+      continue;
+    }
+    exec_cv_.wait_for(lock, poll_interval);
     std::vector<std::pair<int64_t, int>> watch(executing_.begin(),
                                                executing_.end());
     lock.unlock();
@@ -189,6 +200,25 @@ void DbServer::DisconnectWatchLoop() {
   }
 }
 
+void DbServer::PurgeExpiredDedupLocked(int64_t now_nanos) {
+  if (options_.dedup_ttl_millis <= 0) return;
+  const int64_t ttl_nanos = options_.dedup_ttl_millis * 1'000'000;
+  // The LRU list is ordered by last touch, so expired entries form a prefix.
+  while (!dedup_lru_.empty()) {
+    auto it = dedup_.find(dedup_lru_.front());
+    if (it != dedup_.end() && now_nanos - it->second.touched_nanos < ttl_nanos) {
+      break;
+    }
+    if (it != dedup_.end()) dedup_.erase(it);
+    dedup_lru_.pop_front();
+  }
+}
+
+int64_t DbServer::dedup_entries() const {
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  return static_cast<int64_t>(dedup_lru_.size());
+}
+
 std::string DbServer::ExecuteDeduped(const DbRequest& request,
                                      int64_t session_id) {
   const bool use_dedup =
@@ -197,6 +227,7 @@ std::string DbServer::ExecuteDeduped(const DbRequest& request,
   const DedupKey key{request.process_id, request.query_id, request.sql};
   if (use_dedup) {
     std::unique_lock<std::mutex> lock(dedup_mu_);
+    PurgeExpiredDedupLocked(NowNanos());
     auto it = dedup_.find(key);
     if (it != dedup_.end()) {
       // A duplicate of a request that executed (or is executing) on another
@@ -209,6 +240,10 @@ std::string DbServer::ExecuteDeduped(const DbRequest& request,
       auto done = dedup_.find(key);
       if (done != dedup_.end()) {
         ++deduped_requests_;
+        // Replaying refreshes the entry: retries keep it alive past the
+        // idle TTL and out of the capacity eviction's way.
+        done->second.touched_nanos = NowNanos();
+        dedup_lru_.splice(dedup_lru_.end(), dedup_lru_, done->second.lru_it);
         return done->second.response;
       }
       // Evicted while waiting: execute afresh below.
@@ -234,10 +269,12 @@ std::string DbServer::ExecuteDeduped(const DbRequest& request,
       } else {
         it->second.done = true;
         it->second.response = response;
-        dedup_order_.push_back(key);
-        while (dedup_order_.size() > options_.dedup_capacity) {
-          dedup_.erase(dedup_order_.front());
-          dedup_order_.pop_front();
+        it->second.touched_nanos = NowNanos();
+        it->second.lru_it = dedup_lru_.insert(dedup_lru_.end(), key);
+        PurgeExpiredDedupLocked(it->second.touched_nanos);
+        while (dedup_lru_.size() > options_.dedup_capacity) {
+          dedup_.erase(dedup_lru_.front());
+          dedup_lru_.pop_front();
         }
       }
     }
@@ -257,6 +294,7 @@ std::string DbServer::HandleControl(const DbRequest& request) {
       reg.gauge("server.total_connections")->Set(total_connections());
       reg.gauge("server.rejected_connections")->Set(rejected_connections());
       reg.gauge("server.deduped_requests")->Set(deduped_requests());
+      reg.gauge("server.dedup_entries")->Set(dedup_entries());
       reg.gauge("server.disconnect_cancels")->Set(disconnect_cancels());
       exec::QueryRegistry& registry = exec::QueryRegistry::Global();
       reg.gauge("exec.inflight")->Set(registry.inflight());
@@ -348,6 +386,7 @@ void DbServer::ServeConnection(int64_t id, int fd) {
         // cancelled instead of burning worker slots to completion.
         std::lock_guard<std::mutex> lock(exec_mu_);
         executing_[id] = fd;
+        exec_cv_.notify_all();  // wake the watcher from its idle sleep
       }
       response = ExecuteDeduped(*request, id);
       {

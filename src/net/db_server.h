@@ -4,12 +4,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,15 @@ struct DbServerOptions {
   /// its recorded response instead of executing twice — this is what makes
   /// client retries of DML safe for audited workloads. 0 disables.
   size_t dedup_capacity = 4096;
+  /// Idle lifetime of a recorded dedup response: an entry untouched (neither
+  /// recorded nor replayed) for this long is evicted even when the cache is
+  /// under capacity, so a long-lived server's cache shrinks back after a
+  /// burst. 0 disables the TTL (capacity still bounds the cache).
+  int64_t dedup_ttl_millis = 60'000;
+  /// How often the disconnect watcher polls the fds of sessions executing a
+  /// statement (--disconnect-poll-ms). With no statement in flight the
+  /// watcher sleeps until one starts instead of polling.
+  int64_t disconnect_poll_millis = 20;
   int listen_backlog = 16;
 };
 
@@ -73,6 +83,8 @@ class DbServer {
   }
   /// Requests answered from the dedup cache instead of re-executing.
   int64_t deduped_requests() const { return deduped_requests_.load(); }
+  /// Completed dedup responses currently cached (TTL/LRU bounded).
+  int64_t dedup_entries() const;
   /// Statements cancelled because their client disconnected mid-execution.
   int64_t disconnect_cancels() const { return disconnect_cancels_.load(); }
 
@@ -82,17 +94,21 @@ class DbServer {
     int fd = -1;
   };
 
-  /// Dedup cache entry; `done` flips once the response is recorded, so a
-  /// concurrent duplicate waits instead of double-executing.
-  struct DedupEntry {
-    bool done = false;
-    std::string response;
-  };
   /// (process_id, query_id, sql): the ids alone are not unique — the
   /// auditing client tags a DML statement and its reenactment query with
   /// the same query id — so the statement text disambiguates. A retry
   /// resends identical text and still hits the cache.
   using DedupKey = std::tuple<int64_t, int64_t, std::string>;
+  /// Dedup cache entry; `done` flips once the response is recorded, so a
+  /// concurrent duplicate waits instead of double-executing. Completed
+  /// entries sit in dedup_lru_ ordered by last touch (record or replay);
+  /// in-progress markers are not evictable and carry no list position.
+  struct DedupEntry {
+    bool done = false;
+    std::string response;
+    int64_t touched_nanos = 0;
+    std::list<DedupKey>::iterator lru_it;
+  };
 
   void AcceptLoop();
   void ServeConnection(int64_t id, int fd);
@@ -106,6 +122,9 @@ class DbServer {
   /// Executes `request`, deduplicating on (process_id, query_id, sql) when
   /// the request carries ids; returns the encoded response frame.
   std::string ExecuteDeduped(const DbRequest& request, int64_t session_id);
+  /// Drops completed dedup entries idle past the TTL. Caller holds
+  /// dedup_mu_.
+  void PurgeExpiredDedupLocked(int64_t now_nanos);
   /// Answers the non-query request kinds (Stats / TraceStart / TraceDump);
   /// returns the encoded response frame.
   std::string HandleControl(const DbRequest& request);
@@ -131,10 +150,12 @@ class DbServer {
   std::vector<int64_t> finished_;  // ids whose thread is ready to join
   int64_t next_connection_id_ = 0;
 
-  std::mutex dedup_mu_;
+  mutable std::mutex dedup_mu_;
   std::condition_variable dedup_cv_;
   std::map<DedupKey, DedupEntry> dedup_;
-  std::deque<DedupKey> dedup_order_;  // FIFO eviction of completed entries
+  /// Completed entries, least recently touched first. Capacity evicts from
+  /// the front; the TTL purge walks the front until it meets a fresh entry.
+  std::list<DedupKey> dedup_lru_;
 
   std::atomic<int64_t> total_connections_{0};
   std::atomic<int64_t> rejected_connections_{0};

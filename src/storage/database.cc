@@ -13,7 +13,13 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
   }
   tables_.push_back(
       std::make_unique<Table>(next_table_id_++, name, std::move(schema)));
+  tables_.back()->set_mvcc_retention(mvcc_retention_);
   return tables_.back().get();
+}
+
+void Database::SetMvccRetention(bool enabled) {
+  mvcc_retention_ = enabled;
+  for (auto& t : tables_) t->set_mvcc_retention(enabled);
 }
 
 Status Database::DropTable(const std::string& name) {
@@ -52,6 +58,13 @@ const Table* Database::FindTableById(int32_t id) const {
     if (t->id() == id) return t.get();
   }
   return nullptr;
+}
+
+std::vector<Table*> Database::Tables() {
+  std::vector<Table*> tables;
+  tables.reserve(tables_.size());
+  for (auto& t : tables_) tables.push_back(t.get());
+  return tables;
 }
 
 std::vector<std::string> Database::TableNames() const {

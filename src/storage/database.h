@@ -37,11 +37,22 @@ class Database {
   /// Table names in creation order.
   std::vector<std::string> TableNames() const;
 
+  /// All tables in creation order (ids ascending) — catalog iteration for
+  /// the engine's lock hierarchy and archive GC sweeps.
+  std::vector<Table*> Tables();
+
   /// Next statement sequence number (monotone, starts at 1). Every executed
   /// statement obtains one; DML stamps created tuple versions with it.
   int64_t NextStatementSeq() { return ++stmt_seq_; }
   int64_t current_statement_seq() const { return stmt_seq_; }
   void set_statement_seq(int64_t seq) { stmt_seq_ = seq; }
+
+  /// Turns MVCC retention (Table::set_mvcc_retention) on for every current
+  /// table and every table created afterwards. The engine enables this when
+  /// it starts serving snapshot reads; WAL redo and raw-Database users keep
+  /// it off so their archives stay empty without tracking.
+  void SetMvccRetention(bool enabled);
+  bool mvcc_retention() const { return mvcc_retention_; }
 
   int64_t TotalLiveRows() const;
   int64_t ApproxBytes() const;
@@ -50,6 +61,7 @@ class Database {
   std::vector<std::unique_ptr<Table>> tables_;  // creation order
   int32_t next_table_id_ = 1;
   int64_t stmt_seq_ = 0;
+  bool mvcc_retention_ = false;
 };
 
 }  // namespace ldv::storage

@@ -29,7 +29,14 @@ Result<RowId> Table::Insert(Tuple values, int64_t stmt_seq) {
   rows_.push_back(std::move(row));
   IndexInsert(rows_.back());
   ++live_count_;
+  last_mutation_seq_ = std::max(last_mutation_seq_, stmt_seq);
   return rowid;
+}
+
+void Table::ArchivePreImage(const RowVersion& row, int64_t stmt_seq) {
+  if (!track_versions_ && !mvcc_retention_) return;
+  archive_.push_back(row);
+  archive_.back().superseded = stmt_seq;
 }
 
 Status Table::Update(RowId rowid, Tuple values, int64_t stmt_seq) {
@@ -40,13 +47,14 @@ Status Table::Update(RowId rowid, Tuple values, int64_t stmt_seq) {
   if (static_cast<int>(values.size()) != schema_.num_columns()) {
     return Status::InvalidArgument(name_ + ": UPDATE arity mismatch");
   }
-  if (track_versions_) archive_.push_back(*row);
+  ArchivePreImage(*row, stmt_seq);
   IndexRemove(*row);
   row->values = std::move(values);
   row->version = stmt_seq;
   row->used_by_query = 0;
   row->used_by_process = 0;
   IndexInsert(*row);
+  last_mutation_seq_ = std::max(last_mutation_seq_, stmt_seq);
   return Status::Ok();
 }
 
@@ -55,11 +63,12 @@ Status Table::Delete(RowId rowid, int64_t stmt_seq) {
   if (row == nullptr) {
     return Status::NotFound(name_ + ": no row " + std::to_string(rowid));
   }
-  if (track_versions_) archive_.push_back(*row);
+  ArchivePreImage(*row, stmt_seq);
   IndexRemove(*row);
   row->deleted = true;
   row->version = stmt_seq;
   --live_count_;
+  last_mutation_seq_ = std::max(last_mutation_seq_, stmt_seq);
   return Status::Ok();
 }
 
@@ -82,6 +91,37 @@ Status Table::AddColumn(Column column, const Value& fill) {
   for (RowVersion& row : rows_) row.values.push_back(fill);
   for (RowVersion& row : archive_) row.values.push_back(fill);
   return Status::Ok();
+}
+
+const RowVersion* Table::VisibleVersion(const RowVersion& slot,
+                                        int64_t epoch) const {
+  if (slot.version <= epoch) return slot.deleted ? nullptr : &slot;
+  // The live version postdates the snapshot: the visible version, if any,
+  // is the newest archived one created at or before the epoch. Entries for
+  // one rowid appear in version order, so the first hit scanning backwards
+  // is the newest.
+  for (auto rit = archive_.rbegin(); rit != archive_.rend(); ++rit) {
+    if (rit->rowid != slot.rowid) continue;
+    if (rit->version <= epoch) return rit->deleted ? nullptr : &*rit;
+  }
+  return nullptr;
+}
+
+size_t Table::GcArchive(int64_t oldest_epoch) {
+  if (track_versions_) return 0;  // reenactment needs the full archive
+  size_t drop = 0;
+  while (drop < archive_.size()) {
+    const RowVersion& entry = archive_[drop];
+    // `superseded` is monotone along the archive; the first entry some live
+    // snapshot can still reach ends the droppable prefix.
+    if (entry.superseded == 0 || entry.superseded > oldest_epoch) break;
+    ++drop;
+  }
+  if (drop > 0) {
+    archive_.erase(archive_.begin(),
+                   archive_.begin() + static_cast<ptrdiff_t>(drop));
+  }
+  return drop;
 }
 
 const RowVersion* Table::FindVersion(RowId rowid, int64_t version) const {
@@ -109,6 +149,7 @@ Status Table::RestoreRow(RowVersion row) {
                                  std::to_string(row.rowid));
   }
   next_rowid_ = std::max(next_rowid_, row.rowid + 1);
+  last_mutation_seq_ = std::max(last_mutation_seq_, row.version);
   index_[row.rowid] = rows_.size();
   if (!row.deleted) ++live_count_;
   rows_.push_back(std::move(row));
@@ -199,7 +240,11 @@ void Table::CommitTxnCapture(const TableTxnMark& mark) {
   track_versions_ = mark.was_tracking;
   // Pre-images archived only for rollback's sake would not exist had the
   // statements run outside a transaction; drop them for identical state.
-  if (!mark.was_tracking && archive_.size() > mark.archive_size) {
+  // Under MVCC retention they stay: a concurrent snapshot older than the
+  // commit may still need them, and GcArchive reclaims them once no live
+  // snapshot can (DESIGN.md §12).
+  if (!mark.was_tracking && !mvcc_retention_ &&
+      archive_.size() > mark.archive_size) {
     archive_.resize(mark.archive_size);
   }
 }
@@ -224,6 +269,7 @@ Status Table::RollbackToMark(const TableTxnMark& mark) {
       IndexRemove(current);
     }
     current = prior;
+    current.superseded = 0;  // live again
     IndexInsert(current);
   }
   archive_.resize(mark.archive_size);

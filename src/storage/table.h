@@ -55,6 +55,11 @@ struct RowVersion {
   int64_t used_by_query = 0;
   /// Process id of that query's client (0 = never).
   int64_t used_by_process = 0;
+  /// Statement sequence of the statement that replaced this version (set
+  /// when it is archived; 0 while live). Monotone along the archive, which
+  /// is what lets snapshot GC drop a prefix (DESIGN.md §12). Runtime-only:
+  /// never persisted.
+  int64_t superseded = 0;
   Tuple values;
   bool deleted = false;
 };
@@ -89,6 +94,34 @@ class Table {
   /// (the analog of the prototype's schema extension on first access).
   void set_provenance_tracking(bool enabled) { track_versions_ = enabled; }
   bool provenance_tracking() const { return track_versions_; }
+
+  /// MVCC retention (DESIGN.md §12): like provenance tracking, superseded
+  /// versions are archived — but for snapshot readers rather than
+  /// reenactment, so they are garbage-collected once no live snapshot can
+  /// see them (GcArchive) instead of kept forever. The engine enables this
+  /// on every table it serves; raw Table users (unit tests, WAL redo) keep
+  /// the historical semantics of no archive without tracking.
+  void set_mvcc_retention(bool enabled) { mvcc_retention_ = enabled; }
+  bool mvcc_retention() const { return mvcc_retention_; }
+
+  /// Highest statement sequence that mutated this table's rows (insert,
+  /// update, delete). A snapshot at epoch >= this value sees exactly the
+  /// live rows, so scans and index probes skip version resolution.
+  int64_t last_mutation_seq() const { return last_mutation_seq_; }
+
+  /// Resolves the version of `slot`'s row visible at `epoch`: the newest
+  /// version created at or before the epoch. Returns the live slot itself,
+  /// an archived pre-image, or nullptr when the row is invisible (created
+  /// after the epoch, or a tombstone at it).
+  const RowVersion* VisibleVersion(const RowVersion& slot,
+                                   int64_t epoch) const;
+
+  /// Drops the longest archive prefix no live snapshot can still need:
+  /// entries superseded at or before `oldest_epoch`. No-op while provenance
+  /// tracking is on (reenactment needs the full archive). Returns entries
+  /// dropped. Caller must exclude concurrent readers (table write lock) and
+  /// must not hold TableTxnMarks across the call (archive indices shift).
+  size_t GcArchive(int64_t oldest_epoch);
 
   /// Inserts a row; `stmt_seq` becomes the version stamp. The tuple arity
   /// must match the schema.
@@ -158,10 +191,16 @@ class Table {
   void IndexInsert(const RowVersion& row);
   void IndexRemove(const RowVersion& row);
 
+  /// Archives the pre-image of `row` before an update/delete at `stmt_seq`
+  /// when either retention mode wants it.
+  void ArchivePreImage(const RowVersion& row, int64_t stmt_seq);
+
   int32_t id_;
   std::string name_;
   Schema schema_;
   bool track_versions_ = false;
+  bool mvcc_retention_ = false;
+  int64_t last_mutation_seq_ = 0;
   std::vector<RowVersion> rows_;
   std::vector<RowVersion> archive_;
   std::unordered_map<RowId, size_t> index_;  // rowid -> position in rows_

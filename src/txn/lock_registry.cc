@@ -1,0 +1,39 @@
+#include "txn/lock_registry.h"
+
+namespace ldv::txn {
+
+SharedMutex* LockRegistry::TableLock(int32_t table_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    it = tables_.emplace(table_id, std::make_unique<SharedMutex>()).first;
+  }
+  return it->second.get();
+}
+
+Status LockSet::AcquireShared(SharedMutex* mutex,
+                              const std::function<Status()>& poll) {
+  LDV_RETURN_IF_ERROR(mutex->LockShared(poll));
+  held_.emplace_back(mutex, false);
+  return Status::Ok();
+}
+
+Status LockSet::AcquireExclusive(SharedMutex* mutex,
+                                 const std::function<Status()>& poll) {
+  LDV_RETURN_IF_ERROR(mutex->LockExclusive(poll));
+  held_.emplace_back(mutex, true);
+  return Status::Ok();
+}
+
+void LockSet::Release() {
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    if (it->second) {
+      it->first->UnlockExclusive();
+    } else {
+      it->first->UnlockShared();
+    }
+  }
+  held_.clear();
+}
+
+}  // namespace ldv::txn

@@ -1,0 +1,76 @@
+#ifndef LDV_TXN_LOCK_REGISTRY_H_
+#define LDV_TXN_LOCK_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/rwlock.h"
+
+namespace ldv::txn {
+
+/// The engine's lock hierarchy (DESIGN.md §12): one catalog lock guarding
+/// the table set, plus one data lock per table (keyed by table id — ids are
+/// never reused, so a lock outliving its dropped table is inert). The
+/// acquisition order is always catalog first, then table locks in ascending
+/// id order; every statement acquires its whole lock set up front, which
+/// makes the hierarchy deadlock-free by construction.
+class LockRegistry {
+ public:
+  LockRegistry() = default;
+
+  LockRegistry(const LockRegistry&) = delete;
+  LockRegistry& operator=(const LockRegistry&) = delete;
+
+  SharedMutex* catalog() { return &catalog_; }
+  /// The data lock of table `table_id`, created on first use.
+  SharedMutex* TableLock(int32_t table_id);
+
+ private:
+  std::mutex mu_;
+  SharedMutex catalog_;
+  std::map<int32_t, std::unique_ptr<SharedMutex>> tables_;
+};
+
+/// RAII set of acquired locks, released in reverse acquisition order.
+/// Move-only; a failed acquisition releases nothing further but keeps the
+/// locks already held until destruction.
+class LockSet {
+ public:
+  LockSet() = default;
+  ~LockSet() { Release(); }
+
+  LockSet(const LockSet&) = delete;
+  LockSet& operator=(const LockSet&) = delete;
+  LockSet(LockSet&& other) noexcept : held_(std::move(other.held_)) {
+    other.held_.clear();
+  }
+  LockSet& operator=(LockSet&& other) noexcept {
+    if (this != &other) {
+      Release();
+      held_ = std::move(other.held_);
+      other.held_.clear();
+    }
+    return *this;
+  }
+
+  Status AcquireShared(SharedMutex* mutex,
+                       const std::function<Status()>& poll = nullptr);
+  Status AcquireExclusive(SharedMutex* mutex,
+                          const std::function<Status()>& poll = nullptr);
+
+  /// Releases everything held, newest first. Idempotent.
+  void Release();
+
+ private:
+  std::vector<std::pair<SharedMutex*, bool>> held_;  // (lock, exclusive)
+};
+
+}  // namespace ldv::txn
+
+#endif  // LDV_TXN_LOCK_REGISTRY_H_

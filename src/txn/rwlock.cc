@@ -1,0 +1,103 @@
+#include "txn/rwlock.h"
+
+#include <chrono>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace ldv::txn {
+
+namespace {
+
+constexpr auto kWaitSlice = std::chrono::milliseconds(50);
+
+struct LockMetrics {
+  obs::Histogram* wait_micros;
+  obs::Counter* contentions;
+};
+
+const LockMetrics& GetLockMetrics() {
+  static const LockMetrics metrics{
+      obs::MetricsRegistry::Global().latency_histogram(
+          "txn.lock_wait_micros"),
+      obs::MetricsRegistry::Global().counter("txn.lock_contentions")};
+  return metrics;
+}
+
+void RecordWait(int64_t start_nanos) {
+  const LockMetrics& metrics = GetLockMetrics();
+  metrics.contentions->Add(1);
+  metrics.wait_micros->Observe((NowNanos() - start_nanos) / 1000);
+}
+
+}  // namespace
+
+Status SharedMutex::LockShared(const std::function<Status()>& poll) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (write_depth_ > 0 && writer_ == std::this_thread::get_id()) {
+    // Read-within-write: the owner already excludes everyone.
+    ++writer_reads_;
+    return Status::Ok();
+  }
+  auto admitted = [&] { return write_depth_ == 0 && writers_waiting_ == 0; };
+  if (!admitted()) {
+    const int64_t start = NowNanos();
+    while (!admitted()) {
+      if (poll != nullptr) {
+        Status status = poll();
+        if (!status.ok()) return status;
+      }
+      cv_.wait_for(lock, kWaitSlice);
+    }
+    RecordWait(start);
+  }
+  ++readers_;
+  return Status::Ok();
+}
+
+void SharedMutex::UnlockShared() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_reads_ > 0 && writer_ == std::this_thread::get_id()) {
+    --writer_reads_;
+    return;
+  }
+  if (--readers_ == 0) cv_.notify_all();
+}
+
+Status SharedMutex::LockExclusive(const std::function<Status()>& poll) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (write_depth_ > 0 && writer_ == std::this_thread::get_id()) {
+    ++write_depth_;
+    return Status::Ok();
+  }
+  auto admitted = [&] { return readers_ == 0 && write_depth_ == 0; };
+  if (!admitted()) {
+    ++writers_waiting_;
+    const int64_t start = NowNanos();
+    while (!admitted()) {
+      if (poll != nullptr) {
+        Status status = poll();
+        if (!status.ok()) {
+          if (--writers_waiting_ == 0) cv_.notify_all();
+          return status;
+        }
+      }
+      cv_.wait_for(lock, kWaitSlice);
+    }
+    --writers_waiting_;
+    RecordWait(start);
+  }
+  writer_ = std::this_thread::get_id();
+  write_depth_ = 1;
+  return Status::Ok();
+}
+
+void SharedMutex::UnlockExclusive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--write_depth_ == 0) {
+    writer_ = std::thread::id();
+    cv_.notify_all();
+  }
+}
+
+}  // namespace ldv::txn

@@ -1,0 +1,59 @@
+#ifndef LDV_TXN_RWLOCK_H_
+#define LDV_TXN_RWLOCK_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+
+namespace ldv::txn {
+
+/// Writer-preferring reader-writer lock with recursive ownership, the
+/// discipline of omniscidb's Catalog/RWLocks.h: the write owner may
+/// re-acquire the lock (exclusively or shared) without deadlocking, so a
+/// statement that already holds a table exclusively can run nested reads
+/// against it. Plain readers are not re-entrant — the engine acquires every
+/// lock a statement needs once, up front, in a deduplicated sorted order
+/// (DESIGN.md §12), so a thread never re-requests a read lock it holds.
+///
+/// Writer preference: once a writer is waiting, new readers queue behind it,
+/// so a stream of snapshot reads cannot starve DML indefinitely.
+///
+/// Acquisitions take an optional `poll` callback, invoked every wait slice
+/// (~50ms). A non-OK status abandons the acquisition and is returned — this
+/// is how the governance kill paths (cancel / deadline / disconnect) reach
+/// statements blocked on a lock rather than only ones already executing.
+///
+/// Contended acquisitions feed the txn.lock_wait_micros histogram and the
+/// txn.lock_contentions counter.
+class SharedMutex {
+ public:
+  SharedMutex() = default;
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  /// Shared (read) acquisition. Re-entrant only for the write owner.
+  Status LockShared(const std::function<Status()>& poll = nullptr);
+  void UnlockShared();
+
+  /// Exclusive (write) acquisition. Re-entrant for the owning thread.
+  Status LockExclusive(const std::function<Status()>& poll = nullptr);
+  void UnlockExclusive();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int readers_ = 0;
+  int writers_waiting_ = 0;
+  std::thread::id writer_;  // default id = no writer
+  int write_depth_ = 0;
+  /// Shared re-entries taken by the write owner (read-within-write).
+  int writer_reads_ = 0;
+};
+
+}  // namespace ldv::txn
+
+#endif  // LDV_TXN_RWLOCK_H_

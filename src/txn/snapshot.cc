@@ -1,0 +1,102 @@
+#include "txn/snapshot.h"
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace ldv::txn {
+
+namespace {
+
+struct SnapshotMetrics {
+  obs::Counter* acquired;
+  obs::Gauge* live;
+  obs::Histogram* age_micros;
+};
+
+const SnapshotMetrics& GetSnapshotMetrics() {
+  static const SnapshotMetrics metrics{
+      obs::MetricsRegistry::Global().counter("txn.snapshots_acquired"),
+      obs::MetricsRegistry::Global().gauge("txn.snapshots_live"),
+      obs::MetricsRegistry::Global().latency_histogram(
+          "txn.snapshot_age_micros")};
+  return metrics;
+}
+
+}  // namespace
+
+int64_t SnapshotManager::AcquireSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++live_[committed_];
+  const SnapshotMetrics& metrics = GetSnapshotMetrics();
+  metrics.acquired->Add(1);
+  int64_t live = 0;
+  for (const auto& [epoch, count] : live_) live += count;
+  metrics.live->Set(live);
+  return committed_;
+}
+
+void SnapshotManager::ReleaseSnapshot(int64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(epoch);
+  if (it == live_.end()) return;
+  if (--it->second <= 0) live_.erase(it);
+  int64_t live = 0;
+  for (const auto& [e, count] : live_) live += count;
+  GetSnapshotMetrics().live->Set(live);
+}
+
+void SnapshotManager::AdvanceCommitted(int64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch > committed_) committed_ = epoch;
+}
+
+int64_t SnapshotManager::committed_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+int64_t SnapshotManager::OldestLiveEpoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.empty()) return committed_;
+  return std::min(committed_, live_.begin()->first);
+}
+
+int64_t SnapshotManager::live_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t live = 0;
+  for (const auto& [epoch, count] : live_) live += count;
+  return live;
+}
+
+SnapshotRef::SnapshotRef(SnapshotManager* manager)
+    : manager_(manager),
+      epoch_(manager->AcquireSnapshot()),
+      acquired_nanos_(NowNanos()) {}
+
+SnapshotRef::SnapshotRef(SnapshotRef&& other) noexcept
+    : manager_(other.manager_),
+      epoch_(other.epoch_),
+      acquired_nanos_(other.acquired_nanos_) {
+  other.manager_ = nullptr;
+}
+
+SnapshotRef& SnapshotRef::operator=(SnapshotRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    epoch_ = other.epoch_;
+    acquired_nanos_ = other.acquired_nanos_;
+    other.manager_ = nullptr;
+  }
+  return *this;
+}
+
+void SnapshotRef::Release() {
+  if (manager_ == nullptr) return;
+  manager_->ReleaseSnapshot(epoch_);
+  GetSnapshotMetrics().age_micros->Observe(
+      (NowNanos() - acquired_nanos_) / 1000);
+  manager_ = nullptr;
+}
+
+}  // namespace ldv::txn

@@ -1,0 +1,86 @@
+#ifndef LDV_TXN_SNAPSHOT_H_
+#define LDV_TXN_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+
+#include <mutex>
+
+#include "storage/table.h"
+
+namespace ldv::txn {
+
+/// Hands out consistent read snapshots over the row-version archive the
+/// P_Lin provenance model already maintains (DESIGN.md §12).
+///
+/// Epochs are database statement sequence numbers; the committed epoch is
+/// the sequence of the last *committed* statement. A snapshot pins the
+/// committed epoch at acquisition: row versions stamped with a later
+/// sequence (in-flight writers, uncommitted transactions) are invisible to
+/// it, and superseded versions it can still see are protected from archive
+/// GC until it is released (OldestLiveEpoch is the GC watermark).
+class SnapshotManager {
+ public:
+  SnapshotManager() = default;
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Pins and returns the current committed epoch. Pair with
+  /// ReleaseSnapshot (SnapshotRef does both).
+  int64_t AcquireSnapshot();
+  void ReleaseSnapshot(int64_t epoch);
+
+  /// Raises the committed epoch (monotone; lower values are ignored).
+  /// Called by the engine after every commit point.
+  void AdvanceCommitted(int64_t epoch);
+
+  int64_t committed_epoch() const;
+  /// The oldest epoch any live snapshot still reads — the archive GC
+  /// watermark. Equals the committed epoch when no snapshot is live.
+  int64_t OldestLiveEpoch() const;
+  int64_t live_snapshots() const;
+
+ private:
+  mutable std::mutex mu_;
+  int64_t committed_ = 0;
+  /// live epoch -> number of snapshots pinning it.
+  std::map<int64_t, int64_t> live_;
+};
+
+/// RAII snapshot pin. Movable; releasing twice is a no-op. Records the
+/// snapshot's age into txn.snapshot_age_micros on release.
+class SnapshotRef {
+ public:
+  SnapshotRef() = default;
+  explicit SnapshotRef(SnapshotManager* manager);
+  ~SnapshotRef() { Release(); }
+
+  SnapshotRef(const SnapshotRef&) = delete;
+  SnapshotRef& operator=(const SnapshotRef&) = delete;
+  SnapshotRef(SnapshotRef&& other) noexcept;
+  SnapshotRef& operator=(SnapshotRef&& other) noexcept;
+
+  bool active() const { return manager_ != nullptr; }
+  int64_t epoch() const { return epoch_; }
+
+  void Release();
+
+ private:
+  SnapshotManager* manager_ = nullptr;
+  int64_t epoch_ = 0;
+  int64_t acquired_nanos_ = 0;
+};
+
+/// The visibility rule for the common case (no archive lookup needed): a
+/// row version is visible to a snapshot iff it was created by a statement
+/// at or before the snapshot epoch and is not a tombstone. When the live
+/// version postdates the epoch, Table::VisibleVersion walks the archive for
+/// the newest version the snapshot may see.
+inline bool Visible(const storage::RowVersion& version, int64_t epoch) {
+  return version.version <= epoch && !version.deleted;
+}
+
+}  // namespace ldv::txn
+
+#endif  // LDV_TXN_SNAPSHOT_H_

@@ -3,19 +3,22 @@
 # plain, once instrumented with AddressSanitizer + UndefinedBehaviorSanitizer
 # (see the LDV_SANITIZE option in the top-level CMakeLists.txt).
 #
-# --bench-smoke additionally runs bench_micro once, asserts the
-# disabled-instrumentation overhead bound (<2%, see DESIGN.md §8), the
-# group-commit bound (>= 3x single-writer fsync throughput at 8 writers,
-# DESIGN.md §9), the morsel-parallel scaling bound (>= 2.5x at 8 threads
-# with enough cores, no-regression otherwise, DESIGN.md §10) and the
+# --bench-smoke additionally runs bench_micro and bench_concurrent once,
+# asserts the disabled-instrumentation overhead bound (<2%, see DESIGN.md
+# §8), the group-commit bound (>= 3x single-writer fsync throughput at 8
+# writers, DESIGN.md §9), the morsel-parallel scaling bound (>= 2.5x at 8
+# threads with enough cores, no-regression otherwise, DESIGN.md §10), the
 # resource-governance responsiveness bound (cancel/deadline kills land
-# within 100 ms mid-scan at 1 and 8 threads, DESIGN.md §11). The artifacts
-# (benchmark results, metrics snapshot, scaling curve, governance probe)
-# are left in build/ and mirrored to BENCH_*.json in the repo root.
+# within 100 ms mid-scan at 1 and 8 threads, DESIGN.md §11) and the
+# inter-query parallelism bound (>= 3x read-only QPS at 8 clients vs 1 with
+# enough cores, no-regression otherwise, DESIGN.md §12). The artifacts
+# (benchmark results, metrics snapshot, scaling curve, governance probe,
+# concurrency curve) are left in build/ and mirrored to BENCH_*.json in the
+# repo root.
 #
 # --tsan additionally builds with ThreadSanitizer (LDV_SANITIZE=thread) and
 # runs the concurrency-sensitive suites (thread pool, parallel execution,
-# exec, net) under it.
+# exec, net, txn/governance, mvcc) under it.
 #
 # --torture N runs N seeded kill-at-faultpoint iterations of crash_torture
 # (on top of the short smoke pass ctest already includes).
@@ -64,13 +67,15 @@ if [[ "$BENCH_SMOKE" == 1 ]]; then
   ./build/bench/bench_micro \
     --benchmark_filter='BM_Obs|BM_ScanFilter|BM_WalCommit/sync:2|BM_Parallel' \
     --benchmark_out=build/bench_smoke.json --benchmark_out_format=json
+  ./build/bench/bench_concurrent build/bench_concurrent.json
   python3 tools/bench_smoke_check.py build/bench_smoke.json \
     build/metrics_smoke.json build/bench_parallel.json \
-    build/bench_governance.json
+    build/bench_governance.json build/bench_concurrent.json
   # Repo-root artifacts so a gate run leaves an inspectable record.
   cp build/bench_smoke.json BENCH_SMOKE.json
   cp build/bench_parallel.json BENCH_PARALLEL.json
   cp build/bench_governance.json BENCH_GOVERNANCE.json
+  cp build/bench_concurrent.json BENCH_CONCURRENT.json
 fi
 
 if [[ "$TORTURE_ITERS" -gt 0 ]]; then
@@ -89,11 +94,11 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DLDV_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target \
     thread_pool_test parallel_exec_test exec_select_test exec_features_test \
-    net_test txn_test governance_test
+    net_test txn_test governance_test mvcc_test
   # -R must precede the bare -j: ctest would otherwise swallow it as the
   # job count and silently run the whole (mostly unbuilt) suite.
   (cd build-tsan && ctest --output-on-failure --timeout 240 \
-    -R 'ThreadPool|Parallel|ExecSelect|ExecFeatures|Net|Txn|Governance' -j)
+    -R 'ThreadPool|Parallel|ExecSelect|ExecFeatures|Net|Txn|Governance|Mvcc|SharedMutex|SnapshotManager' -j)
 fi
 
 echo "check.sh: plain and sanitizer suites both passed"

@@ -75,6 +75,9 @@ int Usage() {
       "  ldv cancel  --db-socket PATH --pid N [--qid N]\n"
       "              (cancel in-flight statements on a live server; --qid 0\n"
       "               or omitted targets every statement of the process)\n"
+      "  ldv stats   --db-socket PATH\n"
+      "              (print a live server's metrics snapshot as JSON:\n"
+      "               counters, in-flight statements, snapshot/lock state)\n"
       "global: --threads N   query degree of parallelism (default: hardware\n"
       "                      concurrency; 1 disables parallel execution)\n");
   return 2;
@@ -403,6 +406,21 @@ int CmdCancel(const Flags& flags) {
   return 0;
 }
 
+/// `ldv stats`: fetches the server's metrics snapshot (the same document the
+/// audit embeds) and prints it — includes engine.concurrent_reads,
+/// txn.snapshots_live and the lock-contention counters, so concurrent
+/// serving is observable from the command line.
+int CmdStats(const Flags& flags) {
+  if (!flags.named.count("db-socket")) return Usage();
+  auto client =
+      ldv::net::SocketDbClient::Connect(flags.named.at("db-socket"));
+  if (!client.ok()) return Fail(client.status());
+  ldv::Result<ldv::Json> stats = ldv::net::FetchServerStats(client->get());
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("%s\n", stats->Dump(/*pretty=*/true).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -422,5 +440,6 @@ int main(int argc, char** argv) {
   if (command == "trace-prov") return CmdTraceProv(flags);
   if (command == "ptrace") return CmdPtrace(flags);
   if (command == "cancel") return CmdCancel(flags);
+  if (command == "stats") return CmdStats(flags);
   return Usage();
 }

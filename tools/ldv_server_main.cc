@@ -7,6 +7,7 @@
 //   ldv_server --socket /tmp/ldv.sock [--data DIR] [--tpch SF] [--seed N]
 //              [--wal-dir DIR] [--checkpoint-every N] [--sync-mode MODE]
 //              [--max-conns N] [--io-timeout-ms N]
+//              [--disconnect-poll-ms N] [--dedup-ttl-ms N]
 //              [--fault SPEC] [--fault-seed N]
 //              [--metrics-out FILE] [--trace-out FILE]
 //
@@ -21,6 +22,11 @@
 //   --tpch SF         populate a fresh TPC-H database at scale factor SF
 //   --max-conns N     refuse connections past N with a protocol error
 //   --io-timeout-ms N per-connection socket send/recv timeout
+//   --disconnect-poll-ms N  how often the disconnect watcher polls sessions
+//                     with a statement in flight (idle sessions are skipped;
+//                     an idle server does not poll at all)
+//   --dedup-ttl-ms N  idle lifetime of response-dedup cache entries
+//                     (0 = no TTL; capacity still bounds the cache)
 //   --fault SPEC      arm the fault injector, e.g. "net.send=p:0.1;net.recv=p:0.1"
 //   --fault-seed N    seed of the injector's deterministic streams
 //   --metrics-out F   write a metrics snapshot (JSON) to F on shutdown
@@ -110,6 +116,10 @@ int main(int argc, char** argv) {
       server_options.max_connections = std::atoi(next());
     } else if (arg == "--io-timeout-ms") {
       server_options.io_timeout_micros = std::atoll(next()) * 1000;
+    } else if (arg == "--disconnect-poll-ms") {
+      server_options.disconnect_poll_millis = std::atoll(next());
+    } else if (arg == "--dedup-ttl-ms") {
+      server_options.dedup_ttl_millis = std::atoll(next());
     } else if (arg == "--fault") {
       fault_spec = next();
     } else if (arg == "--fault-seed") {
@@ -129,7 +139,8 @@ int main(int argc, char** argv) {
           "usage: ldv_server --socket PATH [--data DIR] [--tpch SF] "
           "[--seed N] [--wal-dir DIR] [--checkpoint-every N] "
           "[--sync-mode fsync|fdatasync|none] [--max-conns N] "
-          "[--io-timeout-ms N] [--fault SPEC] [--fault-seed N] "
+          "[--io-timeout-ms N] [--disconnect-poll-ms N] [--dedup-ttl-ms N] "
+          "[--fault SPEC] [--fault-seed N] "
           "[--metrics-out FILE] [--trace-out FILE] [--threads N] "
           "[--statement-timeout-ms N] [--mem-limit-mb N]\n");
       return 0;
