@@ -163,6 +163,14 @@ Result<ResultSet> Executor::ExecuteParsed(const Statement& stmt,
       // Single-statement autocommit engine: BEGIN/COMMIT/ROLLBACK accepted
       // as no-ops for application compatibility.
       return ResultSet{};
+    case StatementKind::kPrepare:
+    case StatementKind::kExecute:
+    case StatementKind::kDeallocate:
+      // Prepared-statement handles are per-session state owned by the
+      // engine/session layer (EngineHandle); a bare Executor has nowhere to
+      // keep them.
+      return Status::InvalidArgument(
+          "PREPARE/EXECUTE/DEALLOCATE require a session");
   }
   return Status::Internal("unreachable statement kind");
 }
@@ -333,6 +341,31 @@ Result<ResultSet> Executor::ExecSelect(const sql::SelectStmt& select,
   return result;
 }
 
+Result<ResultSet> Executor::ExecutePlanned(SelectPlan& plan,
+                                           const Tuple& params,
+                                           const ExecOptions& options) {
+  ExecContext ctx;
+  ctx.db = db_;
+  ctx.params = &params;
+  ctx.frozen_plan = true;
+  ctx.query_id = options.query_id;
+  ctx.process_id = options.process_id;
+  ctx.governor = options.governor;
+  ctx.snapshot_epoch = options.snapshot_epoch;
+  const int dop =
+      options.threads > 0 ? options.threads : ThreadPool::default_dop();
+  if (dop > 1) {
+    ctx.pool = ThreadPool::Shared();
+    ctx.dop = dop;
+  }
+  LDV_ASSIGN_OR_RETURN(Batch batch, plan.root->Execute(&ctx));
+  ResultSet result;
+  result.schema = plan.output_schema;  // copy: the plan stays shared
+  result.rows = std::move(batch.rows);
+  result.affected = static_cast<int64_t>(result.rows.size());
+  return result;
+}
+
 Result<ResultSet> Executor::ExecExplain(const Statement& stmt,
                                         const ExecOptions& options) {
   if (stmt.kind != StatementKind::kSelect) {
@@ -477,6 +510,7 @@ Result<ResultSet> Executor::ExecAlterTable(
     return Status::NotFound("no such table: " + alter.table);
   }
   LDV_RETURN_IF_ERROR(table->AddColumn(alter.column, Value::Null()));
+  db_->BumpSchemaVersion();
   return ResultSet{};
 }
 
@@ -495,6 +529,7 @@ Result<ResultSet> Executor::ExecCreateIndex(
                                  "." + create.column);
   }
   LDV_RETURN_IF_ERROR(table->CreateIndex(column));
+  db_->BumpSchemaVersion();
   return ResultSet{};
 }
 
@@ -540,6 +575,9 @@ Result<ResultSet> Executor::ExecCopy(const sql::CopyStmt& copy) {
     LDV_RETURN_IF_ERROR(table->Insert(std::move(row), stmt_seq).status());
     ++result.affected;
   }
+  // A bulk load counts as a catalog bump: plan-cache entries built before
+  // the COPY are treated as stale and rebuilt on their next use.
+  db_->BumpSchemaVersion();
   return result;
 }
 

@@ -14,6 +14,8 @@
 
 namespace ldv::exec {
 
+struct SelectPlan;
+
 /// One tuple version referenced by a statement's provenance, with its values
 /// snapshot — what Perm's rewritten query returns alongside the results and
 /// what the packager persists into the package's CSV files.
@@ -93,6 +95,15 @@ class Executor {
   /// Executes an already-parsed statement.
   Result<ResultSet> ExecuteParsed(const sql::Statement& stmt,
                                   const ExecOptions& options);
+
+  /// Executes a prebuilt (shared, plan-cache) SELECT plan with `params`
+  /// bound to its kParameter slots. The plan tree is treated as immutable:
+  /// ExecContext::frozen_plan is set, so per-node stats/instrumentation are
+  /// never touched and concurrent callers may share one tree. No lineage,
+  /// profiling, or subqueries — PlanCacheEligible statements only.
+  Result<ResultSet> ExecutePlanned(SelectPlan& plan,
+                                   const storage::Tuple& params,
+                                   const ExecOptions& options);
 
   storage::Database* db() { return db_; }
 

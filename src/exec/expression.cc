@@ -150,25 +150,37 @@ Result<std::unique_ptr<BoundExpr>> BindExpr(const Expr& expr,
       return Status::NotSupported(
           "subquery was not flattened — correlated subqueries or subqueries "
           "in this position are not supported: " + expr.ToString());
+    case ExprKind::kParameter:
+      if (expr.param_index < 0) {
+        return Status::InvalidArgument("unnumbered parameter placeholder");
+      }
+      // The plan cache stamps param_type per execution's parameter-type
+      // signature, so the inferred result type matches the same statement
+      // with the literal inlined (NULL params bind as kNull, exactly like a
+      // NULL literal).
+      out->column_index = expr.param_index;
+      out->result_type = expr.param_type;
+      break;
   }
   return out;
 }
 
 namespace {
 
-Result<Value> EvalBinary(const BoundExpr& expr, const storage::Tuple& row) {
+Result<Value> EvalBinary(const BoundExpr& expr, const storage::Tuple& row,
+                         const storage::Tuple* params) {
   const BinaryOp op = expr.binary_op;
   // Short-circuit logic first.
   if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
-    LDV_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], row));
+    LDV_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], row, params));
     const bool l = lhs.IsTruthy();
     if (op == BinaryOp::kAnd && !l) return Value::Int(0);
     if (op == BinaryOp::kOr && l) return Value::Int(1);
-    LDV_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row));
+    LDV_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row, params));
     return Value::Int(rhs.IsTruthy() ? 1 : 0);
   }
-  LDV_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], row));
-  LDV_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row));
+  LDV_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.children[0], row, params));
+  LDV_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.children[1], row, params));
   switch (op) {
     case BinaryOp::kEq:
     case BinaryOp::kNe:
@@ -274,11 +286,12 @@ Result<Value> EvalBinary(const BoundExpr& expr, const storage::Tuple& row) {
   }
 }
 
-Result<Value> EvalFunc(const BoundExpr& expr, const storage::Tuple& row) {
+Result<Value> EvalFunc(const BoundExpr& expr, const storage::Tuple& row,
+                       const storage::Tuple* params) {
   const std::string& name = expr.func_name;
   if (name == "COALESCE") {
     for (const auto& arg : expr.children) {
-      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, row));
+      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, row, params));
       if (!v.is_null()) return v;
     }
     return Value::Null();
@@ -286,7 +299,7 @@ Result<Value> EvalFunc(const BoundExpr& expr, const storage::Tuple& row) {
   if (expr.children.size() != 1 && name != "SUBSTR") {
     return Status::InvalidArgument(name + " takes one argument");
   }
-  LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+  LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row, params));
   if (v.is_null()) return Value::Null();
   if (name == "UPPER") return Value::Str(ToUpper(v.AsString()));
   if (name == "LOWER") return Value::Str(ToLower(v.AsString()));
@@ -303,7 +316,7 @@ Result<Value> EvalFunc(const BoundExpr& expr, const storage::Tuple& row) {
     if (expr.children.size() < 2 || expr.children.size() > 3) {
       return Status::InvalidArgument("SUBSTR(text, start[, len])");
     }
-    LDV_ASSIGN_OR_RETURN(Value start_v, EvalExpr(*expr.children[1], row));
+    LDV_ASSIGN_OR_RETURN(Value start_v, EvalExpr(*expr.children[1], row, params));
     int64_t start = start_v.AsInt();  // 1-based
     const std::string& s = v.AsString();
     if (start < 1) start = 1;
@@ -311,7 +324,7 @@ Result<Value> EvalFunc(const BoundExpr& expr, const storage::Tuple& row) {
     if (begin >= s.size()) return Value::Str("");
     size_t len = s.size() - begin;
     if (expr.children.size() == 3) {
-      LDV_ASSIGN_OR_RETURN(Value len_v, EvalExpr(*expr.children[2], row));
+      LDV_ASSIGN_OR_RETURN(Value len_v, EvalExpr(*expr.children[2], row, params));
       if (len_v.AsInt() < 0) return Value::Str("");
       len = std::min<size_t>(len, static_cast<size_t>(len_v.AsInt()));
     }
@@ -322,10 +335,20 @@ Result<Value> EvalFunc(const BoundExpr& expr, const storage::Tuple& row) {
 
 }  // namespace
 
-Result<Value> EvalExpr(const BoundExpr& expr, const storage::Tuple& row) {
+Result<Value> EvalExpr(const BoundExpr& expr, const storage::Tuple& row,
+                       const storage::Tuple* params) {
   switch (expr.kind) {
     case ExprKind::kLiteral:
       return expr.literal;
+    case ExprKind::kParameter: {
+      if (params == nullptr || expr.column_index < 0 ||
+          static_cast<size_t>(expr.column_index) >= params->size()) {
+        return Status::InvalidArgument(
+            "parameter $" + std::to_string(expr.column_index + 1) +
+            " has no bound value");
+      }
+      return (*params)[static_cast<size_t>(expr.column_index)];
+    }
     case ExprKind::kColumnRef: {
       size_t i = static_cast<size_t>(expr.column_index);
       if (i >= row.size()) {
@@ -336,7 +359,7 @@ Result<Value> EvalExpr(const BoundExpr& expr, const storage::Tuple& row) {
     case ExprKind::kStar:
       return Status::Internal("cannot evaluate '*'");
     case ExprKind::kUnary: {
-      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row, params));
       switch (expr.unary_op) {
         case UnaryOp::kNot:
           if (v.is_null()) return Value::Null();
@@ -354,11 +377,11 @@ Result<Value> EvalExpr(const BoundExpr& expr, const storage::Tuple& row) {
       return Status::Internal("unreachable unary op");
     }
     case ExprKind::kBinary:
-      return EvalBinary(expr, row);
+      return EvalBinary(expr, row, params);
     case ExprKind::kBetween: {
-      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
-      LDV_ASSIGN_OR_RETURN(Value lo, EvalExpr(*expr.children[1], row));
-      LDV_ASSIGN_OR_RETURN(Value hi, EvalExpr(*expr.children[2], row));
+      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row, params));
+      LDV_ASSIGN_OR_RETURN(Value lo, EvalExpr(*expr.children[1], row, params));
+      LDV_ASSIGN_OR_RETURN(Value hi, EvalExpr(*expr.children[2], row, params));
       if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
       LDV_ASSIGN_OR_RETURN(int cmp_lo, v.Compare(lo));
       LDV_ASSIGN_OR_RETURN(int cmp_hi, v.Compare(hi));
@@ -367,10 +390,10 @@ Result<Value> EvalExpr(const BoundExpr& expr, const storage::Tuple& row) {
       return Value::Int(in_range ? 1 : 0);
     }
     case ExprKind::kInList: {
-      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row));
+      LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.children[0], row, params));
       if (v.is_null()) return Value::Null();
       for (size_t i = 1; i < expr.children.size(); ++i) {
-        LDV_ASSIGN_OR_RETURN(Value item, EvalExpr(*expr.children[i], row));
+        LDV_ASSIGN_OR_RETURN(Value item, EvalExpr(*expr.children[i], row, params));
         if (item.is_null()) continue;
         LDV_ASSIGN_OR_RETURN(int cmp, v.Compare(item));
         if (cmp == 0) return Value::Int(expr.negated ? 0 : 1);
@@ -378,7 +401,7 @@ Result<Value> EvalExpr(const BoundExpr& expr, const storage::Tuple& row) {
       return Value::Int(expr.negated ? 1 : 0);
     }
     case ExprKind::kFuncCall:
-      return EvalFunc(expr, row);
+      return EvalFunc(expr, row, params);
     case ExprKind::kSubquery:
     case ExprKind::kExists:
       return Status::Internal("subquery reached evaluation unbound");

@@ -54,7 +54,7 @@ class Scope {
 struct BoundExpr {
   sql::ExprKind kind = sql::ExprKind::kLiteral;
   storage::Value literal;
-  int column_index = -1;  // kColumnRef
+  int column_index = -1;  // kColumnRef row index; kParameter slot index
   std::string func_name;  // kFuncCall
   sql::BinaryOp binary_op = sql::BinaryOp::kEq;
   sql::UnaryOp unary_op = sql::UnaryOp::kNot;
@@ -68,9 +68,17 @@ struct BoundExpr {
 Result<std::unique_ptr<BoundExpr>> BindExpr(const sql::Expr& expr,
                                             const Scope& scope);
 
-/// Evaluates a bound scalar expression over `row`.
+/// Evaluates a bound scalar expression over `row`. `params` supplies the
+/// values for kParameter nodes (EXECUTE of a cached plan); evaluating a
+/// parameter with no binding is a clean error, never a crash.
 Result<storage::Value> EvalExpr(const BoundExpr& expr,
-                                const storage::Tuple& row);
+                                const storage::Tuple& row,
+                                const storage::Tuple* params);
+
+inline Result<storage::Value> EvalExpr(const BoundExpr& expr,
+                                       const storage::Tuple& row) {
+  return EvalExpr(expr, row, nullptr);
+}
 
 /// Evaluates an expression with no column references (INSERT literals).
 Result<storage::Value> EvalConstExpr(const sql::Expr& expr);

@@ -22,7 +22,9 @@ using storage::ValueType;
 // ---------------------------------------------------------------------------
 
 Result<Batch> PlanNode::Execute(ExecContext* ctx) {
-  if (!ctx->profile && !obs::TraceRecorder::enabled()) {
+  // Shared (cached) plan trees may execute concurrently: never touch
+  // stats_, even if tracing got enabled mid-execution.
+  if (ctx->frozen_plan || (!ctx->profile && !obs::TraceRecorder::enabled())) {
     return ExecuteImpl(ctx);
   }
   return ExecuteInstrumented(ctx);
@@ -111,6 +113,7 @@ Status RunMorsels(ExecContext* ctx, OpStats* stats, size_t n,
     return status;
   };
   Status status = ctx->pool->ParallelFor(n, kMorselRows, timed, ctx->dop);
+  if (ctx->frozen_plan) stats = nullptr;  // shared plan: stats are read-only
   if (stats != nullptr) {
     stats->parallel_morsels += static_cast<int64_t>(num_morsels);
     stats->parallel_workers = std::max(
@@ -197,7 +200,7 @@ Status ScanNode::EmitRow(ExecContext* ctx, RowVersion* row, Batch* out,
     values.push_back(Value::Int(row->used_by_process));
   }
   if (filter_ != nullptr) {
-    LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*filter_, values));
+    LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*filter_, values, ctx->params));
     if (!keep.IsTruthy()) return Status::Ok();
   }
   if (ctx->track_lineage) {
@@ -341,7 +344,7 @@ Result<Batch> JoinNode::ExecuteImpl(ExecContext* ctx) {
     row = left.rows[li];
     row.insert(row.end(), right.rows[ri].begin(), right.rows[ri].end());
     if (residual_ != nullptr) {
-      LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*residual_, row));
+      LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*residual_, row, ctx->params));
       if (!keep.IsTruthy()) return false;
     }
     if (lineage) {
@@ -526,7 +529,8 @@ Result<Batch> FilterNode::ExecuteImpl(ExecContext* ctx) {
       [&](size_t begin, size_t end, size_t morsel) -> Status {
         Batch& part = parts[morsel];
         for (size_t i = begin; i < end; ++i) {
-          LDV_ASSIGN_OR_RETURN(Value keep, EvalExpr(*predicate_, in.rows[i]));
+          LDV_ASSIGN_OR_RETURN(Value keep,
+                               EvalExpr(*predicate_, in.rows[i], ctx->params));
           if (!keep.IsTruthy()) continue;
           part.rows.push_back(std::move(in.rows[i]));
           if (ctx->track_lineage) {
@@ -562,7 +566,8 @@ Result<Batch> ProjectNode::ExecuteImpl(ExecContext* ctx) {
           Tuple row;
           row.reserve(exprs_.size());
           for (const auto& e : exprs_) {
-            LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, in.rows[i]));
+            LDV_ASSIGN_OR_RETURN(Value v,
+                                 EvalExpr(*e, in.rows[i], ctx->params));
             row.push_back(std::move(v));
           }
           out.rows[i] = std::move(row);
@@ -766,7 +771,8 @@ Result<Batch> AggregateNode::ExecuteImpl(ExecContext* ctx) {
           Tuple keys;
           keys.reserve(group_exprs_.size());
           for (const auto& g : group_exprs_) {
-            LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, in.rows[i]));
+            LDV_ASSIGN_OR_RETURN(Value v,
+                                 EvalExpr(*g, in.rows[i], ctx->params));
             keys.push_back(std::move(v));
           }
           uint64_t h = storage::HashTuple(keys);
@@ -776,7 +782,8 @@ Result<Batch> AggregateNode::ExecuteImpl(ExecContext* ctx) {
           for (size_t a = 0; a < aggs_.size(); ++a) {
             Value arg;
             if (aggs_[a].arg != nullptr) {
-              LDV_ASSIGN_OR_RETURN(arg, EvalExpr(*aggs_[a].arg, in.rows[i]));
+              LDV_ASSIGN_OR_RETURN(
+                  arg, EvalExpr(*aggs_[a].arg, in.rows[i], ctx->params));
             }
             LDV_RETURN_IF_ERROR(Accumulate(&group.aggs[a], aggs_[a].fn, arg));
           }
@@ -971,7 +978,8 @@ Result<Batch> SortLimitNode::ExecuteImpl(ExecContext* ctx) {
             Tuple key;
             key.reserve(keys_.size());
             for (const SortKey& k : keys_) {
-              LDV_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, in.rows[i]));
+              LDV_ASSIGN_OR_RETURN(Value v,
+                                   EvalExpr(*k.expr, in.rows[i], ctx->params));
               key.push_back(std::move(v));
             }
             sort_keys[i] = std::move(key);

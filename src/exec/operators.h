@@ -70,6 +70,15 @@ struct ExecContext {
   /// Snapshot reads never run with track_lineage (lineage stamps mutate the
   /// rows being scanned).
   int64_t snapshot_epoch = 0;
+  /// Bound parameter values for kParameter expressions (EXECUTE of a cached
+  /// plan); null when the statement has no placeholders.
+  const storage::Tuple* params = nullptr;
+  /// Set when the plan tree is shared (plan cache): the node's stats_ must
+  /// never be mutated — the same tree may execute concurrently on other
+  /// threads. Shared plans are only handed out for non-profiled,
+  /// non-traced executions, and this flag keeps a mid-execution
+  /// TraceRecorder::Enable from racing onto them.
+  bool frozen_plan = false;
 
   bool parallel() const { return pool != nullptr && dop > 1; }
 

@@ -1,0 +1,299 @@
+#include "exec/plan_cache.h"
+
+#include <cctype>
+#include <utility>
+
+#include "common/fault.h"
+#include "sql/lexer.h"
+#include "util/strings.h"
+
+namespace ldv::exec {
+
+namespace {
+
+bool ExprHasSubquery(const sql::Expr& expr) {
+  if (expr.subquery != nullptr) return true;
+  for (const auto& child : expr.children) {
+    if (child != nullptr && ExprHasSubquery(*child)) return true;
+  }
+  return false;
+}
+
+bool SelectHasSubquery(const sql::SelectStmt& select) {
+  for (const auto& item : select.items) {
+    if (item.expr != nullptr && ExprHasSubquery(*item.expr)) return true;
+  }
+  for (const sql::TableRef& ref : select.from) {
+    if (ref.join_condition != nullptr && ExprHasSubquery(*ref.join_condition)) {
+      return true;
+    }
+  }
+  if (select.where != nullptr && ExprHasSubquery(*select.where)) return true;
+  for (const auto& g : select.group_by) {
+    if (g != nullptr && ExprHasSubquery(*g)) return true;
+  }
+  if (select.having != nullptr && ExprHasSubquery(*select.having)) return true;
+  for (const auto& o : select.order_by) {
+    if (o.expr != nullptr && ExprHasSubquery(*o.expr)) return true;
+  }
+  return false;
+}
+
+/// Lowercased identifier, quoted iff it would not re-lex as one token.
+void AppendIdentifier(const std::string& text, std::string* out) {
+  std::string lower = ToLower(text);
+  bool plain = !lower.empty() &&
+               (std::isalpha(static_cast<unsigned char>(lower[0])) != 0 ||
+                lower[0] == '_');
+  for (size_t i = 1; plain && i < lower.size(); ++i) {
+    char c = lower[i];
+    plain = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+            c == '$';
+  }
+  if (plain) {
+    *out += lower;
+    return;
+  }
+  *out += '"';
+  for (char c : lower) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+std::string_view PunctuationText(sql::TokenType type) {
+  using sql::TokenType;
+  switch (type) {
+    case TokenType::kComma: return ",";
+    case TokenType::kDot: return ".";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kStar: return "*";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kConcat: return "||";
+    default: return "";
+  }
+}
+
+/// Signature string of a parameter-type vector: one char per slot.
+std::string TypeSignature(const std::vector<storage::ValueType>& types) {
+  std::string sig;
+  sig.reserve(types.size());
+  for (storage::ValueType t : types) {
+    switch (t) {
+      case storage::ValueType::kNull: sig += 'n'; break;
+      case storage::ValueType::kInt64: sig += 'i'; break;
+      case storage::ValueType::kDouble: sig += 'd'; break;
+      case storage::ValueType::kString: sig += 's'; break;
+    }
+  }
+  return sig;
+}
+
+std::string ComposeKey(int64_t instance_id, const std::string& key) {
+  return std::to_string(instance_id) + '#' + key;
+}
+
+}  // namespace
+
+bool PlanCacheEligible(const sql::Statement& stmt) {
+  if (stmt.kind != sql::StatementKind::kSelect || stmt.select == nullptr) {
+    return false;
+  }
+  if (stmt.provenance || stmt.explain) return false;
+  if (SelectHasSubquery(*stmt.select)) return false;
+  for (const auto& o : stmt.select->order_by) {
+    if (o.expr != nullptr && o.expr->kind == sql::ExprKind::kParameter) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string NormalizeStatementText(std::string_view sql) {
+  Result<std::vector<sql::Token>> tokens = sql::Lex(sql);
+  if (!tokens.ok()) return std::string(sql);
+  std::string out;
+  out.reserve(sql.size());
+  int next_positional = 0;
+  for (const sql::Token& t : *tokens) {
+    if (t.type == sql::TokenType::kEnd) break;
+    if (!out.empty()) out += ' ';
+    switch (t.type) {
+      case sql::TokenType::kIdentifier:
+        AppendIdentifier(t.text, &out);
+        break;
+      case sql::TokenType::kIntLiteral:
+        out += std::to_string(t.int_value);
+        break;
+      case sql::TokenType::kDoubleLiteral:
+        out += t.text;
+        break;
+      case sql::TokenType::kStringLiteral: {
+        out += '\'';
+        for (char c : t.text) {
+          if (c == '\'') out += '\'';
+          out += c;
+        }
+        out += '\'';
+        break;
+      }
+      case sql::TokenType::kQuestion:
+        out += '$';
+        out += std::to_string(++next_positional);
+        break;
+      case sql::TokenType::kParam:
+        out += t.text;
+        break;
+      default:
+        out += PunctuationText(t.type);
+        break;
+    }
+  }
+  return out;
+}
+
+PlanCache::PlanCache()
+    : hits_(obs::MetricsRegistry::Global().counter("plan_cache.hit")),
+      misses_(obs::MetricsRegistry::Global().counter("plan_cache.miss")),
+      evictions_(obs::MetricsRegistry::Global().counter("plan_cache.evict")),
+      stale_(obs::MetricsRegistry::Global().counter("plan_cache.stale")) {}
+
+PlanCache& PlanCache::Global() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+void PlanCache::set_capacity(size_t entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = entries;
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.front());
+    lru_.pop_front();
+    evictions_->Add(1);
+  }
+}
+
+size_t PlanCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+size_t PlanCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+PlanCache::Entry* PlanCache::InsertEntryLocked(const std::string& full_key) {
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.front());
+    lru_.pop_front();
+    evictions_->Add(1);
+  }
+  lru_.push_back(full_key);
+  Entry& entry = entries_[full_key];
+  entry.lru_it = std::prev(lru_.end());
+  return &entry;
+}
+
+void PlanCache::TouchLocked(Entry* entry) {
+  lru_.splice(lru_.end(), lru_, entry->lru_it);
+}
+
+std::shared_ptr<const sql::Statement> PlanCache::Intern(
+    const storage::Database& db, const std::string& key,
+    sql::Statement body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    return std::make_shared<const sql::Statement>(std::move(body));
+  }
+  const std::string full_key = ComposeKey(db.instance_id(), key);
+  auto it = entries_.find(full_key);
+  if (it != entries_.end()) {
+    TouchLocked(&it->second);
+    if (it->second.ast != nullptr) return it->second.ast;
+    it->second.ast = std::make_shared<const sql::Statement>(std::move(body));
+    return it->second.ast;
+  }
+  Entry* entry = InsertEntryLocked(full_key);
+  entry->ast = std::make_shared<const sql::Statement>(std::move(body));
+  entry->schema_version = db.schema_version();
+  return entry->ast;
+}
+
+Result<std::shared_ptr<const CachedPlan>> PlanCache::BuildPlan(
+    storage::Database* db, const sql::Statement& stmt,
+    const std::vector<storage::ValueType>& types) {
+  auto annotated =
+      std::make_shared<sql::Statement>(sql::CloneStatement(stmt));
+  sql::AnnotateParameterTypes(annotated.get(), types);
+  LDV_ASSIGN_OR_RETURN(SelectPlan plan,
+                       PlanSelect(db, *annotated->select));
+  auto cached = std::make_shared<CachedPlan>();
+  cached->stmt = std::move(annotated);
+  cached->plan = std::make_shared<SelectPlan>(std::move(plan));
+  return std::shared_ptr<const CachedPlan>(std::move(cached));
+}
+
+Result<std::shared_ptr<const CachedPlan>> PlanCache::GetPlan(
+    storage::Database* db, const std::string& key, const sql::Statement& stmt,
+    const std::vector<storage::ValueType>& types) {
+  const std::string sig = TypeSignature(types);
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t version = db->schema_version();
+  if (capacity_ == 0) {
+    misses_->Add(1);
+    return BuildPlan(db, stmt, types);
+  }
+  const std::string full_key = ComposeKey(db->instance_id(), key);
+  auto it = entries_.find(full_key);
+  Entry* entry;
+  if (it == entries_.end()) {
+    entry = InsertEntryLocked(full_key);
+    entry->schema_version = version;
+    misses_->Add(1);
+  } else {
+    entry = &it->second;
+    TouchLocked(entry);
+    // A schema-version mismatch means DDL or COPY ran since the plans were
+    // built: live Table pointers inside them may dangle and index choices
+    // may be wrong, so every plan of the entry is dropped and rebuilt. The
+    // fault point forces this path for tests.
+    bool stale = entry->schema_version != version;
+    if (!CheckFault("plancache.stale").ok()) stale = true;
+    if (stale) {
+      entry->plans.clear();
+      entry->schema_version = version;
+      stale_->Add(1);
+    }
+    auto pit = entry->plans.find(sig);
+    if (pit != entry->plans.end()) {
+      hits_->Add(1);
+      return pit->second;
+    }
+    misses_->Add(1);
+  }
+  LDV_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> plan,
+                       BuildPlan(db, stmt, types));
+  entry->plans[sig] = plan;
+  return plan;
+}
+
+}  // namespace ldv::exec

@@ -1,0 +1,122 @@
+#ifndef LDV_EXEC_PLAN_CACHE_H_
+#define LDV_EXEC_PLAN_CACHE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/planner.h"
+#include "obs/metrics.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace ldv::exec {
+
+/// One executable plan shared across sessions, produced by PlanCache for a
+/// (normalized statement, parameter-type signature) pair.
+struct CachedPlan {
+  /// The annotated AST the plan was built from: a clone of the prepared
+  /// statement with Expr::param_type stamped per the signature, so binding
+  /// inferred exactly the types literal inlining would have.
+  std::shared_ptr<const sql::Statement> stmt;
+  /// Operator tree + output schema. Logically immutable: executions run
+  /// with ExecContext::frozen_plan set, which keeps per-node stats and
+  /// instrumentation untouched, so concurrent EXECUTEs share the tree
+  /// safely (operator state lives in the ExecContext / locals).
+  std::shared_ptr<SelectPlan> plan;
+};
+
+/// True when a prepared statement may execute through the shared plan cache
+/// rather than by literal substitution. Cacheable statements are plain
+/// SELECTs: no PROVENANCE/EXPLAIN, no subqueries (those execute eagerly at
+/// plan time), and no bare placeholder as an ORDER BY item — an inlined
+/// integer literal there is an ordinal (ORDER BY 2 = second column) while a
+/// bound parameter would be a constant key, so those statements take the
+/// substitution path to stay bit-identical with literal inlining.
+bool PlanCacheEligible(const sql::Statement& stmt);
+
+/// Canonical cache-key text of a statement: tokens re-rendered one-space
+/// separated, identifiers and keywords lowercased (quoted when they contain
+/// non-identifier characters), string literals kept case-sensitive,
+/// integers canonicalized, and `?` placeholders renumbered to `$1..$n` in
+/// token order. Texts that lex identically share one key; anything that
+/// fails to lex keys on its raw text.
+std::string NormalizeStatementText(std::string_view sql);
+
+/// Process-wide shared cache of prepared-statement ASTs and plans, keyed by
+/// (database instance, normalized statement text). Entries are stamped with
+/// the database's schema version; any DDL or COPY bumps the version, so the
+/// next EXECUTE observes the entry as stale, drops its plans and replans
+/// against the new catalog (metric `plan_cache.stale`). LRU-bounded by
+/// statement count (`--plan-cache-entries`); capacity 0 disables sharing
+/// entirely, every EXECUTE then plans afresh.
+///
+/// The fault point `plancache.stale` forces the stale path on lookup, so
+/// tests can drive replanning without running DDL.
+class PlanCache {
+ public:
+  static PlanCache& Global();
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Registers (or re-finds) the shared AST for `key`. Returns the cached
+  /// statement when one exists so every session preparing an equivalent
+  /// text holds the same tree; otherwise stores and returns `body`.
+  std::shared_ptr<const sql::Statement> Intern(const storage::Database& db,
+                                               const std::string& key,
+                                               sql::Statement body);
+
+  /// Returns the shared plan for (`key`, signature-of-`types`), planning
+  /// `stmt` on a miss or when the entry's schema version is stale. The
+  /// caller must hold the catalog lock (shared suffices): validation reads
+  /// the live schema version, and planning resolves live Table pointers.
+  Result<std::shared_ptr<const CachedPlan>> GetPlan(
+      storage::Database* db, const std::string& key,
+      const sql::Statement& stmt,
+      const std::vector<storage::ValueType>& types);
+
+  void set_capacity(size_t entries);
+  size_t capacity() const;
+  /// Statements currently cached (for stats/tests).
+  size_t entries() const;
+  /// Drops every entry (tests).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const sql::Statement> ast;
+    uint64_t schema_version = 0;
+    /// Plans by parameter-type signature (one char per slot).
+    std::map<std::string, std::shared_ptr<const CachedPlan>> plans;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  PlanCache();
+
+  Entry* InsertEntryLocked(const std::string& full_key);
+  void TouchLocked(Entry* entry);
+
+  Result<std::shared_ptr<const CachedPlan>> BuildPlan(
+      storage::Database* db, const sql::Statement& stmt,
+      const std::vector<storage::ValueType>& types);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  /// Keys least-recently-used first; capacity evicts from the front.
+  std::list<std::string> lru_;
+  size_t capacity_ = 256;
+
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+  obs::Counter* stale_;
+};
+
+}  // namespace ldv::exec
+
+#endif  // LDV_EXEC_PLAN_CACHE_H_

@@ -14,9 +14,12 @@
 #include "common/clock.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "exec/expression.h"
+#include "exec/plan_cache.h"
 #include "obs/span.h"
 #include "sql/parser.h"
 #include "storage/persistence.h"
+#include "util/strings.h"
 
 namespace ldv::net {
 
@@ -39,6 +42,12 @@ bool StatementMutates(const sql::Statement& stmt) {
       return true;
     case sql::StatementKind::kSelect:
     case sql::StatementKind::kTransaction:
+      return false;
+    case sql::StatementKind::kPrepare:
+    case sql::StatementKind::kExecute:
+    case sql::StatementKind::kDeallocate:
+      // Never executed directly: the session layer intercepts these and
+      // runs the underlying statement (which makes its own WAL decision).
       return false;
   }
   return false;
@@ -237,8 +246,57 @@ Result<exec::ResultSet> EngineHandle::ExecTransactionLocked(
 Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
                                                      int64_t session_id) {
   LDV_FAULT_POINT("engine.execute");
+  // Protocol verbs carry the statement pre-split: a handle plus body text
+  // (kPrepare) or bound parameter values (kExecute).
+  switch (request.kind) {
+    case RequestKind::kPrepare: {
+      LDV_ASSIGN_OR_RETURN(sql::Statement body, sql::Parse(request.sql));
+      return PrepareStatement(request.handle, std::move(body), session_id);
+    }
+    case RequestKind::kExecute:
+      return ExecutePrepared(request.handle, request.params, request,
+                             session_id);
+    case RequestKind::kDeallocate:
+      return DeallocateStatement(request.handle,
+                                 /*all=*/request.handle.empty(), session_id);
+    default:
+      break;
+  }
+
   LDV_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(request.sql));
 
+  // SQL-spelled PREPARE/EXECUTE/DEALLOCATE use the same machinery as the
+  // protocol verbs; EXECUTE arguments are constant expressions evaluated
+  // here (the parser rejects placeholders inside them).
+  switch (stmt.kind) {
+    case sql::StatementKind::kPrepare:
+      return PrepareStatement(stmt.prepare->name,
+                              std::move(*stmt.prepare->body), session_id);
+    case sql::StatementKind::kExecute: {
+      storage::Tuple params;
+      params.reserve(stmt.execute->args.size());
+      for (const auto& arg : stmt.execute->args) {
+        LDV_ASSIGN_OR_RETURN(storage::Value v, exec::EvalConstExpr(*arg));
+        params.push_back(std::move(v));
+      }
+      return ExecutePrepared(stmt.execute->name, std::move(params), request,
+                             session_id);
+    }
+    case sql::StatementKind::kDeallocate:
+      return DeallocateStatement(stmt.deallocate->name, stmt.deallocate->all,
+                                 session_id);
+    default:
+      break;
+  }
+
+  return ExecuteStatement(stmt, request, request.sql, session_id,
+                          /*prepared=*/nullptr);
+}
+
+Result<exec::ResultSet> EngineHandle::ExecuteStatement(
+    const sql::Statement& stmt, const DbRequest& request,
+    const std::string& effective_sql, int64_t session_id,
+    const PreparedRun* prepared) {
   // One governor per statement (DESIGN.md §11): the cancellation token the
   // operators poll, the statement deadline, and the memory budget. It is
   // registered before the engine lock is taken, so a statement queued
@@ -255,7 +313,7 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
   info.process_id = request.process_id;
   info.query_id = request.query_id;
   info.session_id = session_id;
-  info.sql = request.sql;
+  info.sql = effective_sql;
   info.start_nanos = NowNanos();
   exec::QueryRegistry::Registration registration =
       exec::QueryRegistry::Global().Register(&governor, std::move(info));
@@ -268,7 +326,7 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
   // they read).
   if (stmt.kind == sql::StatementKind::kSelect && !stmt.provenance &&
       txn_owner_.load(std::memory_order_acquire) != session_id) {
-    return ExecConcurrentRead(stmt, request, &governor);
+    return ExecConcurrentRead(stmt, request, &governor, prepared);
   }
 
   uint64_t sync_lsn = 0;
@@ -292,9 +350,9 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
     LDV_RETURN_IF_ERROR(governor.Check());
     obs::Span span("engine.statement", "engine");
     if (span.recording()) {
-      span.AddArg("sql", request.sql.size() <= 120
-                             ? request.sql
-                             : request.sql.substr(0, 117) + "...");
+      span.AddArg("sql", effective_sql.size() <= 120
+                             ? effective_sql
+                             : effective_sql.substr(0, 117) + "...");
     }
 
     if (stmt.kind == sql::StatementKind::kTransaction) {
@@ -386,10 +444,10 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
           db()->NextStatementSeq();
         }
         if (in_txn) {
-          txn_ops_.push_back(storage::WalOp{seq_before, request.sql});
+          txn_ops_.push_back(storage::WalOp{seq_before, effective_sql});
         } else if (wal_ != nullptr) {
           Result<uint64_t> lsn = AppendGroupLocked(
-              {storage::WalOp{seq_before, request.sql}});
+              {storage::WalOp{seq_before, effective_sql}});
           if (!lsn.ok()) {
             LDV_RETURN_IF_ERROR(autocommit.Rollback());
             return lsn.status().WithContext(
@@ -423,7 +481,108 @@ Result<exec::ResultSet> EngineHandle::ExecuteSession(const DbRequest& request,
   return result;
 }
 
+Result<exec::ResultSet> EngineHandle::PrepareStatement(const std::string& name,
+                                                       sql::Statement body,
+                                                       int64_t session_id) {
+  if (name.empty()) {
+    return Status::InvalidArgument("PREPARE: statement name is empty");
+  }
+  switch (body.kind) {
+    case sql::StatementKind::kSelect:
+    case sql::StatementKind::kInsert:
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "PREPARE body must be SELECT, INSERT, UPDATE, or DELETE");
+  }
+  if (body.explain) {
+    return Status::InvalidArgument("PREPARE body cannot be EXPLAIN");
+  }
+  auto prep = std::make_shared<PreparedStatement>();
+  prep->name = ToLower(name);
+  prep->num_params = body.num_params;
+  prep->cache_key =
+      exec::NormalizeStatementText(sql::StatementToString(body));
+  prep->body =
+      exec::PlanCache::Global().Intern(*db(), prep->cache_key,
+                                       std::move(body));
+  std::lock_guard<std::mutex> lock(prepared_mu_);
+  auto& session = prepared_[session_id];
+  if (session.find(prep->name) != session.end()) {
+    return Status::AlreadyExists("prepared statement \"" + name +
+                                 "\" already exists");
+  }
+  session[prep->name] = std::move(prep);
+  return exec::ResultSet{};
+}
+
+Result<exec::ResultSet> EngineHandle::ExecutePrepared(const std::string& name,
+                                                      storage::Tuple params,
+                                                      const DbRequest& request,
+                                                      int64_t session_id) {
+  std::shared_ptr<const PreparedStatement> prep;
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    auto sit = prepared_.find(session_id);
+    if (sit != prepared_.end()) {
+      auto it = sit->second.find(ToLower(name));
+      if (it != sit->second.end()) prep = it->second;
+    }
+  }
+  if (prep == nullptr) {
+    return Status::NotFound("prepared statement \"" + name +
+                            "\" does not exist");
+  }
+  if (static_cast<int>(params.size()) != prep->num_params) {
+    return Status::InvalidArgument(StrFormat(
+        "EXECUTE %s: statement expects %d parameter(s), %zu given",
+        name.c_str(), prep->num_params, params.size()));
+  }
+
+  const bool in_txn =
+      txn_owner_.load(std::memory_order_acquire) == session_id;
+  if (!in_txn && exec::PlanCacheEligible(*prep->body)) {
+    PreparedRun run;
+    run.cache_key = &prep->cache_key;
+    run.params = &params;
+    return ExecuteStatement(*prep->body, request, "EXECUTE " + prep->name,
+                            session_id, &run);
+  }
+
+  // Substitution path: inline the bound values as literals and run the
+  // statement exactly as if the client had sent it with literals spelled
+  // out. Bit-identical by construction; the WAL and governance listings
+  // see the rendered text.
+  sql::Statement stmt = sql::CloneStatement(*prep->body);
+  LDV_RETURN_IF_ERROR(sql::SubstituteParameters(&stmt, params));
+  const std::string effective_sql = sql::StatementToString(stmt);
+  return ExecuteStatement(stmt, request, effective_sql, session_id,
+                          /*prepared=*/nullptr);
+}
+
+Result<exec::ResultSet> EngineHandle::DeallocateStatement(
+    const std::string& name, bool all, int64_t session_id) {
+  std::lock_guard<std::mutex> lock(prepared_mu_);
+  auto sit = prepared_.find(session_id);
+  if (all) {
+    if (sit != prepared_.end()) prepared_.erase(sit);
+    return exec::ResultSet{};
+  }
+  if (sit == prepared_.end() || sit->second.erase(ToLower(name)) == 0) {
+    return Status::NotFound("prepared statement \"" + name +
+                            "\" does not exist");
+  }
+  return exec::ResultSet{};
+}
+
 void EngineHandle::AbortSession(int64_t session_id) {
+  {
+    // Connection teardown drops the session's prepared statements with it.
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    prepared_.erase(session_id);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (txn_owner_ != session_id) return;
   // Same drill as ROLLBACK: readers drain before undo rewrites rows.
@@ -445,7 +604,7 @@ void EngineHandle::AbortSession(int64_t session_id) {
 
 Result<exec::ResultSet> EngineHandle::ExecConcurrentRead(
     const sql::Statement& stmt, const DbRequest& request,
-    exec::QueryGovernor* governor) {
+    exec::QueryGovernor* governor, const PreparedRun* prepared) {
   obs::Span span("engine.read", "engine");
   if (span.recording()) {
     span.AddArg("sql", request.sql.size() <= 120
@@ -485,7 +644,25 @@ Result<exec::ResultSet> EngineHandle::ExecConcurrentRead(
   options.governor = governor;
   options.snapshot_epoch = snapshot.epoch();
   const int64_t start = NowNanos();
-  Result<exec::ResultSet> result = executor_.ExecuteParsed(stmt, options);
+  Result<exec::ResultSet> result = [&]() -> Result<exec::ResultSet> {
+    if (prepared != nullptr) {
+      // EXECUTE of a cache-eligible SELECT: fetch (or build) the shared
+      // plan under the locks taken above — the schema cannot shift between
+      // the staleness check and execution — and run it with the bound
+      // parameters.
+      std::vector<storage::ValueType> types;
+      types.reserve(prepared->params->size());
+      for (const storage::Value& v : *prepared->params) {
+        types.push_back(v.type());
+      }
+      LDV_ASSIGN_OR_RETURN(
+          auto plan, exec::PlanCache::Global().GetPlan(
+                         db(), *prepared->cache_key, stmt, types));
+      return executor_.ExecutePlanned(*plan->plan, *prepared->params,
+                                      options);
+    }
+    return executor_.ExecuteParsed(stmt, options);
+  }();
   statement_latency_->Observe((NowNanos() - start) / 1000);
   concurrent_reads_->Add(1);
   return result;
@@ -634,6 +811,35 @@ Result<int64_t> CancelServerQuery(DbClient* client, int64_t process_id,
     return Status::IOError("malformed cancel response");
   }
   return result.rows[0][0].AsInt();
+}
+
+Status PrepareStatement(DbClient* client, const std::string& name,
+                        const std::string& sql) {
+  DbRequest request;
+  request.kind = RequestKind::kPrepare;
+  request.handle = name;
+  request.sql = sql;
+  return client->Execute(request).status();
+}
+
+Result<exec::ResultSet> ExecutePrepared(DbClient* client,
+                                        const std::string& name,
+                                        storage::Tuple params,
+                                        int64_t process_id, int64_t query_id) {
+  DbRequest request;
+  request.kind = RequestKind::kExecute;
+  request.handle = name;
+  request.params = std::move(params);
+  request.process_id = process_id;
+  request.query_id = query_id;
+  return client->Execute(request);
+}
+
+Status DeallocatePrepared(DbClient* client, const std::string& name) {
+  DbRequest request;
+  request.kind = RequestKind::kDeallocate;
+  request.handle = name;
+  return client->Execute(request).status();
 }
 
 }  // namespace ldv::net

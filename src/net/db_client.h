@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -62,6 +63,15 @@ struct EngineDurabilityOptions {
 /// with writers on other tables. Everything else (DML, DDL, provenance
 /// queries, transaction control) serializes under mu_ as before, taking
 /// exclusive data locks so in-place mutations never race a reader.
+///
+/// Prepared statements: PREPARE/EXECUTE/DEALLOCATE (SQL or the kPrepare /
+/// kExecute / kDeallocate protocol verbs) are intercepted here too. Handles
+/// are per-session; the parsed bodies and the plans of cacheable SELECTs
+/// are shared across sessions through the process-wide exec::PlanCache.
+/// EXECUTE of anything the cache cannot serve bit-identically (DML,
+/// provenance, subqueries, in-transaction reads, bare placeholders in ORDER
+/// BY) inlines the bound values as literals and runs the statement through
+/// the ordinary paths — the WAL logs the rendered text.
 ///
 /// Transactions: BEGIN/COMMIT/ROLLBACK are intercepted here, above the
 /// executor. One explicit transaction runs at a time, owned by a session
@@ -133,6 +143,21 @@ class EngineHandle {
  private:
   static constexpr int64_t kNoSession = -1;
 
+  /// One prepared statement of a session: the (interned, shared) parsed
+  /// body, its normalized plan-cache key, and the placeholder count.
+  struct PreparedStatement {
+    std::string name;
+    std::shared_ptr<const sql::Statement> body;
+    std::string cache_key;
+    int num_params = 0;
+  };
+  /// Cached-plan execution context for one EXECUTE: the normalized key the
+  /// shared plan lives under and the bound parameter values.
+  struct PreparedRun {
+    const std::string* cache_key = nullptr;
+    const storage::Tuple* params = nullptr;
+  };
+
   /// BEGIN/COMMIT/ROLLBACK. On COMMIT, `*sync_lsn` is set to the LSN the
   /// caller must Sync() after releasing mu_ (0 = nothing to sync).
   Result<exec::ResultSet> ExecTransactionLocked(
@@ -140,10 +165,35 @@ class EngineHandle {
       uint64_t* sync_lsn);
   /// The concurrent read path: shared catalog/table locks, a snapshot
   /// epoch, no mu_. Runs the statement on the caller's thread; independent
-  /// readers proceed in parallel.
+  /// readers proceed in parallel. With `prepared` set, the statement runs
+  /// through the shared plan cache instead of being planned per call.
   Result<exec::ResultSet> ExecConcurrentRead(const sql::Statement& stmt,
                                              const DbRequest& request,
-                                             exec::QueryGovernor* governor);
+                                             exec::QueryGovernor* governor,
+                                             const PreparedRun* prepared);
+  /// Everything ExecuteSession does after the statement text is resolved:
+  /// governance, concurrent-read dispatch, the serialized path, the WAL.
+  /// `effective_sql` is what governance listings, trace spans and the WAL
+  /// see — for substituted prepared statements, the rendered text with the
+  /// bound values inlined.
+  Result<exec::ResultSet> ExecuteStatement(const sql::Statement& stmt,
+                                           const DbRequest& request,
+                                           const std::string& effective_sql,
+                                           int64_t session_id,
+                                           const PreparedRun* prepared);
+  /// PREPARE: validates and registers `body` under `name` on the session.
+  Result<exec::ResultSet> PrepareStatement(const std::string& name,
+                                           sql::Statement body,
+                                           int64_t session_id);
+  /// EXECUTE: binds `params` to the named statement and runs it, through
+  /// the shared plan cache when eligible, by literal substitution else.
+  Result<exec::ResultSet> ExecutePrepared(const std::string& name,
+                                          storage::Tuple params,
+                                          const DbRequest& request,
+                                          int64_t session_id);
+  /// DEALLOCATE: drops one handle, or all of the session's when `all`.
+  Result<exec::ResultSet> DeallocateStatement(const std::string& name,
+                                              bool all, int64_t session_id);
   /// Takes every table's data lock exclusively, ascending by id (the
   /// acquisition order that makes the hierarchy deadlock-free). Used by
   /// transaction rollback, whose undo rewrites rows across tables.
@@ -157,6 +207,14 @@ class EngineHandle {
   std::mutex mu_;
   std::condition_variable txn_cv_;
   exec::Executor executor_;
+
+  /// Prepared-statement handles, per session then by lowercased name.
+  /// Guarded by its own mutex: PREPARE/DEALLOCATE and handle lookups never
+  /// contend with executing statements.
+  std::mutex prepared_mu_;
+  std::map<int64_t,
+           std::map<std::string, std::shared_ptr<const PreparedStatement>>>
+      prepared_;
 
   // MVCC state (DESIGN.md §12). The snapshot manager and lock registry are
   // internally synchronized; txn_snapshot_ (the open transaction's pinned
@@ -248,6 +306,22 @@ Result<Json> FetchServerTrace(DbClient* client);
 /// the number of statements the server signalled.
 Result<int64_t> CancelServerQuery(DbClient* client, int64_t process_id,
                                   int64_t query_id);
+
+/// Registers `sql` as prepared statement `name` via a kPrepare request.
+Status PrepareStatement(DbClient* client, const std::string& name,
+                        const std::string& sql);
+
+/// Executes prepared statement `name` with `params` bound, via a kExecute
+/// request; the ids participate in response dedup like queries.
+Result<exec::ResultSet> ExecutePrepared(DbClient* client,
+                                        const std::string& name,
+                                        storage::Tuple params,
+                                        int64_t process_id = 0,
+                                        int64_t query_id = 0);
+
+/// Drops prepared statement `name` via a kDeallocate request; an empty
+/// name drops every handle of the session (DEALLOCATE ALL).
+Status DeallocatePrepared(DbClient* client, const std::string& name);
 
 }  // namespace ldv::net
 

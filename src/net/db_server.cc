@@ -16,6 +16,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "exec/governor.h"
+#include "exec/plan_cache.h"
 #include "obs/span.h"
 
 namespace ldv::net {
@@ -224,7 +225,20 @@ std::string DbServer::ExecuteDeduped(const DbRequest& request,
   const bool use_dedup =
       options_.dedup_capacity > 0 &&
       (request.process_id != 0 || request.query_id != 0);
-  const DedupKey key{request.process_id, request.query_id, request.sql};
+  // The dedup key must distinguish an EXECUTE from a plain query with the
+  // same (pid, qid), and one parameter binding from another: fold the verb,
+  // the handle, and the encoded parameter values into the sql slot.
+  std::string dedup_sql = request.sql;
+  if (request.kind != RequestKind::kQuery) {
+    dedup_sql.push_back('\x1f');
+    dedup_sql.push_back(static_cast<char>(request.kind));
+    dedup_sql.append(request.handle);
+    BufferWriter w;
+    for (const storage::Value& v : request.params) v.Serialize(&w);
+    dedup_sql.append(w.TakeData());
+  }
+  const DedupKey key{request.process_id, request.query_id,
+                     std::move(dedup_sql)};
   if (use_dedup) {
     std::unique_lock<std::mutex> lock(dedup_mu_);
     PurgeExpiredDedupLocked(NowNanos());
@@ -296,6 +310,8 @@ std::string DbServer::HandleControl(const DbRequest& request) {
       reg.gauge("server.deduped_requests")->Set(deduped_requests());
       reg.gauge("server.dedup_entries")->Set(dedup_entries());
       reg.gauge("server.disconnect_cancels")->Set(disconnect_cancels());
+      reg.gauge("plan_cache.entries")
+          ->Set(static_cast<int64_t>(exec::PlanCache::Global().entries()));
       exec::QueryRegistry& registry = exec::QueryRegistry::Global();
       reg.gauge("exec.inflight")->Set(registry.inflight());
       obs::CaptureFaultInjectorMetrics(&reg);
@@ -348,10 +364,32 @@ std::string DbServer::HandleControl(const DbRequest& request) {
       break;
     }
     case RequestKind::kQuery:
-      break;  // dispatched to ExecuteDeduped, never here
+    case RequestKind::kPrepare:
+    case RequestKind::kExecute:
+    case RequestKind::kDeallocate:
+      break;  // statement kinds, dispatched to ExecuteDeduped, never here
   }
   return EncodeResponse(Status::Ok(), rs);
 }
+
+namespace {
+
+/// Request kinds that run a statement on the engine (and therefore go
+/// through dedup, latency accounting, and the disconnect watcher) as
+/// opposed to server-side control verbs.
+bool IsStatementKind(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kQuery:
+    case RequestKind::kPrepare:
+    case RequestKind::kExecute:
+    case RequestKind::kDeallocate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 void DbServer::ServeConnection(int64_t id, int fd) {
   while (true) {
@@ -375,7 +413,7 @@ void DbServer::ServeConnection(int64_t id, int fd) {
     Result<DbRequest> request = DecodeRequest(*frame);
     if (!request.ok()) {
       response = EncodeResponse(request.status(), {});
-    } else if (request->kind != RequestKind::kQuery) {
+    } else if (!IsStatementKind(request->kind)) {
       response = HandleControl(*request);
     } else {
       requests_total_->Add(1);

@@ -69,6 +69,8 @@ std::string EncodeRequest(const DbRequest& request) {
   w.PutVarint(request.query_id);
   w.PutU8(static_cast<uint8_t>(request.kind));
   w.PutVarint(request.timeout_millis);
+  w.PutString(request.handle);
+  EncodeTuple(request.params, &w);
   return w.TakeData();
 }
 
@@ -82,7 +84,7 @@ Result<DbRequest> DecodeRequest(std::string_view bytes) {
   // replay logs) end here; they are plain queries.
   if (r.remaining() > 0) {
     LDV_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
-    if (kind > static_cast<uint8_t>(RequestKind::kCancel)) {
+    if (kind > static_cast<uint8_t>(RequestKind::kDeallocate)) {
       return Status::InvalidArgument("unknown request kind: " +
                                      std::to_string(kind));
     }
@@ -92,6 +94,14 @@ Result<DbRequest> DecodeRequest(std::string_view bytes) {
   // no per-request timeout (the server default applies).
   if (r.remaining() > 0) {
     LDV_ASSIGN_OR_RETURN(request.timeout_millis, r.GetVarint());
+  }
+  // Frames written before prepared statements existed end here; they carry
+  // no handle and no parameters.
+  if (r.remaining() > 0) {
+    LDV_ASSIGN_OR_RETURN(request.handle, r.GetString());
+  }
+  if (r.remaining() > 0) {
+    LDV_ASSIGN_OR_RETURN(request.params, DecodeTuple(&r));
   }
   return request;
 }

@@ -28,6 +28,18 @@ enum class RequestKind : uint8_t {
   /// kill is cooperative — targets observe it at their next governor check
   /// and unwind with kCancelled (DESIGN.md §11).
   kCancel = 4,
+  /// Register `sql` (which may contain ? / $N placeholders) as a prepared
+  /// statement named `handle` on this session. Equivalent to sending
+  /// `PREPARE <handle> AS <sql>` as a query.
+  kPrepare = 5,
+  /// Execute the session's prepared statement `handle` with `params` bound
+  /// to its placeholders; `sql` is ignored. Like queries, executions are
+  /// deduplicated on (process_id, query_id) — the handle and the encoded
+  /// parameters are folded into the dedup key.
+  kExecute = 6,
+  /// Drop the prepared statement `handle`; an empty handle drops every
+  /// prepared statement of the session (DEALLOCATE ALL).
+  kDeallocate = 7,
 };
 
 /// One client->server request. The process and query identifiers are the
@@ -42,6 +54,12 @@ struct DbRequest {
   /// --statement-timeout-ms default". Encoded as a trailing varint (after
   /// the kind byte), absent on old frames — which decode as 0.
   int64_t timeout_millis = 0;
+  /// Prepared-statement name for kPrepare / kExecute / kDeallocate. Encoded
+  /// as a trailing string, absent on old frames — which decode as empty.
+  std::string handle;
+  /// Parameter values bound by kExecute, in placeholder order. Encoded as a
+  /// trailing count + serialized values, absent on old frames.
+  storage::Tuple params;
 };
 
 /// Binary encoding of requests/responses (varint-based, little-endian).

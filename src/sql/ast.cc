@@ -43,6 +43,26 @@ std::string_view BinaryOpSymbol(BinaryOp op) {
   return "?";
 }
 
+/// Shortest decimal rendering of `v` that re-parses to exactly `v` and
+/// always re-lexes as a *double* (a '.' or exponent is forced). ToText's
+/// %.15g is lossy for one in ~10 doubles and renders 5.0 as "5", which
+/// would come back as an integer — wrong type for WAL replay of
+/// parameter-substituted DML.
+std::string RenderDouble(double v) {
+  for (const char* fmt : {"%.15g", "%.16g", "%.17g"}) {
+    std::string text = StrFormat(fmt, v);
+    Result<double> back = ParseDouble(text);
+    if (back.ok() && *back == v) {
+      if (text.find_first_of(".eE") == std::string::npos &&
+          text.find_first_of("0123456789") != std::string::npos) {
+        text += ".0";
+      }
+      return text;
+    }
+  }
+  return StrFormat("%.17g", v);  // unreachable for finite doubles
+}
+
 }  // namespace
 
 Expr::Expr() = default;
@@ -60,6 +80,8 @@ std::unique_ptr<Expr> Expr::Clone() const {
   out->binary_op = binary_op;
   out->unary_op = unary_op;
   out->negated = negated;
+  out->param_index = param_index;
+  out->param_type = param_type;
   out->children.reserve(children.size());
   for (const auto& child : children) out->children.push_back(child->Clone());
   if (subquery != nullptr) out->subquery = CloneSelect(*subquery);
@@ -159,7 +181,12 @@ std::string Expr::ToString() const {
         }
         return "'" + escaped + "'";
       }
+      if (literal.type() == storage::ValueType::kDouble) {
+        return RenderDouble(literal.AsDouble());
+      }
       return literal.is_null() ? "NULL" : literal.ToText();
+    case ExprKind::kParameter:
+      return "$" + std::to_string(param_index + 1);
     case ExprKind::kColumnRef:
       return table.empty() ? column : table + "." + column;
     case ExprKind::kStar:
@@ -261,6 +288,211 @@ bool ContainsAggregate(const Expr& expr) {
     if (ContainsAggregate(*child)) return true;
   }
   return false;
+}
+
+PrepareStmt::PrepareStmt() = default;
+PrepareStmt::~PrepareStmt() = default;
+PrepareStmt::PrepareStmt(PrepareStmt&&) noexcept = default;
+PrepareStmt& PrepareStmt::operator=(PrepareStmt&&) noexcept = default;
+
+Statement CloneStatement(const Statement& stmt) {
+  Statement out;
+  out.kind = stmt.kind;
+  out.provenance = stmt.provenance;
+  out.explain = stmt.explain;
+  out.analyze = stmt.analyze;
+  out.num_params = stmt.num_params;
+  if (stmt.select != nullptr) out.select = CloneSelect(*stmt.select);
+  if (stmt.insert != nullptr) {
+    auto insert = std::make_unique<InsertStmt>();
+    insert->table = stmt.insert->table;
+    insert->columns = stmt.insert->columns;
+    for (const auto& row : stmt.insert->rows) {
+      std::vector<std::unique_ptr<Expr>> clone;
+      clone.reserve(row.size());
+      for (const auto& e : row) clone.push_back(e->Clone());
+      insert->rows.push_back(std::move(clone));
+    }
+    if (stmt.insert->select != nullptr) {
+      insert->select = CloneSelect(*stmt.insert->select);
+    }
+    out.insert = std::move(insert);
+  }
+  if (stmt.update != nullptr) {
+    auto update = std::make_unique<UpdateStmt>();
+    update->table = stmt.update->table;
+    update->alias = stmt.update->alias;
+    for (const auto& [col, e] : stmt.update->assignments) {
+      update->assignments.emplace_back(col, e->Clone());
+    }
+    if (stmt.update->where != nullptr) {
+      update->where = stmt.update->where->Clone();
+    }
+    out.update = std::move(update);
+  }
+  if (stmt.del != nullptr) {
+    auto del = std::make_unique<DeleteStmt>();
+    del->table = stmt.del->table;
+    del->alias = stmt.del->alias;
+    if (stmt.del->where != nullptr) del->where = stmt.del->where->Clone();
+    out.del = std::move(del);
+  }
+  return out;
+}
+
+std::string InsertToString(const InsertStmt& insert) {
+  std::string out = "INSERT INTO " + insert.table;
+  if (!insert.columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < insert.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += insert.columns[i];
+    }
+    out += ")";
+  }
+  if (insert.select != nullptr) {
+    return out + " " + SelectToString(*insert.select);
+  }
+  out += " VALUES ";
+  for (size_t r = 0; r < insert.rows.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += "(";
+    for (size_t i = 0; i < insert.rows[r].size(); ++i) {
+      if (i > 0) out += ", ";
+      out += insert.rows[r][i]->ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string UpdateToString(const UpdateStmt& update) {
+  std::string out = "UPDATE " + update.table;
+  if (!update.alias.empty()) out += " " + update.alias;
+  out += " SET ";
+  for (size_t i = 0; i < update.assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += update.assignments[i].first + " = " +
+           update.assignments[i].second->ToString();
+  }
+  if (update.where != nullptr) out += " WHERE " + update.where->ToString();
+  return out;
+}
+
+std::string DeleteToString(const DeleteStmt& del) {
+  std::string out = "DELETE FROM " + del.table;
+  if (!del.alias.empty()) out += " " + del.alias;
+  if (del.where != nullptr) out += " WHERE " + del.where->ToString();
+  return out;
+}
+
+std::string StatementToString(const Statement& stmt) {
+  std::string prefix;
+  if (stmt.provenance) prefix = "PROVENANCE ";
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return prefix + SelectToString(*stmt.select);
+    case StatementKind::kInsert:
+      return prefix + InsertToString(*stmt.insert);
+    case StatementKind::kUpdate:
+      return prefix + UpdateToString(*stmt.update);
+    case StatementKind::kDelete:
+      return prefix + DeleteToString(*stmt.del);
+    default:
+      return prefix;  // only preparable kinds are rendered
+  }
+}
+
+namespace {
+
+Status SubstituteExpr(Expr* expr, const std::vector<storage::Value>& params) {
+  if (expr->kind == ExprKind::kParameter) {
+    if (expr->param_index < 0 ||
+        expr->param_index >= static_cast<int>(params.size())) {
+      return Status::InvalidArgument(
+          "parameter $" + std::to_string(expr->param_index + 1) +
+          " has no bound value (" + std::to_string(params.size()) +
+          " supplied)");
+    }
+    expr->kind = ExprKind::kLiteral;
+    expr->literal = params[expr->param_index];
+    expr->param_index = -1;
+    return Status::Ok();
+  }
+  for (auto& child : expr->children) {
+    LDV_RETURN_IF_ERROR(SubstituteExpr(child.get(), params));
+  }
+  // Subqueries cannot contain placeholders (the parser rejects them), so
+  // expr->subquery needs no walk.
+  return Status::Ok();
+}
+
+template <typename Fn>
+void VisitExprs(Expr* expr, const Fn& fn) {
+  fn(expr);
+  for (auto& child : expr->children) VisitExprs(child.get(), fn);
+}
+
+template <typename Fn>
+void VisitSelectExprs(SelectStmt* select, const Fn& fn) {
+  for (auto& item : select->items) VisitExprs(item.expr.get(), fn);
+  for (auto& ref : select->from) {
+    if (ref.join_condition != nullptr) {
+      VisitExprs(ref.join_condition.get(), fn);
+    }
+  }
+  if (select->where != nullptr) VisitExprs(select->where.get(), fn);
+  for (auto& g : select->group_by) VisitExprs(g.get(), fn);
+  if (select->having != nullptr) VisitExprs(select->having.get(), fn);
+  for (auto& o : select->order_by) VisitExprs(o.expr.get(), fn);
+}
+
+template <typename Fn>
+void VisitStatementExprs(Statement* stmt, const Fn& fn) {
+  if (stmt->select != nullptr) VisitSelectExprs(stmt->select.get(), fn);
+  if (stmt->insert != nullptr) {
+    for (auto& row : stmt->insert->rows) {
+      for (auto& e : row) VisitExprs(e.get(), fn);
+    }
+    if (stmt->insert->select != nullptr) {
+      VisitSelectExprs(stmt->insert->select.get(), fn);
+    }
+  }
+  if (stmt->update != nullptr) {
+    for (auto& [col, e] : stmt->update->assignments) VisitExprs(e.get(), fn);
+    if (stmt->update->where != nullptr) {
+      VisitExprs(stmt->update->where.get(), fn);
+    }
+  }
+  if (stmt->del != nullptr && stmt->del->where != nullptr) {
+    VisitExprs(stmt->del->where.get(), fn);
+  }
+}
+
+}  // namespace
+
+Status SubstituteParameters(Statement* stmt,
+                            const std::vector<storage::Value>& params) {
+  Status status = Status::Ok();
+  VisitStatementExprs(stmt, [&](Expr* e) {
+    if (!status.ok()) return;
+    if (e->kind == ExprKind::kParameter) {
+      status = SubstituteExpr(e, params);
+    }
+  });
+  LDV_RETURN_IF_ERROR(status);
+  stmt->num_params = 0;
+  return Status::Ok();
+}
+
+void AnnotateParameterTypes(Statement* stmt,
+                            const std::vector<storage::ValueType>& types) {
+  VisitStatementExprs(stmt, [&](Expr* e) {
+    if (e->kind == ExprKind::kParameter && e->param_index >= 0 &&
+        e->param_index < static_cast<int>(types.size())) {
+      e->param_type = types[e->param_index];
+    }
+  });
 }
 
 }  // namespace ldv::sql

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
@@ -27,6 +28,7 @@ enum class ExprKind : uint8_t {
   kFuncCall,  // children: args; name in `name`
   kSubquery,  // scalar subquery: `subquery` set, no children
   kExists,    // EXISTS (subquery): `subquery` set
+  kParameter,  // ? / $N placeholder, bound at EXECUTE time
 };
 
 enum class BinaryOp : uint8_t {
@@ -69,6 +71,13 @@ struct Expr {
   BinaryOp binary_op = BinaryOp::kEq;
   UnaryOp unary_op = UnaryOp::kNot;
   bool negated = false;  // NOT BETWEEN / NOT IN / NOT EXISTS
+  /// kParameter: 0-based position (`?` assigns the next free slot, `$N`
+  /// maps to N-1), and the value type the binder should assume. The parser
+  /// leaves param_type as kNull; the plan cache stamps it per execution's
+  /// parameter-type signature so a cached plan binds exactly like the same
+  /// statement with literals inlined.
+  int param_index = -1;
+  storage::ValueType param_type = storage::ValueType::kNull;
   std::vector<std::unique_ptr<Expr>> children;
   /// kSubquery / kExists / kInList-over-subquery (uncorrelated).
   std::unique_ptr<SelectStmt> subquery;
@@ -112,6 +121,9 @@ enum class StatementKind : uint8_t {
   kCreateIndex,
   kCopy,
   kTransaction,  // BEGIN/COMMIT/ROLLBACK — accepted, no-ops
+  kPrepare,      // PREPARE name AS <statement>
+  kExecute,      // EXECUTE name (args...)
+  kDeallocate,   // DEALLOCATE [PREPARE] name | ALL
 };
 
 struct SelectItem {
@@ -209,6 +221,33 @@ struct TransactionStmt {
   enum class Kind { kBegin, kCommit, kRollback } kind = Kind::kBegin;
 };
 
+struct Statement;
+
+/// PREPARE <name> AS <statement>. The body is any preparable statement
+/// (SELECT/INSERT/UPDATE/DELETE) and may contain `?` / `$N` placeholders.
+struct PrepareStmt {
+  std::string name;
+  std::unique_ptr<Statement> body;
+
+  PrepareStmt();
+  ~PrepareStmt();
+  PrepareStmt(PrepareStmt&&) noexcept;
+  PrepareStmt& operator=(PrepareStmt&&) noexcept;
+};
+
+/// EXECUTE <name> [(arg, ...)]. Arguments are constant expressions
+/// evaluated at execute time and bound to the body's placeholders.
+struct ExecuteStmt {
+  std::string name;
+  std::vector<std::unique_ptr<Expr>> args;
+};
+
+/// DEALLOCATE [PREPARE] <name> | ALL.
+struct DeallocateStmt {
+  std::string name;  // empty when `all`
+  bool all = false;
+};
+
 /// A parsed statement. Exactly one member (per `kind`) is populated.
 struct Statement {
   StatementKind kind = StatementKind::kSelect;
@@ -219,6 +258,9 @@ struct Statement {
   /// ANALYZE also executes and reports per-operator rows/timings.
   bool explain = false;
   bool analyze = false;
+  /// Number of placeholder slots this statement references (max over `?`
+  /// positions and `$N` indices); 0 for ordinary statements.
+  int num_params = 0;
 
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<InsertStmt> insert;
@@ -230,12 +272,41 @@ struct Statement {
   std::unique_ptr<CreateIndexStmt> create_index;
   std::unique_ptr<CopyStmt> copy;
   std::unique_ptr<TransactionStmt> transaction;
+  std::unique_ptr<PrepareStmt> prepare;
+  std::unique_ptr<ExecuteStmt> execute;
+  std::unique_ptr<DeallocateStmt> deallocate;
 };
 
 /// Deep copy / rendering of a SELECT (used by Expr::Clone / Expr::ToString
 /// for subqueries).
 std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& select);
 std::string SelectToString(const SelectStmt& select);
+
+/// Deep copy of a whole statement (plan-cache AST entries are shared and
+/// cloned per use; only preparable kinds — SELECT/INSERT/UPDATE/DELETE —
+/// plus the flags and num_params are copied).
+Statement CloneStatement(const Statement& stmt);
+
+/// SQL rendering of a statement that re-parses to an equivalent statement.
+/// Supports SELECT/INSERT/UPDATE/DELETE (the WAL logs the rendered text of
+/// parameter-substituted DML). Doubles render with enough digits to
+/// round-trip exactly and always with a '.' or exponent so the re-parsed
+/// literal stays a double.
+std::string StatementToString(const Statement& stmt);
+std::string InsertToString(const InsertStmt& insert);
+std::string UpdateToString(const UpdateStmt& update);
+std::string DeleteToString(const DeleteStmt& del);
+
+/// Replaces every kParameter node in `stmt` (in place) with a kLiteral of
+/// the corresponding value. Errors if a placeholder index is out of range.
+Status SubstituteParameters(Statement* stmt,
+                            const std::vector<storage::Value>& params);
+
+/// Stamps Expr::param_type on every kParameter node from `types` (indexed
+/// by param_index) so binding infers the same result types the same
+/// statement with literals inlined would.
+void AnnotateParameterTypes(Statement* stmt,
+                            const std::vector<storage::ValueType>& types);
 
 }  // namespace ldv::sql
 

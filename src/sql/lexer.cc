@@ -216,6 +216,29 @@ Result<std::vector<Token>> Lex(std::string_view sql) {
                                     std::to_string(start));
         }
         break;
+      case '?':
+        push(TokenType::kQuestion, start);
+        ++i;
+        break;
+      case '$': {
+        ++i;
+        size_t digits = i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i])) != 0) {
+          ++i;
+        }
+        if (i == digits) {
+          return Status::ParseError("expected digits after '$' at offset " +
+                                    std::to_string(start));
+        }
+        std::string text(sql.substr(digits, i - digits));
+        Token t;
+        t.offset = start;
+        t.text = "$" + text;
+        LDV_ASSIGN_OR_RETURN(t.int_value, ParseInt64(text));
+        t.type = TokenType::kParam;
+        tokens.push_back(std::move(t));
+        break;
+      }
       default:
         return Status::ParseError(StrFormat(
             "unexpected character '%c' at offset %zu", c, start));

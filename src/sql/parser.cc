@@ -131,6 +131,17 @@ class Parser {
   // --- statements -----------------------------------------------------
 
   Result<Statement> ParseStatementInner() {
+    // Placeholder indices are per statement; save/restore around the body
+    // so PREPARE's recursive parse gives the inner statement its own count.
+    const int saved = num_params_;
+    num_params_ = 0;
+    Result<Statement> result = ParseStatementKind();
+    if (result.ok()) result->num_params = num_params_;
+    num_params_ = saved;
+    return result;
+  }
+
+  Result<Statement> ParseStatementKind() {
     Statement stmt;
     if (ConsumeKeyword("explain")) {
       stmt.explain = true;
@@ -167,6 +178,24 @@ class Parser {
     } else if (t.IsKeyword("copy")) {
       stmt.kind = StatementKind::kCopy;
       LDV_ASSIGN_OR_RETURN(stmt.copy, ParseCopy());
+    } else if (t.IsKeyword("prepare")) {
+      if (stmt.explain || stmt.provenance) {
+        return Err("PREPARE cannot be combined with EXPLAIN or PROVENANCE");
+      }
+      stmt.kind = StatementKind::kPrepare;
+      LDV_ASSIGN_OR_RETURN(stmt.prepare, ParsePrepare());
+    } else if (t.IsKeyword("execute")) {
+      if (stmt.explain || stmt.provenance) {
+        return Err("EXECUTE cannot be combined with EXPLAIN or PROVENANCE");
+      }
+      stmt.kind = StatementKind::kExecute;
+      LDV_ASSIGN_OR_RETURN(stmt.execute, ParseExecute());
+      if (num_params_ > 0) {
+        return Err("EXECUTE arguments cannot contain placeholders");
+      }
+    } else if (t.IsKeyword("deallocate")) {
+      stmt.kind = StatementKind::kDeallocate;
+      LDV_ASSIGN_OR_RETURN(stmt.deallocate, ParseDeallocate());
     } else if (t.IsKeyword("begin") || t.IsKeyword("commit") ||
                t.IsKeyword("rollback")) {
       stmt.kind = StatementKind::kTransaction;
@@ -438,6 +467,54 @@ class Parser {
     return alter;
   }
 
+  Result<std::unique_ptr<PrepareStmt>> ParsePrepare() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("prepare"));
+    auto prepare = std::make_unique<PrepareStmt>();
+    LDV_ASSIGN_OR_RETURN(prepare->name, ExpectName());
+    LDV_RETURN_IF_ERROR(ExpectKeyword("as"));
+    LDV_ASSIGN_OR_RETURN(Statement body, ParseStatementInner());
+    switch (body.kind) {
+      case StatementKind::kSelect:
+      case StatementKind::kInsert:
+      case StatementKind::kUpdate:
+      case StatementKind::kDelete:
+        break;
+      default:
+        return Err("PREPARE body must be SELECT, INSERT, UPDATE, or DELETE");
+    }
+    prepare->body = std::make_unique<Statement>(std::move(body));
+    return prepare;
+  }
+
+  Result<std::unique_ptr<ExecuteStmt>> ParseExecute() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("execute"));
+    auto execute = std::make_unique<ExecuteStmt>();
+    LDV_ASSIGN_OR_RETURN(execute->name, ExpectName());
+    if (ConsumeIf(TokenType::kLParen)) {
+      if (Peek().type != TokenType::kRParen) {
+        while (true) {
+          LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseExpr());
+          execute->args.push_back(std::move(arg));
+          if (!ConsumeIf(TokenType::kComma)) break;
+        }
+      }
+      LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    }
+    return execute;
+  }
+
+  Result<std::unique_ptr<DeallocateStmt>> ParseDeallocate() {
+    LDV_RETURN_IF_ERROR(ExpectKeyword("deallocate"));
+    ConsumeKeyword("prepare");
+    auto dealloc = std::make_unique<DeallocateStmt>();
+    if (ConsumeKeyword("all")) {
+      dealloc->all = true;
+      return dealloc;
+    }
+    LDV_ASSIGN_OR_RETURN(dealloc->name, ExpectName());
+    return dealloc;
+  }
+
   Result<std::unique_ptr<CopyStmt>> ParseCopy() {
     LDV_RETURN_IF_ERROR(ExpectKeyword("copy"));
     auto copy = std::make_unique<CopyStmt>();
@@ -529,7 +606,9 @@ class Parser {
       e->children.push_back(std::move(lhs));
       LDV_RETURN_IF_ERROR(Expect(TokenType::kLParen));
       if (Peek().IsKeyword("select")) {
+        ++expr_subquery_depth_;
         LDV_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+        --expr_subquery_depth_;
       } else {
         while (true) {
           LDV_ASSIGN_OR_RETURN(std::unique_ptr<Expr> item, ParseAdditive());
@@ -637,7 +716,9 @@ class Parser {
           // Scalar subquery.
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kSubquery;
+          ++expr_subquery_depth_;
           LDV_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+          --expr_subquery_depth_;
           LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
           return e;
         }
@@ -650,6 +731,17 @@ class Parser {
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kStar;
         return e;
+      }
+      case TokenType::kQuestion: {
+        Advance();
+        return MakeParameter(num_params_);
+      }
+      case TokenType::kParam: {
+        if (t.int_value < 1) {
+          return Err("parameter numbers start at $1");
+        }
+        Advance();
+        return MakeParameter(static_cast<int>(t.int_value) - 1);
       }
       case TokenType::kIdentifier:
         break;
@@ -673,7 +765,9 @@ class Parser {
       auto e = std::make_unique<Expr>();
       e->kind = ExprKind::kExists;
       LDV_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+      ++expr_subquery_depth_;
       LDV_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      --expr_subquery_depth_;
       LDV_RETURN_IF_ERROR(Expect(TokenType::kRParen));
       return e;
     }
@@ -712,6 +806,17 @@ class Parser {
     return MakeColumnRef("", std::move(first));
   }
 
+  Result<std::unique_ptr<Expr>> MakeParameter(int index) {
+    if (expr_subquery_depth_ > 0) {
+      return Err("parameter placeholders are not supported inside subqueries");
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kParameter;
+    e->param_index = index;
+    if (index + 1 > num_params_) num_params_ = index + 1;
+    return e;
+  }
+
   static bool IsReservedWord(std::string_view word) {
     static constexpr std::string_view kReserved[] = {
         "select", "from",   "where",  "group",  "by",       "having",
@@ -742,6 +847,11 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Placeholder slots seen in the statement currently being parsed.
+  int num_params_ = 0;
+  /// Depth of expression-level subqueries (scalar/EXISTS/IN); placeholders
+  /// inside them are rejected.
+  int expr_subquery_depth_ = 0;
 };
 
 }  // namespace

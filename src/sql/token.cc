@@ -54,6 +54,10 @@ std::string_view TokenTypeName(TokenType type) {
       return "'>='";
     case TokenType::kConcat:
       return "'||'";
+    case TokenType::kQuestion:
+      return "'?'";
+    case TokenType::kParam:
+      return "parameter placeholder";
   }
   return "?";
 }

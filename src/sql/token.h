@@ -31,6 +31,8 @@ enum class TokenType : uint8_t {
   kGt,
   kGe,
   kConcat,   // ||
+  kQuestion,  // ? positional parameter placeholder
+  kParam,     // $N numbered parameter placeholder (int_value = N)
 };
 
 /// One lexed token. Keyword recognition happens in the parser via

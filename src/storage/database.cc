@@ -4,6 +4,11 @@
 
 namespace ldv::storage {
 
+int64_t Database::NextInstanceId() {
+  static std::atomic<int64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
                                      bool if_not_exists) {
   Table* existing = FindTable(name);
@@ -14,6 +19,7 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
   tables_.push_back(
       std::make_unique<Table>(next_table_id_++, name, std::move(schema)));
   tables_.back()->set_mvcc_retention(mvcc_retention_);
+  BumpSchemaVersion();
   return tables_.back().get();
 }
 
@@ -26,6 +32,7 @@ Status Database::DropTable(const std::string& name) {
   for (auto it = tables_.begin(); it != tables_.end(); ++it) {
     if (EqualsIgnoreCase((*it)->name(), name)) {
       tables_.erase(it);
+      BumpSchemaVersion();
       return Status::Ok();
     }
   }

@@ -1,6 +1,7 @@
 #ifndef LDV_STORAGE_DATABASE_H_
 #define LDV_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,6 +48,23 @@ class Database {
   int64_t current_statement_seq() const { return stmt_seq_; }
   void set_statement_seq(int64_t seq) { stmt_seq_ = seq; }
 
+  /// Process-unique identity of this Database object. Part of plan-cache
+  /// keys, so cached plans never leak across databases (including a fresh
+  /// Database allocated at the address of a destroyed one).
+  int64_t instance_id() const { return instance_id_; }
+
+  /// Catalog version: bumped by CREATE/DROP TABLE (internally), and by the
+  /// executor for ALTER TABLE, CREATE INDEX and COPY. Plan-cache entries
+  /// are stamped with it and treated as stale once it moves. Atomic because
+  /// concurrent readers validate cache entries under a shared catalog lock
+  /// while COPY bumps under its table lock only.
+  uint64_t schema_version() const {
+    return schema_version_.load(std::memory_order_acquire);
+  }
+  void BumpSchemaVersion() {
+    schema_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   /// Turns MVCC retention (Table::set_mvcc_retention) on for every current
   /// table and every table created afterwards. The engine enables this when
   /// it starts serving snapshot reads; WAL redo and raw-Database users keep
@@ -58,10 +76,14 @@ class Database {
   int64_t ApproxBytes() const;
 
  private:
+  static int64_t NextInstanceId();
+
   std::vector<std::unique_ptr<Table>> tables_;  // creation order
   int32_t next_table_id_ = 1;
   int64_t stmt_seq_ = 0;
   bool mvcc_retention_ = false;
+  const int64_t instance_id_ = NextInstanceId();
+  std::atomic<uint64_t> schema_version_{0};
 };
 
 }  // namespace ldv::storage

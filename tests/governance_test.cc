@@ -251,10 +251,14 @@ TEST_F(GovernanceEngineTest, DeadlineInsideTxnAbortsTheTransaction) {
   auto killed = client_->Query(kHeavySql);
   ASSERT_FALSE(killed.ok());
   EXPECT_EQ(killed.status().code(), StatusCode::kDeadlineExceeded);
+  // Lift the deadline before verifying: under TSan even the small probe
+  // queries below can blow a 25 ms budget, and the bound under test is the
+  // kill above, not their latency.
+  engine_->set_statement_timeout_millis(0);
   // The statement failure aborted the whole transaction (TxnScope undo):
   // the INSERT is gone and no transaction is open.
   auto count = client_->Query("SELECT count(*) FROM big WHERE id = -1");
-  ASSERT_TRUE(count.ok());
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
   EXPECT_EQ(count->rows[0][0].AsInt(), 0);
   EXPECT_FALSE(client_->Query("COMMIT").ok());  // nothing to commit
 }

@@ -71,6 +71,8 @@ TEST(ProtocolTest, RequestKindRoundTripsAndOldFramesDefaultToQuery) {
   old_style.process_id = 3;
   old_style.query_id = 4;
   std::string encoded = EncodeRequest(old_style);
+  encoded.pop_back();  // strip the empty params tuple (count 0)
+  encoded.pop_back();  // strip the empty handle (length 0)
   encoded.pop_back();  // strip the trailing timeout varint
   encoded.pop_back();  // strip the kind byte
   auto legacy = DecodeRequest(encoded);

@@ -1,0 +1,310 @@
+// Randomized differential fuzzer for prepared statements (DESIGN.md §13).
+//
+// For every seed, two engines are populated with identical data. One runs a
+// generated parameterized statement as PREPARE / EXECUTE (?-placeholders,
+// values bound at execute time — cacheable SELECTs go through the shared
+// plan cache, everything else through literal substitution); the other runs
+// the same statement with the literals spelled out in the SQL text. The two
+// must be bit-identical: same rows in the same order, same affected counts,
+// same lineage, and — after DML — the same table contents.
+//
+// The whole sweep runs at dop 1 and dop 8 (morsel-parallel execution), so a
+// cached plan shared across worker threads is part of what the differential
+// checks. Wired into tools/check.sh --tsan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "exec/plan_cache.h"
+#include "net/db_client.h"
+#include "obs/metrics.h"
+#include "storage/database.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace ldv::net {
+namespace {
+
+using storage::Database;
+using storage::Value;
+
+constexpr int kSeeds = 220;
+constexpr int kStatementsPerSeed = 5;
+
+Result<exec::ResultSet> Exec(EngineHandle* engine, const std::string& sql) {
+  DbRequest request;
+  request.sql = sql;
+  return engine->ExecuteSession(request, EngineHandle::kLocalSession);
+}
+
+/// Renders a value as a SQL literal. The same rendered text is used in the
+/// EXECUTE argument list and in the inlined statement, so both paths parse
+/// the exact same token.
+std::string ToSqlLiteral(const Value& v) {
+  switch (v.type()) {
+    case storage::ValueType::kNull:
+      return "NULL";
+    case storage::ValueType::kInt64:
+      return std::to_string(v.AsInt());
+    case storage::ValueType::kDouble: {
+      std::string text = StrFormat("%.17g", v.AsDouble());
+      if (text.find('.') == std::string::npos &&
+          text.find('e') == std::string::npos) {
+        text += ".0";  // keep the literal double-typed
+      }
+      return text;
+    }
+    case storage::ValueType::kString: {
+      std::string out = "'";
+      for (char c : v.AsString()) {
+        out.push_back(c);
+        if (c == '\'') out.push_back('\'');  // '' escapes a quote
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+const char* kNames[] = {"alpha", "beta", "gamma", "delta", "it's"};
+
+Value RandInt(Rng* rng) { return Value::Int(static_cast<int64_t>(rng->Next() % 40) - 5); }
+// Eighths are exactly representable, so %.17g round-trips bit-exactly.
+Value RandDouble(Rng* rng) {
+  return Value::Real((static_cast<double>(rng->Next() % 1000) - 300) / 8.0);
+}
+Value RandString(Rng* rng) { return Value::Str(kNames[rng->Next() % 5]); }
+
+/// One generated statement: text with `?` placeholders plus the values to
+/// bind, in placeholder order.
+struct GenStmt {
+  std::string sql;
+  std::vector<Value> params;
+};
+
+/// Appends `count` predicate terms over the items table, each consuming one
+/// placeholder.
+void AppendItemsPred(Rng* rng, int count, GenStmt* g) {
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) g->sql += (rng->Next() % 3 == 0) ? " OR " : " AND ";
+    switch (rng->Next() % 6) {
+      case 0:
+        g->sql += "id < ?";
+        g->params.push_back(RandInt(rng));
+        break;
+      case 1:
+        g->sql += "grp = ?";
+        g->params.push_back(Value::Int(static_cast<int64_t>(rng->Next() % 6)));
+        break;
+      case 2:
+        g->sql += "price > ?";
+        g->params.push_back(RandDouble(rng));
+        break;
+      case 3:
+        g->sql += "name = ?";
+        g->params.push_back(RandString(rng));
+        break;
+      case 4:
+        g->sql += "id + grp < ?";
+        g->params.push_back(RandInt(rng));
+        break;
+      default:
+        g->sql += "price <= ?";
+        // Int bound against a double column: exercises cross-type binding.
+        g->params.push_back(RandInt(rng));
+        break;
+    }
+  }
+}
+
+GenStmt GenerateStatement(Rng* rng) {
+  GenStmt g;
+  // 1..8 placeholders; shapes that take fewer predicate slots reserve the
+  // rest for their own placeholders.
+  const int want = 1 + static_cast<int>(rng->Next() % 8);
+  switch (rng->Next() % 8) {
+    case 0:
+      g.sql = "SELECT id, grp, price, name FROM items WHERE ";
+      AppendItemsPred(rng, want, &g);
+      g.sql += " ORDER BY id";
+      break;
+    case 1:
+      g.sql = "SELECT grp, count(*) AS c, sum(price) AS s FROM items WHERE ";
+      AppendItemsPred(rng, want, &g);
+      g.sql += " GROUP BY grp ORDER BY grp";
+      break;
+    case 2:
+      g.sql =
+          "SELECT i.id, t.tag FROM items i, tags t "
+          "WHERE i.id = t.item_id AND t.weight < ? AND ";
+      g.params.push_back(RandDouble(rng));
+      AppendItemsPred(rng, std::max(1, want - 1), &g);
+      g.sql += " ORDER BY i.id, t.tag";
+      break;
+    case 3:
+      g.sql = "SELECT count(*) FROM items WHERE ";
+      AppendItemsPred(rng, want, &g);
+      break;
+    case 4:
+      // Provenance SELECT: not plan-cacheable, takes the substitution path;
+      // the differential covers lineage identity.
+      g.sql = "PROVENANCE SELECT id, price FROM items WHERE ";
+      AppendItemsPred(rng, want, &g);
+      g.sql += " ORDER BY id";
+      break;
+    case 5:
+      g.sql = "UPDATE items SET price = ?, grp = ? WHERE ";
+      g.params.push_back(RandDouble(rng));
+      g.params.push_back(Value::Int(static_cast<int64_t>(rng->Next() % 6)));
+      AppendItemsPred(rng, std::max(1, want - 2), &g);
+      break;
+    case 6:
+      g.sql = "DELETE FROM tags WHERE weight < ? OR tag = ?";
+      g.params.push_back(RandDouble(rng));
+      g.params.push_back(RandString(rng));
+      break;
+    default:
+      g.sql = "INSERT INTO items VALUES (?, ?, ?, ?)";
+      g.params.push_back(RandInt(rng));
+      g.params.push_back(Value::Int(static_cast<int64_t>(rng->Next() % 6)));
+      // Occasionally bind NULL through a placeholder.
+      g.params.push_back(rng->Next() % 7 == 0 ? Value::Null()
+                                              : RandDouble(rng));
+      g.params.push_back(RandString(rng));
+      break;
+  }
+  return g;
+}
+
+/// The statement with every placeholder replaced by its literal rendering,
+/// in order.
+std::string InlineLiterals(const GenStmt& g) {
+  std::string out;
+  size_t next = 0;
+  for (char c : g.sql) {
+    if (c == '?') {
+      out += ToSqlLiteral(g.params[next++]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  EXPECT_EQ(next, g.params.size());
+  return out;
+}
+
+void PopulateFixture(EngineHandle* engine) {
+  ASSERT_TRUE(
+      Exec(engine,
+           "CREATE TABLE items (id INT, grp INT, price DOUBLE, name TEXT)")
+          .ok());
+  ASSERT_TRUE(
+      Exec(engine, "CREATE TABLE tags (item_id INT, tag TEXT, weight DOUBLE)")
+          .ok());
+  std::string items = "INSERT INTO items VALUES ";
+  for (int i = 0; i < 40; ++i) {
+    if (i > 0) items += ",";
+    items += StrFormat("(%d, %d, %s, %s)", i, i % 5,
+                       StrFormat("%.17g", i * 1.5 - 7).c_str(),
+                       ToSqlLiteral(Value::Str(kNames[i % 5])).c_str());
+  }
+  ASSERT_TRUE(Exec(engine, items).ok());
+  std::string tags = "INSERT INTO tags VALUES ";
+  for (int i = 0; i < 60; ++i) {
+    if (i > 0) tags += ",";
+    tags += StrFormat("(%d, %s, %s)", i % 40,
+                      ToSqlLiteral(Value::Str(kNames[(i * 3) % 5])).c_str(),
+                      StrFormat("%.17g", (i % 16) / 8.0 - 0.5).c_str());
+  }
+  ASSERT_TRUE(Exec(engine, tags).ok());
+}
+
+void ExpectIdentical(const exec::ResultSet& prepared,
+                     const exec::ResultSet& direct, const std::string& label) {
+  ASSERT_EQ(prepared.rows.size(), direct.rows.size()) << label;
+  for (size_t i = 0; i < prepared.rows.size(); ++i) {
+    EXPECT_EQ(prepared.rows[i], direct.rows[i]) << label << " row " << i;
+  }
+  EXPECT_EQ(prepared.affected, direct.affected) << label;
+  EXPECT_EQ(prepared.has_provenance, direct.has_provenance) << label;
+  ASSERT_EQ(prepared.lineage.size(), direct.lineage.size()) << label;
+  for (size_t i = 0; i < prepared.lineage.size(); ++i) {
+    EXPECT_EQ(prepared.lineage[i], direct.lineage[i])
+        << label << " lineage " << i;
+  }
+  EXPECT_EQ(prepared.schema == direct.schema, true) << label;
+}
+
+void RunDifferential(int dop) {
+  ThreadPool::SetDefaultDop(dop);
+  obs::Counter* hits = obs::MetricsRegistry::Global().counter("plan_cache.hit");
+  const int64_t hits_before = hits->Value();
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(0x5eed0000 + static_cast<uint64_t>(seed));
+    Database db_prepared;
+    Database db_direct;
+    EngineHandle prepared(&db_prepared);
+    EngineHandle direct(&db_direct);
+    PopulateFixture(&prepared);
+    PopulateFixture(&direct);
+    for (int s = 0; s < kStatementsPerSeed; ++s) {
+      GenStmt g = GenerateStatement(&rng);
+      const std::string inlined = InlineLiterals(g);
+      const std::string label =
+          StrFormat("seed=%d stmt=%d dop=%d: ", seed, s, dop) + inlined;
+
+      ASSERT_TRUE(Exec(&prepared, "PREPARE ps AS " + g.sql).ok()) << label;
+      std::string args;
+      for (const Value& v : g.params) {
+        if (!args.empty()) args += ", ";
+        args += ToSqlLiteral(v);
+      }
+      Result<exec::ResultSet> via_execute =
+          Exec(&prepared, g.params.empty() ? "EXECUTE ps"
+                                           : "EXECUTE ps (" + args + ")");
+      Result<exec::ResultSet> via_literals = Exec(&direct, inlined);
+      ASSERT_EQ(via_execute.ok(), via_literals.ok())
+          << label << "\nexecute: "
+          << (via_execute.ok() ? "ok" : via_execute.status().ToString())
+          << "\ndirect: "
+          << (via_literals.ok() ? "ok" : via_literals.status().ToString());
+      if (via_execute.ok()) {
+        ExpectIdentical(*via_execute, *via_literals, label);
+      }
+      // Run an EXECUTE of the same handle twice for cacheable statements:
+      // the second one must come from the shared plan and stay identical.
+      Result<exec::ResultSet> again =
+          Exec(&prepared, g.params.empty() ? "EXECUTE ps"
+                                           : "EXECUTE ps (" + args + ")");
+      Result<exec::ResultSet> direct_again = Exec(&direct, inlined);
+      ASSERT_EQ(again.ok(), direct_again.ok()) << label;
+      if (again.ok()) ExpectIdentical(*again, *direct_again, label + " (2nd)");
+      ASSERT_TRUE(Exec(&prepared, "DEALLOCATE ps").ok()) << label;
+    }
+    // After the DML mix, both databases must hold identical contents.
+    for (const char* probe :
+         {"SELECT id, grp, price, name FROM items ORDER BY id, grp, price",
+          "SELECT item_id, tag, weight FROM tags ORDER BY item_id, tag, "
+          "weight"}) {
+      Result<exec::ResultSet> a = Exec(&prepared, probe);
+      Result<exec::ResultSet> b = Exec(&direct, probe);
+      ASSERT_TRUE(a.ok() && b.ok()) << "seed=" << seed;
+      ExpectIdentical(*a, *b, StrFormat("seed=%d final contents: ", seed) +
+                                  probe);
+    }
+  }
+  // Sanity: the sweep must actually have exercised the shared plan cache
+  // (repeat EXECUTEs of cacheable SELECTs hit).
+  EXPECT_GT(hits->Value(), hits_before);
+}
+
+TEST(PreparedFuzzTest, DifferentialSequential) { RunDifferential(1); }
+
+TEST(PreparedFuzzTest, DifferentialParallel8) { RunDifferential(8); }
+
+}  // namespace
+}  // namespace ldv::net

@@ -275,6 +275,84 @@ TEST(ParserTest, CountStarAndQualifiedStar) {
   EXPECT_EQ(items[1].expr->table, "t");
 }
 
+TEST(ParserTest, PlaceholdersNumberPositionally) {
+  auto stmt = Parse("SELECT * FROM t WHERE a = ? AND b < ?");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->num_params, 2);
+  const Expr& where = *stmt->select->where;  // AND(a = ?, b < ?)
+  const Expr& first = *where.children[0]->children[1];
+  const Expr& second = *where.children[1]->children[1];
+  EXPECT_EQ(first.kind, ExprKind::kParameter);
+  EXPECT_EQ(first.param_index, 0);
+  EXPECT_EQ(second.param_index, 1);
+
+  // $N is 1-based in the text, 0-based in the AST, and mixes with `?`:
+  // `?` takes the next free slot after the highest index seen so far.
+  auto dollar = Parse("SELECT $2, $1, ?");
+  ASSERT_TRUE(dollar.ok()) << dollar.status().ToString();
+  EXPECT_EQ(dollar->num_params, 3);
+  EXPECT_EQ(dollar->select->items[0].expr->param_index, 1);
+  EXPECT_EQ(dollar->select->items[1].expr->param_index, 0);
+  EXPECT_EQ(dollar->select->items[2].expr->param_index, 2);
+
+  EXPECT_FALSE(Parse("SELECT $0").ok());   // $N is 1-based
+  EXPECT_FALSE(Parse("SELECT $x").ok());
+  // Placeholders are rejected inside subqueries (the planner would not see
+  // them when the outer plan is cached).
+  EXPECT_FALSE(
+      Parse("SELECT * FROM t WHERE a IN (SELECT b FROM u WHERE c = ?)").ok());
+}
+
+TEST(ParserTest, PrepareExecuteDeallocate) {
+  auto prep = Parse("PREPARE q AS SELECT * FROM t WHERE a = ?");
+  ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+  EXPECT_EQ(prep->kind, StatementKind::kPrepare);
+  EXPECT_EQ(prep->prepare->name, "q");
+  ASSERT_NE(prep->prepare->body, nullptr);
+  EXPECT_EQ(prep->prepare->body->kind, StatementKind::kSelect);
+  EXPECT_EQ(prep->prepare->body->num_params, 1);
+  // The PREPARE wrapper itself has no free placeholders.
+  EXPECT_EQ(prep->num_params, 0);
+
+  // DML bodies parse; DDL bodies are rejected at parse time.
+  EXPECT_TRUE(Parse("PREPARE i AS INSERT INTO t VALUES (?, ?)").ok());
+  EXPECT_TRUE(Parse("PREPARE u AS UPDATE t SET a = ? WHERE b = ?").ok());
+  EXPECT_TRUE(Parse("PREPARE d AS DELETE FROM t WHERE a = ?").ok());
+  EXPECT_FALSE(Parse("PREPARE c AS CREATE TABLE u (x INT)").ok());
+  EXPECT_FALSE(Parse("PREPARE b AS BEGIN").ok());
+  EXPECT_FALSE(Parse("PREPARE q").ok());
+
+  auto exec = Parse("EXECUTE q (1, 'x', 2.5, NULL)");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec->kind, StatementKind::kExecute);
+  EXPECT_EQ(exec->execute->name, "q");
+  EXPECT_EQ(exec->execute->args.size(), 4u);
+  EXPECT_TRUE(Parse("EXECUTE q").ok());  // zero-arg form, no parens
+  // Arguments are constant expressions; a placeholder there is an error.
+  EXPECT_FALSE(Parse("EXECUTE q (?)").ok());
+
+  auto dealloc = Parse("DEALLOCATE PREPARE q");
+  ASSERT_TRUE(dealloc.ok());
+  EXPECT_EQ(dealloc->kind, StatementKind::kDeallocate);
+  EXPECT_EQ(dealloc->deallocate->name, "q");
+  EXPECT_FALSE(dealloc->deallocate->all);
+  auto all = Parse("DEALLOCATE ALL");
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->deallocate->all);
+}
+
+TEST(ParserTest, PreparedStatementsRoundTripThroughToString) {
+  // StatementToString renders placeholders as $N; the rendering re-parses to
+  // the same shape (this is what the plan cache fingerprints).
+  auto stmt = Parse("SELECT a FROM t WHERE a = ? AND b < ?");
+  ASSERT_TRUE(stmt.ok());
+  const std::string text = StatementToString(*stmt);
+  auto again = Parse(text);
+  ASSERT_TRUE(again.ok()) << text << ": " << again.status().ToString();
+  EXPECT_EQ(again->num_params, 2);
+  EXPECT_EQ(StatementToString(*again), text);
+}
+
 TEST(ParserTest, ExprCloneIsDeep) {
   auto stmt = Parse("SELECT (a + 1) * 2 FROM t WHERE b BETWEEN 1 AND 9");
   ASSERT_TRUE(stmt.ok());

@@ -32,6 +32,15 @@ unreachable, so it is SKIPPED (loudly) and only a no-regression floor is
 enforced: 8 clients must keep >= 0.7x the single-client QPS (the MVCC
 locking must not tax a serial box). The mixed workload must additionally
 show both reads and writes making progress.
+
+Given a sixth argument (the BENCH_PREPARED.json comparison bench_prepared
+emits), asserts the repeated-statement bound (DESIGN.md §13): with >= 4
+hardware threads, EXECUTE against a prepared handle (bind-and-execute
+through the shared plan cache) must reach >= 2x the QPS of re-sending the
+same SELECT as literal SQL. On smaller/noisier boxes the 2x bound is
+SKIPPED (loudly) and only a no-regression floor is enforced: EXECUTE must
+keep >= 0.9x the literal QPS (the cache lookup must never cost more than
+the parse/plan it saves).
 """
 import json
 import sys
@@ -46,6 +55,10 @@ GOVERNANCE_LATENCY_MS = 100.0
 CONCURRENT_SPEEDUP = 3.0
 CONCURRENT_NO_REGRESSION = 0.7
 CONCURRENT_MIN_HW = 4
+# Prepared statements: EXECUTE-vs-literal QPS multiple (plan-cache savings).
+PREPARED_SPEEDUP = 2.0
+PREPARED_NO_REGRESSION = 0.9
+PREPARED_MIN_HW = 4
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -182,11 +195,43 @@ def check_concurrent(path):
             " writer must both make progress")
 
 
+def check_prepared(path):
+    with open(path) as f:
+        comparison = json.load(f)
+    hw = comparison.get("hardware_threads", 1)
+    literal = comparison.get("literal_qps", 0)
+    execute = comparison.get("execute_qps", 0)
+    if literal <= 0 or execute <= 0:
+        raise SystemExit(
+            "bench_prepared: a side of the comparison ran zero statements")
+    ratio = execute / literal
+    print(f"bench_smoke_check: prepared {literal:.0f} literal qps,"
+          f" {execute:.0f} execute qps = {ratio:.2f}x")
+    if hw >= PREPARED_MIN_HW:
+        if ratio < PREPARED_SPEEDUP:
+            raise SystemExit(
+                f"bench_smoke_check: EXECUTE reached only {ratio:.2f}x the"
+                f" literal-SQL QPS (need >= {PREPARED_SPEEDUP}x on {hw} cores)")
+        print(f"bench_smoke_check: repeated-statement bound"
+              f" ({PREPARED_SPEEDUP}x via the plan cache) met on {hw} cores")
+    else:
+        print(f"bench_smoke_check: SKIPPING the {PREPARED_SPEEDUP}x"
+              f" repeated-statement bound: only {hw} hardware thread(s)"
+              f" available (needs >= {PREPARED_MIN_HW}); enforcing"
+              f" no-regression only")
+        if ratio < PREPARED_NO_REGRESSION:
+            raise SystemExit(
+                f"bench_smoke_check: EXECUTE regressed to {ratio:.2f}x of the"
+                f" literal-SQL QPS on a {hw}-core box"
+                f" (floor {PREPARED_NO_REGRESSION}x)")
+
+
 def main():
-    if len(sys.argv) not in (3, 4, 5, 6):
+    if len(sys.argv) not in (3, 4, 5, 6, 7):
         raise SystemExit(
             "usage: bench_smoke_check.py BENCH_JSON METRICS_JSON"
-            " [PARALLEL_JSON [GOVERNANCE_JSON [CONCURRENT_JSON]]]")
+            " [PARALLEL_JSON [GOVERNANCE_JSON [CONCURRENT_JSON"
+            " [PREPARED_JSON]]]]")
     with open(sys.argv[1]) as f:
         benchmarks = json.load(f)["benchmarks"]
     span_ns = real_ns(benchmarks, "BM_ObsSpanDisabled")
@@ -229,6 +274,8 @@ def main():
         check_governance(sys.argv[4])
     if len(sys.argv) >= 6:
         check_concurrent(sys.argv[5])
+    if len(sys.argv) >= 7:
+        check_prepared(sys.argv[6])
     print("bench_smoke_check: ok")
 
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "exec/plan_cache.h"
 #include "ldv/auditor.h"
 #include "ldv/packager.h"
 #include "ldv/replayer.h"
@@ -79,7 +80,9 @@ int Usage() {
       "              (print a live server's metrics snapshot as JSON:\n"
       "               counters, in-flight statements, snapshot/lock state)\n"
       "global: --threads N   query degree of parallelism (default: hardware\n"
-      "                      concurrency; 1 disables parallel execution)\n");
+      "                      concurrency; 1 disables parallel execution)\n"
+      "        --plan-cache-entries N   bound on the shared prepared-\n"
+      "                      statement plan cache (default 256; 0 disables)\n");
   return 2;
 }
 
@@ -432,6 +435,12 @@ int main(int argc, char** argv) {
     // bit-identical at any value (DESIGN.md §10).
     ldv::ThreadPool::SetDefaultDop(
         std::atoi(flags.named.at("threads").c_str()));
+  }
+  if (flags.named.count("plan-cache-entries")) {
+    // Bound on the shared prepared-statement plan cache; 0 disables
+    // caching, every EXECUTE then replans (DESIGN.md §13).
+    ldv::exec::PlanCache::Global().set_capacity(static_cast<size_t>(
+        std::atoll(flags.named.at("plan-cache-entries").c_str())));
   }
   if (command == "audit") return CmdAudit(flags);
   if (command == "replay") return CmdReplay(flags);

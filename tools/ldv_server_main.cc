@@ -43,6 +43,9 @@
 //   --mem-limit-mb N  per-query memory budget: a statement materializing
 //                     more than N MiB fails with ResourceExhausted instead
 //                     of OOMing the server (0 = unlimited)
+//   --plan-cache-entries N  bound on the shared prepared-statement plan
+//                     cache (statements; default 256, 0 disables caching so
+//                     every EXECUTE replans)
 
 #include <signal.h>
 
@@ -54,6 +57,7 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "exec/plan_cache.h"
 #include "exec/wal_redo.h"
 #include "net/db_server.h"
 #include "obs/metrics.h"
@@ -134,6 +138,9 @@ int main(int argc, char** argv) {
       statement_timeout_ms = std::atoll(next());
     } else if (arg == "--mem-limit-mb") {
       mem_limit_mb = std::atoll(next());
+    } else if (arg == "--plan-cache-entries") {
+      ldv::exec::PlanCache::Global().set_capacity(
+          static_cast<size_t>(std::atoll(next())));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ldv_server --socket PATH [--data DIR] [--tpch SF] "
@@ -142,7 +149,8 @@ int main(int argc, char** argv) {
           "[--io-timeout-ms N] [--disconnect-poll-ms N] [--dedup-ttl-ms N] "
           "[--fault SPEC] [--fault-seed N] "
           "[--metrics-out FILE] [--trace-out FILE] [--threads N] "
-          "[--statement-timeout-ms N] [--mem-limit-mb N]\n");
+          "[--statement-timeout-ms N] [--mem-limit-mb N] "
+          "[--plan-cache-entries N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "ldv_server: unknown flag %s\n", arg.c_str());
