@@ -297,6 +297,19 @@ Result<exec::ResultSet> EngineHandle::ExecuteStatement(
     const sql::Statement& stmt, const DbRequest& request,
     const std::string& effective_sql, int64_t session_id,
     const PreparedRun* prepared) {
+  // Hot standby: only reads are served locally; writes must go to the
+  // primary. Transaction control is rejected too — an explicit transaction
+  // exists to stage mutations. The message prefix is the failover signal
+  // (IsReadOnlyStandbyError).
+  if (read_only_.load(std::memory_order_acquire) &&
+      (StatementMutates(stmt) ||
+       stmt.kind == sql::StatementKind::kTransaction)) {
+    return Status::NotSupported(
+        "read-only standby: writes must go to the primary (statement: " +
+        (effective_sql.size() <= 80 ? effective_sql
+                                    : effective_sql.substr(0, 77) + "...") +
+        ")");
+  }
   // One governor per statement (DESIGN.md §11): the cancellation token the
   // operators poll, the statement deadline, and the memory budget. It is
   // registered before the engine lock is taken, so a statement queued
@@ -477,8 +490,60 @@ Result<exec::ResultSet> EngineHandle::ExecuteStatement(
   // recovery), the classic ack-in-doubt.
   if (result.ok() && sync_lsn != 0) {
     LDV_RETURN_IF_ERROR(wal_->Sync(sync_lsn));
+    // Semi-sync replication: the commit is not acknowledged until every
+    // live standby has it (also outside mu_, so the stream keeps serving
+    // while committers wait).
+    if (commit_ack_barrier_) {
+      LDV_RETURN_IF_ERROR(commit_ack_barrier_(sync_lsn));
+    }
   }
   return result;
+}
+
+Status EngineHandle::ApplyReplicated(const std::vector<storage::WalOp>& ops) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<storage::Table*> touched;
+  for (const storage::WalOp& op : ops) {
+    LDV_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(op.sql));
+    // Same exclusive data locks a primary writer takes: snapshot readers
+    // never observe a row vector or the catalog mid-mutation.
+    txn::LockSet data_locks;
+    storage::Table* locked_table = nullptr;
+    if (IsDdl(stmt)) {
+      LDV_RETURN_IF_ERROR(data_locks.AcquireExclusive(locks_.catalog()));
+    } else if (const std::string* target = MutationTarget(stmt)) {
+      locked_table = db()->FindTable(*target);
+      if (locked_table != nullptr) {
+        LDV_RETURN_IF_ERROR(
+            data_locks.AcquireExclusive(locks_.TableLock(locked_table->id())));
+      }
+    }
+    // Deterministic redo, exactly as recovery replays the log: restore the
+    // statement sequence the primary saw, execute, and guarantee the
+    // statement occupies at least one sequence slot.
+    db()->set_statement_seq(op.stmt_seq_before);
+    exec::ExecOptions options;
+    options.threads = 1;
+    Result<exec::ResultSet> applied = executor_.Execute(op.sql, options);
+    if (!applied.ok()) {
+      return applied.status().WithContext("replicated apply failed (sql: " +
+                                          op.sql + ")");
+    }
+    db()->set_statement_seq(
+        std::max(db()->current_statement_seq(), op.stmt_seq_before + 1));
+    if (locked_table != nullptr) touched.push_back(locked_table);
+  }
+  // Publish the whole group as one committed epoch, then reclaim pre-images
+  // no live snapshot can see. GC retakes each table's lock: the per-op
+  // locks were released above, and GcArchive requires exclusivity.
+  snapshots_.AdvanceCommitted(db()->current_statement_seq());
+  txns_committed_->Add(1);
+  for (storage::Table* table : touched) {
+    txn::LockSet gc_lock;
+    LDV_RETURN_IF_ERROR(gc_lock.AcquireExclusive(locks_.TableLock(table->id())));
+    table->GcArchive(snapshots_.OldestLiveEpoch());
+  }
+  return Status::Ok();
 }
 
 Result<exec::ResultSet> EngineHandle::PrepareStatement(const std::string& name,
@@ -692,7 +757,8 @@ Status EngineHandle::CheckpointLocked() {
   LDV_RETURN_IF_ERROR(wal_->Flush());
   LDV_RETURN_IF_ERROR(storage::SaveDatabase(*db(), durability_.data_dir));
   LDV_RETURN_IF_ERROR(wal_->StartNewSegment());
-  LDV_RETURN_IF_ERROR(wal_->RetireOldSegments());
+  LDV_RETURN_IF_ERROR(wal_->RetireOldSegments(
+      wal_retire_floor_ ? wal_retire_floor_() : UINT64_MAX));
   commits_since_checkpoint_ = 0;
   checkpoints_->Add(1);
   return Status::Ok();
@@ -840,6 +906,23 @@ Status DeallocatePrepared(DbClient* client, const std::string& name) {
   request.kind = RequestKind::kDeallocate;
   request.handle = name;
   return client->Execute(request).status();
+}
+
+bool IsReadOnlyStandbyError(const Status& status) {
+  return status.code() == StatusCode::kNotSupported &&
+         status.message().rfind("read-only standby", 0) == 0;
+}
+
+Result<uint64_t> PromoteServer(DbClient* client) {
+  DbRequest request;
+  request.kind = RequestKind::kPromote;
+  LDV_ASSIGN_OR_RETURN(exec::ResultSet result, client->Execute(request));
+  // Row shape: (role:string, applied_lsn:int).
+  if (result.rows.size() != 1 || result.rows[0].size() != 2 ||
+      result.rows[0][1].type() != storage::ValueType::kInt64) {
+    return Status::IOError("malformed promote response");
+  }
+  return static_cast<uint64_t>(result.rows[0][1].AsInt());
 }
 
 }  // namespace ldv::net

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -117,6 +118,41 @@ class EngineHandle {
   /// Makes everything appended so far durable (shutdown drain). No-op
   /// without a WAL.
   Status FlushWal();
+
+  /// Applies one replicated commit group — the standby's apply path. Runs
+  /// the group's statements through the same deterministic redo recovery
+  /// uses (restore the statement sequence, execute, bump), under the engine
+  /// mutex and exclusive data locks, then publishes the group as one
+  /// committed epoch for snapshot readers. Does NOT append to the WAL: the
+  /// replicator made the frames locally durable before calling this.
+  Status ApplyReplicated(const std::vector<storage::WalOp>& ops);
+
+  /// Read-only (hot standby) mode: mutating statements and transaction
+  /// control are rejected with a "read-only standby" error
+  /// (IsReadOnlyStandbyError). Replicated applies are exempt. Flipped off
+  /// at promotion.
+  void set_read_only(bool read_only) {
+    read_only_.store(read_only, std::memory_order_release);
+  }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// Semi-synchronous replication: invoked with the commit LSN after the
+  /// local fsync and before the client sees success; commit acknowledgement
+  /// waits until the barrier returns (the replication manager releases it
+  /// when every live standby has acknowledged the LSN). Runs outside the
+  /// engine mutex. Set at startup, before traffic.
+  void set_commit_ack_barrier(std::function<Status(uint64_t lsn)> barrier) {
+    commit_ack_barrier_ = std::move(barrier);
+  }
+
+  /// Lower bound for checkpoint segment retirement: segments holding
+  /// records at or above the returned LSN survive (they are standbys'
+  /// catch-up source). Set at startup, before traffic.
+  void set_wal_retire_floor(std::function<uint64_t()> floor) {
+    wal_retire_floor_ = std::move(floor);
+  }
 
   /// Snapshot + segment rotation: WAL flush, SaveDatabase, fresh segment,
   /// retire segments the snapshot covers. Requires a WAL and a data_dir.
@@ -237,6 +273,12 @@ class EngineHandle {
   int64_t statement_timeout_millis_ = 0;
   size_t mem_limit_bytes_ = 0;
 
+  // Replication state (DESIGN.md §14). The barrier and floor hooks are set
+  // at startup, before traffic; read_only_ flips at promotion.
+  std::atomic<bool> read_only_{false};
+  std::function<Status(uint64_t)> commit_ack_barrier_;
+  std::function<uint64_t()> wal_retire_floor_;
+
   // Durability state, guarded by mu_ (Wal has its own lock; only the
   // pointer and the checkpoint counter live under mu_).
   std::unique_ptr<storage::Wal> wal_;
@@ -322,6 +364,16 @@ Result<exec::ResultSet> ExecutePrepared(DbClient* client,
 /// Drops prepared statement `name` via a kDeallocate request; an empty
 /// name drops every handle of the session (DEALLOCATE ALL).
 Status DeallocatePrepared(DbClient* client, const std::string& name);
+
+/// True when `status` is a hot standby's rejection of a mutating statement.
+/// RetryingDbClient uses this to fail over to the next endpoint instead of
+/// surfacing the error.
+bool IsReadOnlyStandbyError(const Status& status);
+
+/// Sends a kPromote request through `client`: the standby drains its apply
+/// queue and starts accepting writes. Returns the promoted server's applied
+/// LSN. Idempotent on an already-primary server.
+Result<uint64_t> PromoteServer(DbClient* client);
 
 }  // namespace ldv::net
 

@@ -332,6 +332,7 @@ std::string DbServer::HandleControl(const DbRequest& request) {
         inflight.Append(std::move(item));
       }
       stats.Set("inflight_queries", std::move(inflight));
+      if (stats_augmenter_) stats_augmenter_(&stats);
       rs.schema = storage::Schema(
           {storage::Column{"stats_json", storage::ValueType::kString}});
       rs.rows.push_back({storage::Value::Str(stats.Dump())});
@@ -361,6 +362,21 @@ std::string DbServer::HandleControl(const DbRequest& request) {
           {storage::Column{"cancelled", storage::ValueType::kInt64}});
       rs.rows.push_back({storage::Value::Int(n)});
       rs.affected = n;
+      break;
+    }
+    case RequestKind::kReplSubscribe:
+    case RequestKind::kReplFrames:
+    case RequestKind::kReplHeartbeat:
+    case RequestKind::kPromote: {
+      if (!repl_handler_) {
+        return EncodeResponse(
+            Status::NotSupported("replication is not configured on this "
+                                 "server"),
+            {});
+      }
+      Result<exec::ResultSet> result = repl_handler_(request);
+      if (!result.ok()) return EncodeResponse(result.status(), {});
+      rs = std::move(*result);
       break;
     }
     case RequestKind::kQuery:

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -67,6 +68,21 @@ class DbServer {
 
   /// Binds, listens and spawns the accept loop.
   Status Start();
+
+  /// Answers the replication verbs (kReplSubscribe / kReplFrames /
+  /// kReplHeartbeat / kPromote). The server stays replication-agnostic:
+  /// src/repl installs this at startup, before Start(); unset verbs get a
+  /// "replication is not configured" error.
+  using ReplHandler = std::function<Result<exec::ResultSet>(const DbRequest&)>;
+  void set_repl_handler(ReplHandler handler) {
+    repl_handler_ = std::move(handler);
+  }
+
+  /// Lets a subsystem merge extra keys into the kStats snapshot document
+  /// (replication role, standby lag). Set before Start().
+  void set_stats_augmenter(std::function<void(Json*)> augmenter) {
+    stats_augmenter_ = std::move(augmenter);
+  }
 
   /// Stops accepting, drains in-flight requests, joins all threads.
   void Stop();
@@ -132,6 +148,8 @@ class DbServer {
   EngineHandle* engine_;
   std::string socket_path_;
   DbServerOptions options_;
+  ReplHandler repl_handler_;
+  std::function<void(Json*)> stats_augmenter_;
   // Atomic: Stop() invalidates the fd while AcceptLoop blocks in accept().
   std::atomic<int> listen_fd_{-1};
   std::atomic<bool> running_{false};
@@ -148,7 +166,12 @@ class DbServer {
   mutable std::mutex conn_mu_;
   std::map<int64_t, Connection> connections_;
   std::vector<int64_t> finished_;  // ids whose thread is ready to join
-  int64_t next_connection_id_ = 0;
+  /// Connection ids double as engine session ids, and the embedding
+  /// process may drive EngineHandle::ExecuteSession with its own (small)
+  /// ids concurrently. Socket sessions therefore live in a disjoint high
+  /// range: a disconnect's AbortSession must never roll back an
+  /// in-process caller's transaction that happens to share the id.
+  int64_t next_connection_id_ = int64_t{1} << 32;
 
   mutable std::mutex dedup_mu_;
   std::condition_variable dedup_cv_;

@@ -84,7 +84,7 @@ Result<DbRequest> DecodeRequest(std::string_view bytes) {
   // replay logs) end here; they are plain queries.
   if (r.remaining() > 0) {
     LDV_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
-    if (kind > static_cast<uint8_t>(RequestKind::kDeallocate)) {
+    if (kind > static_cast<uint8_t>(RequestKind::kPromote)) {
       return Status::InvalidArgument("unknown request kind: " +
                                      std::to_string(kind));
     }

@@ -40,6 +40,24 @@ enum class RequestKind : uint8_t {
   /// Drop the prepared statement `handle`; an empty handle drops every
   /// prepared statement of the session (DEALLOCATE ALL).
   kDeallocate = 7,
+  /// Replication: register (or re-register) a standby named `handle` whose
+  /// applied LSN is `query_id`. Returns one row (primary_lsn, role). `sql`
+  /// is ignored, as for every replication verb.
+  kReplSubscribe = 8,
+  /// Replication: long-poll for WAL record frames after LSN `query_id` on
+  /// behalf of standby `handle`, waiting up to `timeout_millis` when caught
+  /// up. Doubles as an acknowledgement of `query_id`. Returns one row
+  /// (frames, last_lsn, primary_lsn); empty `frames` means "caught up".
+  kReplFrames = 9,
+  /// Replication: acknowledge that standby `handle` has durably applied up
+  /// to LSN `query_id`, without fetching. Returns one row (primary_lsn,
+  /// role). Sent right after an apply so semi-sync committers unblock
+  /// without waiting for the next fetch round-trip.
+  kReplHeartbeat = 10,
+  /// Flip a read-only standby to primary after draining its apply queue.
+  /// Idempotent on an already-primary server. Returns one row (role,
+  /// applied_lsn).
+  kPromote = 11,
 };
 
 /// One client->server request. The process and query identifiers are the

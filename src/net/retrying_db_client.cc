@@ -32,6 +32,39 @@ std::unique_ptr<RetryingDbClient> RetryingDbClient::ForSocket(
                                             policy);
 }
 
+std::unique_ptr<RetryingDbClient> RetryingDbClient::ForEndpoints(
+    std::vector<std::string> socket_paths, RetryPolicy policy) {
+  // The endpoint cursor is shared between the factory (connect to the
+  // current endpoint; advance on connect failure so the next attempt tries
+  // the next one) and the Execute loop (advance on a read-only rejection).
+  struct Cursor {
+    std::vector<std::string> paths;
+    size_t current = 0;
+  };
+  auto cursor = std::make_shared<Cursor>();
+  cursor->paths = std::move(socket_paths);
+  Factory factory = [cursor]() -> Result<std::unique_ptr<DbClient>> {
+    if (cursor->paths.empty()) {
+      return Status::InvalidArgument("no endpoints configured");
+    }
+    const std::string& path = cursor->paths[cursor->current];
+    auto connected = SocketDbClient::Connect(path);
+    if (!connected.ok()) {
+      cursor->current = (cursor->current + 1) % cursor->paths.size();
+      return connected.status();
+    }
+    return std::unique_ptr<DbClient>(std::move(*connected));
+  };
+  auto client = std::make_unique<RetryingDbClient>(nullptr, std::move(factory),
+                                                   policy);
+  client->rotate_endpoint_ = [cursor] {
+    if (!cursor->paths.empty()) {
+      cursor->current = (cursor->current + 1) % cursor->paths.size();
+    }
+  };
+  return client;
+}
+
 bool RetryingDbClient::IsRetryable(const Status& status) {
   switch (status.code()) {
     // IOError is the transport taxonomy: socket failures, injected faults,
@@ -77,11 +110,24 @@ Result<exec::ResultSet> RetryingDbClient::Execute(const DbRequest& request) {
       ++attempts_;
       attempts_metric_->Add(1);
       Result<exec::ResultSet> result = client_->Execute(request);
-      if (result.ok() || !IsRetryable(result.status())) return result;
-      last = result.status();
-      // A transport error leaves the connection in an unknown framing
-      // state; drop it and reconnect on the next attempt.
-      client_.reset();
+      if (result.ok()) return result;
+      if (rotate_endpoint_ != nullptr &&
+          IsReadOnlyStandbyError(result.status())) {
+        // A standby answered: the write belongs on another endpoint. The
+        // connection itself is healthy, but the next attempt must go
+        // elsewhere — rotate and reconnect.
+        ++failovers_;
+        rotate_endpoint_();
+        last = result.status();
+        client_.reset();
+      } else if (!IsRetryable(result.status())) {
+        return result;
+      } else {
+        last = result.status();
+        // A transport error leaves the connection in an unknown framing
+        // state; drop it and reconnect on the next attempt.
+        client_.reset();
+      }
     }
     // Capped exponential backoff with jitter before the next attempt.
     double jitter_factor =

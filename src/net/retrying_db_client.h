@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/db_client.h"
 #include "obs/metrics.h"
@@ -59,12 +60,22 @@ class RetryingDbClient final : public DbClient {
   static std::unique_ptr<RetryingDbClient> ForSocket(std::string socket_path,
                                                      RetryPolicy policy = {});
 
+  /// Failover client over an ordered endpoint list (DESIGN.md §14): connects
+  /// to the first endpoint, and rotates to the next when the current one is
+  /// unreachable (connect failure, transport error) or answers writes with
+  /// the read-only-standby rejection — so a client configured with
+  /// [primary, standby] follows a promotion without reconfiguration.
+  static std::unique_ptr<RetryingDbClient> ForEndpoints(
+      std::vector<std::string> socket_paths, RetryPolicy policy = {});
+
   Result<exec::ResultSet> Execute(const DbRequest& request) override;
 
   /// Attempts actually issued to the wrapped client (>= requests served).
   int64_t attempts() const { return attempts_; }
   /// Times the wrapped client was (re)created through the factory.
   int64_t reconnects() const { return reconnects_; }
+  /// Times the client rotated to the next endpoint (ForEndpoints only).
+  int64_t failovers() const { return failovers_; }
 
   /// The retry classification: true only for transport errors (kIOError).
   /// Governance verdicts (kCancelled / kDeadlineExceeded /
@@ -78,8 +89,12 @@ class RetryingDbClient final : public DbClient {
   Factory factory_;
   RetryPolicy policy_;
   Rng rng_;
+  /// ForEndpoints: advances to the next endpoint (shared with the factory,
+  /// which connects to the current one). Null for single-endpoint clients.
+  std::function<void()> rotate_endpoint_;
   int64_t attempts_ = 0;
   int64_t reconnects_ = 0;
+  int64_t failovers_ = 0;
   // Process-wide mirrors of the per-client counters, so metrics dumps see
   // retry/reconnect activity without plumbing through every client owner.
   obs::Counter* attempts_metric_ = nullptr;

@@ -1,0 +1,300 @@
+#include "repl/primary.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "util/fsutil.h"
+#include "util/strings.h"
+
+namespace ldv::repl {
+
+using storage::WalRecord;
+using storage::WalRecordKind;
+
+ReplicationManager::ReplicationManager(storage::Wal* wal)
+    : ReplicationManager(wal, Options()) {}
+
+ReplicationManager::ReplicationManager(storage::Wal* wal, Options options)
+    : wal_(wal), options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  bytes_sent_ = reg.counter("repl.bytes_sent");
+  batches_sent_ = reg.counter("repl.batches_sent");
+  disk_catchups_ = reg.counter("repl.disk_catchup_batches");
+  evictions_ = reg.counter("repl.standby_evictions");
+  last_appended_lsn_ = wal_->last_appended_lsn();
+  wal_->set_commit_sink(
+      [this](uint64_t first_lsn, uint64_t last_lsn, std::string_view frames) {
+        OnCommit(first_lsn, last_lsn, frames);
+      });
+}
+
+void ReplicationManager::OnCommit(uint64_t first_lsn, uint64_t last_lsn,
+                                  std::string_view frames) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RingEntry entry;
+  entry.first_lsn = first_lsn;
+  entry.last_lsn = last_lsn;
+  entry.frames.assign(frames.data(), frames.size());
+  ring_bytes_ += entry.frames.size();
+  ring_.push_back(std::move(entry));
+  while (ring_bytes_ > options_.ring_capacity_bytes && !ring_.empty()) {
+    ring_bytes_ -= ring_.front().frames.size();
+    ring_.pop_front();
+  }
+  last_appended_lsn_ = std::max(last_appended_lsn_, last_lsn);
+  frames_cv_.notify_all();
+}
+
+void ReplicationManager::AckLocked(const std::string& standby, uint64_t lsn) {
+  Standby& entry = standbys_[standby];
+  entry.acked_lsn = std::max(entry.acked_lsn, lsn);
+  entry.last_seen_nanos = NowNanos();
+  acks_cv_.notify_all();
+}
+
+Result<exec::ResultSet> ReplicationManager::HandleRequest(
+    const net::DbRequest& request) {
+  const std::string& standby =
+      request.handle.empty() ? std::string("standby") : request.handle;
+  const uint64_t lsn = static_cast<uint64_t>(request.query_id);
+  switch (request.kind) {
+    case net::RequestKind::kReplSubscribe: {
+      ReplHello hello;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        AckLocked(standby, lsn);
+        hello.primary_lsn = last_appended_lsn_;
+        hello.role = role_;
+      }
+      LDV_LOG(Info) << "repl: standby '" << standby << "' subscribed at lsn "
+                    << lsn;
+      return MakeHelloResult(hello);
+    }
+    case net::RequestKind::kReplHeartbeat: {
+      ReplHello hello;
+      std::lock_guard<std::mutex> lock(mu_);
+      AckLocked(standby, lsn);
+      hello.primary_lsn = last_appended_lsn_;
+      hello.role = role_;
+      return MakeHelloResult(hello);
+    }
+    case net::RequestKind::kReplFrames: {
+      const int64_t wait_millis =
+          std::min<int64_t>(std::max<int64_t>(request.timeout_millis, 0),
+                            options_.max_wait_millis);
+      LDV_ASSIGN_OR_RETURN(ReplBatch batch, Fetch(standby, lsn, wait_millis));
+      return MakeFramesResult(batch);
+    }
+    case net::RequestKind::kPromote: {
+      // Only reachable on a server that is already primary (a standby's
+      // server intercepts kPromote and drains its replicator first):
+      // promotion is idempotent.
+      std::lock_guard<std::mutex> lock(mu_);
+      return MakePromoteResult(role_, last_appended_lsn_);
+    }
+    default:
+      return Status::InvalidArgument("not a replication request");
+  }
+}
+
+Result<ReplBatch> ReplicationManager::Fetch(const std::string& standby,
+                                            uint64_t after_lsn,
+                                            int64_t wait_millis) {
+  const int64_t deadline_nanos = NowNanos() + wait_millis * 1'000'000;
+  std::unique_lock<std::mutex> lock(mu_);
+  // A fetch after LSN N is also the standby's acknowledgement of N.
+  AckLocked(standby, after_lsn);
+  while (true) {
+    if (last_appended_lsn_ > after_lsn) {
+      if (!ring_.empty() && ring_.front().first_lsn <= after_lsn + 1) {
+        ReplBatch batch;
+        batch.primary_lsn = last_appended_lsn_;
+        for (const RingEntry& entry : ring_) {
+          if (entry.last_lsn <= after_lsn) continue;
+          if (batch.frames.empty() && entry.first_lsn != after_lsn + 1) {
+            break;  // ack mid-group / ring gap: serve from disk instead
+          }
+          if (!batch.frames.empty() &&
+              batch.frames.size() + entry.frames.size() >
+                  options_.max_batch_bytes) {
+            break;
+          }
+          batch.frames += entry.frames;
+          batch.last_lsn = entry.last_lsn;
+        }
+        if (!batch.frames.empty()) {
+          bytes_sent_->Add(static_cast<int64_t>(batch.frames.size()));
+          batches_sent_->Add(1);
+          return batch;
+        }
+      }
+      // The ring's tail has moved past this standby: serve the gap from the
+      // segment files. Disk I/O runs without the manager mutex.
+      const uint64_t primary_lsn = last_appended_lsn_;
+      lock.unlock();
+      Result<ReplBatch> batch = CatchUpFromSegments(after_lsn);
+      if (batch.ok()) {
+        batch->primary_lsn = std::max(batch->primary_lsn, primary_lsn);
+        if (!batch->frames.empty()) {
+          bytes_sent_->Add(static_cast<int64_t>(batch->frames.size()));
+          batches_sent_->Add(1);
+          disk_catchups_->Add(1);
+        }
+      }
+      return batch;
+    }
+    if (shutdown_ || NowNanos() >= deadline_nanos) {
+      ReplBatch empty;
+      empty.primary_lsn = last_appended_lsn_;
+      return empty;
+    }
+    frames_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+Result<ReplBatch> ReplicationManager::CatchUpFromSegments(uint64_t after_lsn) {
+  LDV_ASSIGN_OR_RETURN(std::vector<std::string> segments,
+                       storage::ListWalSegments(wal_->dir()));
+  ReplBatch batch;
+  std::string group_bytes;
+  uint64_t group_first = 0;
+  uint64_t group_last = 0;
+  for (const std::string& file : segments) {
+    // Tail damage is tolerated: the valid prefix is scanned, and only whole
+    // begin/op.../commit groups are streamed — a torn trailing group (or
+    // one mid-append on the live segment) is simply not sent yet.
+    LDV_ASSIGN_OR_RETURN(storage::WalSegmentScan scan,
+                         storage::ScanWalSegment(JoinPath(wal_->dir(), file)));
+    for (const WalRecord& record : scan.records) {
+      if (record.kind == WalRecordKind::kBegin) {
+        group_bytes.clear();
+        group_first = record.lsn;
+      }
+      group_bytes += storage::EncodeWalRecord(record);
+      group_last = record.lsn;
+      if (record.kind != WalRecordKind::kCommit) continue;
+      if (group_first > after_lsn) {
+        if (batch.frames.empty() && group_first != after_lsn + 1) {
+          return Status::NotFound(StrFormat(
+              "standby too far behind: needs lsn %llu but the oldest "
+              "retained group starts at %llu (segments were retired); "
+              "re-seed the standby from a base copy",
+              static_cast<unsigned long long>(after_lsn + 1),
+              static_cast<unsigned long long>(group_first)));
+        }
+        if (!batch.frames.empty() &&
+            batch.frames.size() + group_bytes.size() >
+                options_.max_batch_bytes) {
+          return batch;  // full: the standby fetches the rest next round
+        }
+        batch.frames += group_bytes;
+        batch.last_lsn = group_last;
+      }
+      group_bytes.clear();
+    }
+  }
+  return batch;
+}
+
+Status ReplicationManager::WaitDurable(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (standbys_.empty()) return Status::Ok();
+    if (options_.ack_timeout_millis > 0) {
+      const int64_t now = NowNanos();
+      const int64_t patience = options_.ack_timeout_millis * 1'000'000;
+      for (auto it = standbys_.begin(); it != standbys_.end();) {
+        if (now - it->second.last_seen_nanos > patience) {
+          LDV_LOG(Warning)
+              << "repl: evicting standby '" << it->first << "' (silent for "
+              << (now - it->second.last_seen_nanos) / 1'000'000
+              << " ms); commits no longer wait for it";
+          evictions_->Add(1);
+          it = standbys_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (standbys_.empty()) return Status::Ok();
+    }
+    uint64_t min_acked = UINT64_MAX;
+    for (const auto& [name, standby] : standbys_) {
+      min_acked = std::min(min_acked, standby.acked_lsn);
+    }
+    if (min_acked >= lsn) return Status::Ok();
+    if (shutdown_) {
+      return Status::IOError(
+          "replication shut down before standbys acknowledged the commit");
+    }
+    acks_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+uint64_t ReplicationManager::RetireFloor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (standbys_.empty()) return UINT64_MAX;
+  uint64_t min_acked = UINT64_MAX;
+  for (const auto& [name, standby] : standbys_) {
+    min_acked = std::min(min_acked, standby.acked_lsn);
+  }
+  return min_acked == UINT64_MAX ? UINT64_MAX : min_acked + 1;
+}
+
+int64_t ReplicationManager::standby_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(standbys_.size());
+}
+
+void ReplicationManager::AugmentStats(Json* stats) const {
+  Json repl = Json::MakeObject();
+  int64_t standby_count = 0;
+  int64_t max_lag = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    repl.Set("role", Json::MakeString(role_));
+    repl.Set("last_appended_lsn",
+             Json::MakeInt(static_cast<int64_t>(last_appended_lsn_)));
+    Json list = Json::MakeArray();
+    const int64_t now = NowNanos();
+    for (const auto& [name, standby] : standbys_) {
+      const int64_t lag = static_cast<int64_t>(last_appended_lsn_) -
+                          static_cast<int64_t>(standby.acked_lsn);
+      max_lag = std::max(max_lag, lag);
+      Json item = Json::MakeObject();
+      item.Set("standby", Json::MakeString(name));
+      item.Set("acked_lsn",
+               Json::MakeInt(static_cast<int64_t>(standby.acked_lsn)));
+      item.Set("lag_lsn", Json::MakeInt(lag));
+      item.Set("last_seen_ms_ago",
+               Json::MakeInt((now - standby.last_seen_nanos) / 1'000'000));
+      list.Append(std::move(item));
+      ++standby_count;
+    }
+    repl.Set("standbys", std::move(list));
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.gauge("repl.standbys")->Set(standby_count);
+  reg.gauge("repl.standby_lag_lsn")->Set(max_lag);
+  stats->Set("replication", std::move(repl));
+}
+
+void ReplicationManager::set_role(std::string role) {
+  std::lock_guard<std::mutex> lock(mu_);
+  role_ = std::move(role);
+}
+
+std::string ReplicationManager::role() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return role_;
+}
+
+void ReplicationManager::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  frames_cv_.notify_all();
+  acks_cv_.notify_all();
+}
+
+}  // namespace ldv::repl

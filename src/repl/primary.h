@@ -1,0 +1,130 @@
+#ifndef LDV_REPL_PRIMARY_H_
+#define LDV_REPL_PRIMARY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+#include "repl/replication.h"
+#include "storage/wal.h"
+
+namespace ldv::repl {
+
+/// Primary side of WAL streaming replication (DESIGN.md §14).
+///
+/// Live commits reach standbys through a bounded in-memory ring: the WAL's
+/// commit sink publishes every appended group (whole, pre-encoded), and
+/// standbys long-poll kReplFrames against it. A standby that has fallen off
+/// the ring's tail — slow, freshly bootstrapped, or back from a severed
+/// stream — is served straight from the WAL segment files on disk
+/// (ListWalSegments / ScanWalSegment), which checkpoints preserve up to the
+/// minimum acknowledged LSN (RetireFloor).
+///
+/// Commit acknowledgement is semi-synchronous: WaitDurable blocks the
+/// committer until every live standby has acknowledged the commit's LSN.
+/// A standby silent past ack_timeout_millis is evicted (loudly) so a dead
+/// standby degrades the primary to standalone durability instead of
+/// freezing it; with no live standbys WaitDurable is a no-op.
+///
+/// Lock order: Wal::mu_ -> mu_ (the commit sink runs under the WAL mutex).
+/// No method calls into the Wal or touches the disk while holding mu_.
+class ReplicationManager {
+ public:
+  struct Options {
+    /// Bytes of encoded groups the live ring retains.
+    size_t ring_capacity_bytes = 4u << 20;
+    /// Serve-side cap per kReplFrames response (stays far under the
+    /// transport's 64 MiB frame cap; a batch always carries at least one
+    /// whole group).
+    size_t max_batch_bytes = 4u << 20;
+    /// Server-side cap on a fetch's long-poll wait.
+    int64_t max_wait_millis = 2'000;
+    /// Semi-sync patience: a standby silent this long is evicted and no
+    /// longer blocks commits. 0 disables eviction (commits wait forever
+    /// for a registered standby — the chaos harness uses this).
+    int64_t ack_timeout_millis = 10'000;
+  };
+
+  /// `wal` must outlive the manager. Installs the commit sink.
+  explicit ReplicationManager(storage::Wal* wal);
+  ReplicationManager(storage::Wal* wal, Options options);
+
+  ReplicationManager(const ReplicationManager&) = delete;
+  ReplicationManager& operator=(const ReplicationManager&) = delete;
+
+  /// Answers kReplSubscribe / kReplFrames / kReplHeartbeat / kPromote (the
+  /// already-primary case — a standby's server intercepts kPromote before
+  /// it gets here). Wired into DbServer::set_repl_handler.
+  Result<exec::ResultSet> HandleRequest(const net::DbRequest& request);
+
+  /// The commit-ack barrier (EngineHandle::set_commit_ack_barrier): blocks
+  /// until every live standby acknowledged `lsn`, a standby got evicted for
+  /// silence, or no standby is registered.
+  Status WaitDurable(uint64_t lsn);
+
+  /// Checkpoint floor (EngineHandle::set_wal_retire_floor): the minimum
+  /// acknowledged LSN across registered standbys, UINT64_MAX with none.
+  uint64_t RetireFloor() const;
+
+  /// Registered standbys (live or not).
+  int64_t standby_count() const;
+
+  /// Merges a "replication" object (role, LSNs, per-standby lag) into a
+  /// stats document and refreshes the repl.* registry gauges.
+  void AugmentStats(Json* stats) const;
+
+  void set_role(std::string role);
+  std::string role() const;
+
+  /// Wakes every long-poller and barrier waiter (server shutdown).
+  void Shutdown();
+
+ private:
+  struct Standby {
+    uint64_t acked_lsn = 0;
+    int64_t last_seen_nanos = 0;
+  };
+  struct RingEntry {
+    uint64_t first_lsn = 0;
+    uint64_t last_lsn = 0;
+    std::string frames;
+  };
+
+  /// The WAL commit sink: runs under the WAL mutex.
+  void OnCommit(uint64_t first_lsn, uint64_t last_lsn,
+                std::string_view frames);
+  void AckLocked(const std::string& standby, uint64_t lsn);
+  Result<ReplBatch> Fetch(const std::string& standby, uint64_t after_lsn,
+                          int64_t wait_millis);
+  /// Serves a batch from the segment files. Runs WITHOUT mu_ (disk I/O).
+  Result<ReplBatch> CatchUpFromSegments(uint64_t after_lsn);
+
+  storage::Wal* wal_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable frames_cv_;  // new groups (long-poll wakeup)
+  std::condition_variable acks_cv_;    // new acks (WaitDurable wakeup)
+  std::deque<RingEntry> ring_;
+  size_t ring_bytes_ = 0;
+  uint64_t last_appended_lsn_ = 0;  // mirror maintained by the sink
+  std::map<std::string, Standby> standbys_;
+  std::string role_ = "primary";
+  bool shutdown_ = false;
+
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* batches_sent_ = nullptr;
+  obs::Counter* disk_catchups_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+};
+
+}  // namespace ldv::repl
+
+#endif  // LDV_REPL_PRIMARY_H_

@@ -1,0 +1,97 @@
+#include "repl/replication.h"
+
+namespace ldv::repl {
+
+using storage::Column;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+net::DbRequest MakeSubscribeRequest(const std::string& standby,
+                                    uint64_t applied_lsn) {
+  net::DbRequest request;
+  request.kind = net::RequestKind::kReplSubscribe;
+  request.handle = standby;
+  request.query_id = static_cast<int64_t>(applied_lsn);
+  return request;
+}
+
+net::DbRequest MakeFramesRequest(const std::string& standby,
+                                 uint64_t after_lsn, int64_t wait_millis) {
+  net::DbRequest request;
+  request.kind = net::RequestKind::kReplFrames;
+  request.handle = standby;
+  request.query_id = static_cast<int64_t>(after_lsn);
+  request.timeout_millis = wait_millis;
+  return request;
+}
+
+net::DbRequest MakeHeartbeatRequest(const std::string& standby,
+                                    uint64_t applied_lsn) {
+  net::DbRequest request;
+  request.kind = net::RequestKind::kReplHeartbeat;
+  request.handle = standby;
+  request.query_id = static_cast<int64_t>(applied_lsn);
+  return request;
+}
+
+exec::ResultSet MakeFramesResult(const ReplBatch& batch) {
+  exec::ResultSet rs;
+  rs.schema = Schema({Column{"frames", ValueType::kString},
+                      Column{"last_lsn", ValueType::kInt64},
+                      Column{"primary_lsn", ValueType::kInt64}});
+  rs.rows.push_back({Value::Str(batch.frames),
+                     Value::Int(static_cast<int64_t>(batch.last_lsn)),
+                     Value::Int(static_cast<int64_t>(batch.primary_lsn))});
+  rs.affected = 1;
+  return rs;
+}
+
+Result<ReplBatch> ParseFramesResult(const exec::ResultSet& result) {
+  if (result.rows.size() != 1 || result.rows[0].size() != 3 ||
+      result.rows[0][0].type() != ValueType::kString ||
+      result.rows[0][1].type() != ValueType::kInt64 ||
+      result.rows[0][2].type() != ValueType::kInt64) {
+    return Status::IOError("malformed replication frames response");
+  }
+  ReplBatch batch;
+  batch.frames = result.rows[0][0].AsString();
+  batch.last_lsn = static_cast<uint64_t>(result.rows[0][1].AsInt());
+  batch.primary_lsn = static_cast<uint64_t>(result.rows[0][2].AsInt());
+  return batch;
+}
+
+exec::ResultSet MakeHelloResult(const ReplHello& hello) {
+  exec::ResultSet rs;
+  rs.schema = Schema({Column{"primary_lsn", ValueType::kInt64},
+                      Column{"role", ValueType::kString}});
+  rs.rows.push_back({Value::Int(static_cast<int64_t>(hello.primary_lsn)),
+                     Value::Str(hello.role)});
+  rs.affected = 1;
+  return rs;
+}
+
+Result<ReplHello> ParseHelloResult(const exec::ResultSet& result) {
+  if (result.rows.size() != 1 || result.rows[0].size() != 2 ||
+      result.rows[0][0].type() != ValueType::kInt64 ||
+      result.rows[0][1].type() != ValueType::kString) {
+    return Status::IOError("malformed replication hello response");
+  }
+  ReplHello hello;
+  hello.primary_lsn = static_cast<uint64_t>(result.rows[0][0].AsInt());
+  hello.role = result.rows[0][1].AsString();
+  return hello;
+}
+
+exec::ResultSet MakePromoteResult(const std::string& role,
+                                  uint64_t applied_lsn) {
+  exec::ResultSet rs;
+  rs.schema = Schema({Column{"role", ValueType::kString},
+                      Column{"applied_lsn", ValueType::kInt64}});
+  rs.rows.push_back(
+      {Value::Str(role), Value::Int(static_cast<int64_t>(applied_lsn))});
+  rs.affected = 1;
+  return rs;
+}
+
+}  // namespace ldv::repl

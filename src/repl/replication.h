@@ -1,0 +1,51 @@
+#ifndef LDV_REPL_REPLICATION_H_
+#define LDV_REPL_REPLICATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "net/protocol.h"
+
+namespace ldv::repl {
+
+/// One replication stream payload: encoded WAL record frames (the exact
+/// bytes EncodeWalRecord produced on the primary, whole commit groups only)
+/// plus the LSN bookkeeping the standby needs. An empty `frames` means
+/// "caught up — nothing after `after_lsn` yet".
+struct ReplBatch {
+  std::string frames;
+  uint64_t last_lsn = 0;     // last record LSN in `frames`; 0 when empty
+  uint64_t primary_lsn = 0;  // primary's last appended LSN at serve time
+};
+
+/// Primary state returned by subscribe/heartbeat.
+struct ReplHello {
+  uint64_t primary_lsn = 0;
+  std::string role;  // "primary" | "standby"
+};
+
+/// The replication verbs ride the ordinary request frame: `handle` names
+/// the standby, `query_id` carries its LSN (applied/after), and
+/// `timeout_millis` the long-poll wait. Responses are ordinary ResultSets.
+net::DbRequest MakeSubscribeRequest(const std::string& standby,
+                                    uint64_t applied_lsn);
+net::DbRequest MakeFramesRequest(const std::string& standby,
+                                 uint64_t after_lsn, int64_t wait_millis);
+net::DbRequest MakeHeartbeatRequest(const std::string& standby,
+                                    uint64_t applied_lsn);
+
+/// Response row shapes. kReplFrames: (frames, last_lsn, primary_lsn);
+/// kReplSubscribe / kReplHeartbeat: (primary_lsn, role); kPromote:
+/// (role, applied_lsn).
+exec::ResultSet MakeFramesResult(const ReplBatch& batch);
+Result<ReplBatch> ParseFramesResult(const exec::ResultSet& result);
+exec::ResultSet MakeHelloResult(const ReplHello& hello);
+Result<ReplHello> ParseHelloResult(const exec::ResultSet& result);
+exec::ResultSet MakePromoteResult(const std::string& role,
+                                  uint64_t applied_lsn);
+
+}  // namespace ldv::repl
+
+#endif  // LDV_REPL_REPLICATION_H_

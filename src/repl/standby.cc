@@ -1,0 +1,200 @@
+#include "repl/standby.h"
+
+#include <chrono>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "storage/wal.h"
+#include "util/strings.h"
+
+namespace ldv::repl {
+
+using storage::WalOp;
+using storage::WalRecord;
+using storage::WalRecordKind;
+
+StandbyReplicator::StandbyReplicator(net::EngineHandle* engine,
+                                     std::string primary_socket)
+    : StandbyReplicator(engine, std::move(primary_socket), Options()) {}
+
+StandbyReplicator::StandbyReplicator(net::EngineHandle* engine,
+                                     std::string primary_socket,
+                                     Options options)
+    : engine_(engine),
+      primary_socket_(std::move(primary_socket)),
+      options_(std::move(options)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  batches_applied_ = reg.counter("repl.batches_applied");
+  records_applied_ = reg.counter("repl.records_applied");
+  reconnects_ = reg.counter("repl.stream_reconnects");
+  // The standby resumes from its own durable log: everything recovery
+  // replayed is already applied, so the stream starts right after it.
+  applied_lsn_.store(engine_->wal()->last_appended_lsn(),
+                     std::memory_order_release);
+}
+
+StandbyReplicator::~StandbyReplicator() { Stop(); }
+
+void StandbyReplicator::Start() {
+  if (started_.exchange(true)) return;
+  engine_->set_read_only(true);
+  LDV_LOG(Info) << "repl: standby '" << options_.standby_name
+                << "' streaming from " << primary_socket_ << " (applied lsn "
+                << applied_lsn() << ")";
+  thread_ = std::thread([this] { Run(); });
+}
+
+void StandbyReplicator::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t StandbyReplicator::Promote() {
+  Stop();
+  if (!promoted_.exchange(true)) {
+    engine_->set_read_only(false);
+    LDV_LOG(Warning) << "repl: standby '" << options_.standby_name
+                     << "' promoted to primary at lsn " << applied_lsn();
+  }
+  return applied_lsn();
+}
+
+std::string StandbyReplicator::last_error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return last_error_;
+}
+
+void StandbyReplicator::RecordError(const Status& status, bool fatal) {
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    last_error_ = status.ToString();
+  }
+  if (fatal) {
+    fatal_.store(true, std::memory_order_release);
+    LDV_LOG(Error) << "repl: standby apply stopped: " << status.ToString();
+  }
+}
+
+void StandbyReplicator::Backoff() {
+  const auto slice = std::chrono::milliseconds(10);
+  auto remaining = std::chrono::milliseconds(options_.retry_backoff_millis);
+  while (remaining.count() > 0 && !stop_.load(std::memory_order_acquire)) {
+    const auto nap = std::min<std::chrono::milliseconds>(slice, remaining);
+    std::this_thread::sleep_for(nap);
+    remaining -= nap;
+  }
+}
+
+void StandbyReplicator::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // The chaos harness severs the stream here: drop the connection and
+    // come back through a fresh subscribe (possibly far behind the ring,
+    // forcing the primary's catch-up-from-segments path).
+    if (Status severed = CheckFault("repl.stream"); !severed.ok()) {
+      RecordError(severed, /*fatal=*/false);
+      client_.reset();
+      Backoff();
+      continue;
+    }
+    if (client_ == nullptr) {
+      client_ = net::RetryingDbClient::ForSocket(primary_socket_,
+                                                 options_.fetch_policy);
+      reconnects_->Add(1);
+      Result<exec::ResultSet> hello_rs = client_->Execute(
+          MakeSubscribeRequest(options_.standby_name, applied_lsn()));
+      Result<ReplHello> hello =
+          hello_rs.ok() ? ParseHelloResult(*hello_rs)
+                        : Result<ReplHello>(hello_rs.status());
+      if (!hello.ok()) {
+        RecordError(hello.status(), /*fatal=*/false);
+        client_.reset();
+        Backoff();
+        continue;
+      }
+      primary_lsn_.store(hello->primary_lsn, std::memory_order_release);
+    }
+    Result<exec::ResultSet> rs = client_->Execute(MakeFramesRequest(
+        options_.standby_name, applied_lsn(), options_.poll_wait_millis));
+    Result<ReplBatch> batch =
+        rs.ok() ? ParseFramesResult(*rs) : Result<ReplBatch>(rs.status());
+    if (!batch.ok()) {
+      RecordError(batch.status(), /*fatal=*/false);
+      client_.reset();
+      Backoff();
+      continue;
+    }
+    primary_lsn_.store(batch->primary_lsn, std::memory_order_release);
+    if (batch->frames.empty()) continue;  // caught up; poll again
+    if (Status applied = ApplyBatch(*batch); !applied.ok()) {
+      // The local log must stay a prefix of the primary's; continuing past
+      // a failed batch would diverge. Stop and surface the error.
+      RecordError(applied, /*fatal=*/true);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      last_error_.clear();
+    }
+  }
+}
+
+Status StandbyReplicator::ApplyBatch(const ReplBatch& batch) {
+  LDV_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                       storage::DecodeWalRecords(batch.frames));
+  if (records.empty()) return Status::Ok();
+  const uint64_t expected = applied_lsn() + 1;
+  if (records.front().lsn != expected) {
+    return Status::IOError(StrFormat(
+        "replication stream gap: batch starts at lsn %llu, expected %llu",
+        static_cast<unsigned long long>(records.front().lsn),
+        static_cast<unsigned long long>(expected)));
+  }
+  // Durable before applied: a standby crash mid-apply recovers through the
+  // ordinary WAL recovery path and replays exactly these records.
+  LDV_RETURN_IF_ERROR(engine_->wal()->AppendRaw(
+      batch.frames, records.front().lsn, records.back().lsn));
+  LDV_RETURN_IF_ERROR(engine_->wal()->Sync(records.back().lsn));
+  std::vector<WalOp> ops;
+  for (const WalRecord& record : records) {
+    switch (record.kind) {
+      case WalRecordKind::kBegin:
+        ops.clear();
+        break;
+      case WalRecordKind::kOp:
+        ops.push_back(record.op);
+        break;
+      case WalRecordKind::kCommit:
+        LDV_RETURN_IF_ERROR(engine_->ApplyReplicated(ops));
+        ops.clear();
+        applied_lsn_.store(record.lsn, std::memory_order_release);
+        batches_applied_->Add(1);
+        break;
+    }
+  }
+  records_applied_->Add(static_cast<int64_t>(records.size()));
+  return Status::Ok();
+}
+
+void StandbyReplicator::AugmentStats(Json* stats) const {
+  const uint64_t applied = applied_lsn();
+  const uint64_t primary = primary_lsn();
+  const int64_t lag =
+      primary > applied ? static_cast<int64_t>(primary - applied) : 0;
+  Json repl = Json::MakeObject();
+  repl.Set("role", Json::MakeString(promoted() ? "primary" : "standby"));
+  repl.Set("primary_endpoint", Json::MakeString(primary_socket_));
+  repl.Set("applied_lsn", Json::MakeInt(static_cast<int64_t>(applied)));
+  repl.Set("primary_lsn", Json::MakeInt(static_cast<int64_t>(primary)));
+  repl.Set("lag_lsn", Json::MakeInt(lag));
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    repl.Set("last_error", Json::MakeString(last_error_));
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.gauge("repl.applied_lsn")->Set(static_cast<int64_t>(applied));
+  reg.gauge("repl.lag_lsn")->Set(lag);
+  stats->Set("replication", std::move(repl));
+}
+
+}  // namespace ldv::repl

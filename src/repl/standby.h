@@ -1,0 +1,129 @@
+#ifndef LDV_REPL_STANDBY_H_
+#define LDV_REPL_STANDBY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "net/db_client.h"
+#include "net/retrying_db_client.h"
+#include "obs/metrics.h"
+#include "repl/replication.h"
+
+namespace ldv::repl {
+
+/// Standby side of WAL streaming replication (DESIGN.md §14): a background
+/// thread that subscribes to the primary, long-polls kReplFrames, makes each
+/// batch locally durable (Wal::AppendRaw + Sync — so a standby crash recovers
+/// through the ordinary WAL recovery path), then applies it through the
+/// engine's deterministic redo (EngineHandle::ApplyReplicated). The engine is
+/// flipped read-only for the replicator's lifetime: SELECTs are served from
+/// MVCC snapshots at the applied epoch, writes are rejected with the
+/// "read-only standby" error clients fail over on.
+///
+/// A fetch after LSN N doubles as the acknowledgement of N, so the standby
+/// only ever acks what it has durably appended *and* applied — the invariant
+/// behind zero committed-data loss at failover. Promote() stops the apply
+/// loop at a batch boundary (draining whatever was fetched), flips the
+/// engine writable, and returns the applied LSN.
+///
+/// Fault point `repl.stream` severs the connection (the chaos harness uses
+/// it to force catch-up-from-segments after the ring has moved on).
+class StandbyReplicator {
+ public:
+  struct Options {
+    /// Name this standby registers under on the primary.
+    std::string standby_name = "standby";
+    /// Long-poll wait per kReplFrames request.
+    int64_t poll_wait_millis = 200;
+    /// Sleep after a failed connect/fetch before trying again.
+    int64_t retry_backoff_millis = 100;
+    /// Transport policy for the stream connection. The deadline is kept
+    /// short: the outer loop owns reconnection, a dead primary should not
+    /// pin a fetch for the default 30 s.
+    net::RetryPolicy fetch_policy = ShortFetchPolicy();
+  };
+
+  /// `engine` must have its WAL attached already and outlive the replicator.
+  StandbyReplicator(net::EngineHandle* engine, std::string primary_socket);
+  StandbyReplicator(net::EngineHandle* engine, std::string primary_socket,
+                    Options options);
+  ~StandbyReplicator();
+
+  StandbyReplicator(const StandbyReplicator&) = delete;
+  StandbyReplicator& operator=(const StandbyReplicator&) = delete;
+
+  /// Flips the engine read-only and starts the streaming thread.
+  void Start();
+
+  /// Stops the streaming thread (waits for the in-flight batch to finish
+  /// applying). Idempotent; the engine stays read-only.
+  void Stop();
+
+  /// Failover: drains the apply loop (Stop), flips the engine writable, and
+  /// returns the applied LSN — every transaction the primary ever
+  /// acknowledged is at or below it. Idempotent.
+  uint64_t Promote();
+
+  /// Last commit LSN durably applied locally.
+  uint64_t applied_lsn() const {
+    return applied_lsn_.load(std::memory_order_acquire);
+  }
+  /// Primary's last appended LSN as of the latest successful fetch.
+  uint64_t primary_lsn() const {
+    return primary_lsn_.load(std::memory_order_acquire);
+  }
+  bool promoted() const { return promoted_.load(std::memory_order_acquire); }
+  /// Last stream/apply error ("" when healthy). A non-empty value with
+  /// fatal() true means the apply loop stopped (LSN gap, apply failure).
+  std::string last_error() const;
+  bool fatal() const { return fatal_.load(std::memory_order_acquire); }
+
+  /// Merges a "replication" object into a stats document and refreshes the
+  /// repl.applied_lsn / repl.lag_lsn gauges.
+  void AugmentStats(Json* stats) const;
+
+ private:
+  static net::RetryPolicy ShortFetchPolicy() {
+    net::RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.request_deadline_micros = 1'000'000;
+    return policy;
+  }
+
+  void Run();
+  /// Durably appends then applies one non-empty batch. Any error is fatal:
+  /// the local log must stay a prefix of the primary's.
+  Status ApplyBatch(const ReplBatch& batch);
+  void RecordError(const Status& status, bool fatal);
+  /// Sleeps retry_backoff_millis in small slices, watching stop_.
+  void Backoff();
+
+  net::EngineHandle* engine_;
+  std::string primary_socket_;
+  Options options_;
+
+  std::unique_ptr<net::RetryingDbClient> client_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> promoted_{false};
+  std::atomic<bool> fatal_{false};
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::atomic<uint64_t> primary_lsn_{0};
+
+  mutable std::mutex error_mu_;
+  std::string last_error_;
+
+  obs::Counter* batches_applied_ = nullptr;
+  obs::Counter* records_applied_ = nullptr;
+  obs::Counter* reconnects_ = nullptr;
+};
+
+}  // namespace ldv::repl
+
+#endif  // LDV_REPL_STANDBY_H_

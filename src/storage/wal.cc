@@ -8,6 +8,7 @@
 #include <cerrno>
 
 #include "common/fault.h"
+#include "common/logging.h"
 #include "util/crc32.h"
 #include "util/fsutil.h"
 #include "util/serde.h"
@@ -59,6 +60,54 @@ uint32_t ReadU32(std::string_view bytes, size_t pos) {
   return v;
 }
 
+/// Decodes the record frame at `pos`. Returns "" and sets *record and
+/// *frame_len on success; otherwise returns a damage description.
+std::string ParseRecordFrame(std::string_view bytes, size_t pos,
+                             WalRecord* record, size_t* frame_len) {
+  if (bytes.size() - pos < 8) {
+    return StrFormat("truncated frame header at offset %zu", pos);
+  }
+  const uint64_t len = ReadU32(bytes, pos);
+  const uint32_t stored_crc = ReadU32(bytes, pos + 4);
+  if (len > kMaxRecordBytes) {
+    return StrFormat("implausible record length %llu at offset %zu",
+                     static_cast<unsigned long long>(len), pos);
+  }
+  if (bytes.size() - pos - 8 < len) {
+    return StrFormat("torn record at offset %zu (%llu byte payload, "
+                     "%zu bytes remain)",
+                     pos, static_cast<unsigned long long>(len),
+                     bytes.size() - pos - 8);
+  }
+  std::string_view body(bytes.data() + pos + 8, len);
+  if (Crc32(body) != stored_crc) {
+    return StrFormat("checksum mismatch at offset %zu", pos);
+  }
+  BufferReader reader(body);
+  auto parse = [&]() -> Status {
+    LDV_ASSIGN_OR_RETURN(uint64_t lsn, reader.GetU64());
+    record->lsn = lsn;
+    LDV_ASSIGN_OR_RETURN(uint8_t kind, reader.GetU8());
+    if (kind < static_cast<uint8_t>(WalRecordKind::kBegin) ||
+        kind > static_cast<uint8_t>(WalRecordKind::kCommit)) {
+      return Status::IOError("unknown record kind");
+    }
+    record->kind = static_cast<WalRecordKind>(kind);
+    LDV_ASSIGN_OR_RETURN(record->txn_id, reader.GetVarint());
+    if (record->kind == WalRecordKind::kOp) {
+      LDV_ASSIGN_OR_RETURN(record->op.stmt_seq_before, reader.GetVarint());
+      LDV_ASSIGN_OR_RETURN(record->op.sql, reader.GetString());
+    }
+    return Status::Ok();
+  };
+  if (Status parsed = parse(); !parsed.ok()) {
+    return StrFormat("undecodable record at offset %zu: %s", pos,
+                     parsed.message().c_str());
+  }
+  *frame_len = 8 + static_cast<size_t>(len);
+  return "";
+}
+
 }  // namespace
 
 std::string EncodeWalRecord(const WalRecord& record) {
@@ -90,58 +139,31 @@ Result<WalSegmentScan> ScanWalSegment(const std::string& path) {
   size_t pos = sizeof(kSegmentMagic);
   scan.valid_bytes = pos;
   while (pos < bytes.size()) {
-    if (bytes.size() - pos < 8) {
-      scan.damage = StrFormat("truncated frame header at offset %zu", pos);
-      return scan;
-    }
-    const uint64_t len = ReadU32(bytes, pos);
-    const uint32_t stored_crc = ReadU32(bytes, pos + 4);
-    if (len > kMaxRecordBytes) {
-      scan.damage = StrFormat("implausible record length %llu at offset %zu",
-                              static_cast<unsigned long long>(len), pos);
-      return scan;
-    }
-    if (bytes.size() - pos - 8 < len) {
-      scan.damage = StrFormat("torn record at offset %zu (%llu byte payload, "
-                              "%zu bytes remain)",
-                              pos, static_cast<unsigned long long>(len),
-                              bytes.size() - pos - 8);
-      return scan;
-    }
-    std::string_view body(bytes.data() + pos + 8, len);
-    if (Crc32(body) != stored_crc) {
-      scan.damage = StrFormat("checksum mismatch at offset %zu", pos);
-      return scan;
-    }
-    BufferReader reader(body);
     WalRecord record;
-    auto parse = [&]() -> Status {
-      LDV_ASSIGN_OR_RETURN(uint64_t lsn, reader.GetU64());
-      record.lsn = lsn;
-      LDV_ASSIGN_OR_RETURN(uint8_t kind, reader.GetU8());
-      if (kind < static_cast<uint8_t>(WalRecordKind::kBegin) ||
-          kind > static_cast<uint8_t>(WalRecordKind::kCommit)) {
-        return Status::IOError("unknown record kind");
-      }
-      record.kind = static_cast<WalRecordKind>(kind);
-      LDV_ASSIGN_OR_RETURN(record.txn_id, reader.GetVarint());
-      if (record.kind == WalRecordKind::kOp) {
-        LDV_ASSIGN_OR_RETURN(record.op.stmt_seq_before, reader.GetVarint());
-        LDV_ASSIGN_OR_RETURN(record.op.sql, reader.GetString());
-      }
-      return Status::Ok();
-    };
-    if (Status parsed = parse(); !parsed.ok()) {
-      scan.damage =
-          StrFormat("undecodable record at offset %zu: %s", pos,
-                    parsed.message().c_str());
-      return scan;
-    }
+    size_t frame_len = 0;
+    scan.damage = ParseRecordFrame(bytes, pos, &record, &frame_len);
+    if (!scan.damage.empty()) return scan;
     scan.records.push_back(std::move(record));
-    pos += 8 + len;
+    pos += frame_len;
     scan.valid_bytes = pos;
   }
   return scan;
+}
+
+Result<std::vector<WalRecord>> DecodeWalRecords(std::string_view bytes) {
+  std::vector<WalRecord> records;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    WalRecord record;
+    size_t frame_len = 0;
+    std::string damage = ParseRecordFrame(bytes, pos, &record, &frame_len);
+    if (!damage.empty()) {
+      return Status::IOError("wal record batch: " + damage);
+    }
+    records.push_back(std::move(record));
+    pos += frame_len;
+  }
+  return records;
 }
 
 int64_t WalSegmentIndex(const std::string& file_name) {
@@ -163,7 +185,14 @@ Result<std::vector<std::string>> ListWalSegments(const std::string& dir) {
   if (!DirExists(dir)) return segments;
   LDV_ASSIGN_OR_RETURN(std::vector<std::string> files, ListTree(dir));
   for (const std::string& file : files) {
-    if (WalSegmentIndex(file) >= 0) segments.push_back(file);
+    if (WalSegmentIndex(file) >= 0) {
+      segments.push_back(file);
+    } else {
+      // A stray file must not poison segment ordering, but it is almost
+      // certainly operator error (or litter from a bad copy) — be loud.
+      LDV_LOG(Warning) << "wal dir " << dir << ": ignoring non-segment file '"
+                       << file << "'";
+    }
   }
   std::sort(segments.begin(), segments.end(),
             [](const std::string& a, const std::string& b) {
@@ -183,7 +212,13 @@ Result<WalSyncMode> ParseWalSyncMode(std::string_view name) {
 Wal::Wal(std::string dir, const WalOptions& options, uint64_t next_lsn)
     : dir_(std::move(dir)),
       options_(options),
-      next_lsn_(next_lsn == 0 ? 1 : next_lsn) {
+      next_lsn_(next_lsn == 0 ? 1 : next_lsn),
+      // The log sequence continues from recovery: everything before
+      // next_lsn_ is already durably appended (replication standbys resume
+      // their stream from here), and so is trivially "synced" — there is
+      // nothing buffered for Sync() to wait on.
+      appended_lsn_(next_lsn_ - 1),
+      synced_lsn_(next_lsn_ - 1) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   commits_ = reg.counter("wal.commits");
   append_bytes_ = reg.counter("wal.append_bytes");
@@ -298,7 +333,47 @@ Result<uint64_t> Wal::AppendCommit(int64_t txn_id,
   appended_lsn_ = commit.lsn;
   commits_->Add(1);
   append_bytes_->Add(static_cast<int64_t>(group.size()));
+  if (commit_sink_) commit_sink_(begin.lsn, commit.lsn, group);
   return commit.lsn;
+}
+
+Status Wal::AppendRaw(std::string_view frames, uint64_t first_lsn,
+                      uint64_t last_lsn) {
+  if (frames.empty() || last_lsn < first_lsn) {
+    return Status::InvalidArgument("wal raw append: empty or inverted batch");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (broken_) {
+    return Status::IOError("wal is broken after a failed partial write");
+  }
+  if (first_lsn != next_lsn_) {
+    return Status::InvalidArgument(StrFormat(
+        "wal raw append: batch starts at lsn %llu, expected %llu",
+        static_cast<unsigned long long>(first_lsn),
+        static_cast<unsigned long long>(next_lsn_)));
+  }
+  const uint64_t group_start = segment_bytes_;
+  if (Status s = WriteAll(fd_, frames.data(), frames.size()); !s.ok()) {
+    if (::ftruncate(fd_, static_cast<off_t>(group_start)) != 0) {
+      broken_ = true;
+      return Status::IOError(s.message() +
+                             " (and truncating the torn group failed: " +
+                             strerror(errno) + ")");
+    }
+    return s;
+  }
+  segment_bytes_ += frames.size();
+  next_lsn_ = last_lsn + 1;
+  appended_lsn_ = last_lsn;
+  commits_->Add(1);
+  append_bytes_->Add(static_cast<int64_t>(frames.size()));
+  if (commit_sink_) commit_sink_(first_lsn, last_lsn, frames);
+  return Status::Ok();
+}
+
+void Wal::set_commit_sink(CommitSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  commit_sink_ = std::move(sink);
 }
 
 Status Wal::SyncFd() {
@@ -361,7 +436,7 @@ Status Wal::StartNewSegment() {
   return OpenSegmentLocked(segment_index_ + 1);
 }
 
-Status Wal::RetireOldSegments() {
+Status Wal::RetireOldSegments(uint64_t min_keep_lsn) {
   int64_t current;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -369,9 +444,17 @@ Status Wal::RetireOldSegments() {
   }
   LDV_ASSIGN_OR_RETURN(std::vector<std::string> segments, ListWalSegments(dir_));
   for (const std::string& file : segments) {
-    if (WalSegmentIndex(file) < current) {
-      LDV_RETURN_IF_ERROR(RemoveAll(JoinPath(dir_, file)));
+    if (WalSegmentIndex(file) >= current) continue;
+    if (min_keep_lsn != UINT64_MAX) {
+      // A standby may still need this segment: keep it unless every record
+      // in it is below the minimum acknowledged LSN.
+      LDV_ASSIGN_OR_RETURN(WalSegmentScan scan,
+                           ScanWalSegment(JoinPath(dir_, file)));
+      if (!scan.records.empty() && scan.records.back().lsn >= min_keep_lsn) {
+        continue;
+      }
     }
+    LDV_RETURN_IF_ERROR(RemoveAll(JoinPath(dir_, file)));
   }
   return Status::Ok();
 }

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -77,6 +78,12 @@ struct WalSegmentScan {
 /// final segment) or fail (corruption in the middle of the log).
 Result<WalSegmentScan> ScanWalSegment(const std::string& path);
 
+/// Strictly decodes a buffer of concatenated record frames (no segment
+/// header) — the payload format of the replication stream. Unlike a segment
+/// scan, any torn or corrupt frame is an error: streamed batches arrive over
+/// a checksummed transport and must decode completely.
+Result<std::vector<WalRecord>> DecodeWalRecords(std::string_view bytes);
+
 /// Segment file names under a WAL directory ("wal-00000001.log", ...),
 /// sorted by segment index. Missing directory yields an empty list.
 Result<std::vector<std::string>> ListWalSegments(const std::string& dir);
@@ -115,6 +122,22 @@ class Wal {
   /// write the group is truncated away so the segment stays clean.
   Result<uint64_t> AppendCommit(int64_t txn_id, const std::vector<WalOp>& ops);
 
+  /// Appends pre-encoded record frames verbatim, preserving the LSNs the
+  /// primary assigned (the standby's apply path: frames are made durable
+  /// locally *before* they are applied, so standby crash-recovery replays
+  /// the same log a primary would). `first_lsn` must continue the local
+  /// sequence; `last_lsn` becomes the new last-appended LSN.
+  Status AppendRaw(std::string_view frames, uint64_t first_lsn,
+                   uint64_t last_lsn);
+
+  /// Observes every group the moment it is appended (before it is synced),
+  /// with the group's encoded frames. Invoked with the WAL mutex held —
+  /// the sink must not call back into this Wal. Set once at startup,
+  /// before traffic.
+  using CommitSink = std::function<void(uint64_t first_lsn, uint64_t last_lsn,
+                                        std::string_view frames)>;
+  void set_commit_sink(CommitSink sink);
+
   /// Blocks until every record up to `lsn` is durable per the sync mode.
   Status Sync(uint64_t lsn);
 
@@ -125,9 +148,12 @@ class Wal {
   /// appends to a fresh segment.
   Status StartNewSegment();
 
-  /// Deletes all segments older than the current one. Callers invoke this
-  /// only after the snapshot covering them is durable.
-  Status RetireOldSegments();
+  /// Deletes segments older than the current one. Callers invoke this only
+  /// after the snapshot covering them is durable. When `min_keep_lsn` is
+  /// given, segments still holding records at or above it survive — they are
+  /// the catch-up source for replication standbys that have not acknowledged
+  /// past that point.
+  Status RetireOldSegments(uint64_t min_keep_lsn = UINT64_MAX);
 
   const std::string& dir() const { return dir_; }
   int64_t segment_index() const;
@@ -152,6 +178,7 @@ class Wal {
   uint64_t synced_lsn_ = 0;    // last LSN known durable
   bool sync_in_progress_ = false;
   bool broken_ = false;  // a failed partial-write cleanup poisons the log
+  CommitSink commit_sink_;
 
   obs::Counter* commits_ = nullptr;
   obs::Counter* append_bytes_ = nullptr;

@@ -277,6 +277,68 @@ TEST_F(RecoveryTest, CheckpointRetiresSegmentsAndRecoveryUsesSnapshot) {
   EXPECT_EQ(Scan(&db2, "t"), "0=0;1=10;2=20;3=30;4=40;5=50;6=60;");
 }
 
+TEST_F(RecoveryTest, JunkFilesInWalDirAreSkippedLoudly) {
+  {
+    Database db;
+    auto engine = OpenEngine(&db);
+    ASSERT_TRUE(Run(engine.get(), "CREATE TABLE t (id INT, v INT)").ok());
+    ASSERT_TRUE(Run(engine.get(), "INSERT INTO t VALUES (1, 10)").ok());
+  }
+  // Strays that land in real WAL directories: editor droppings, tempfiles,
+  // an almost-right name. None of them parse as a segment; listing warns
+  // and skips them instead of tripping recovery.
+  ASSERT_TRUE(WriteStringToFile(JoinPath(wal_dir_, "notes.txt"), "junk").ok());
+  ASSERT_TRUE(
+      WriteStringToFile(JoinPath(wal_dir_, "wal-000000zz.log"), "junk").ok());
+  ASSERT_TRUE(
+      WriteStringToFile(JoinPath(wal_dir_, "wal-00000001.log.bak"), "junk")
+          .ok());
+  auto segments = ListWalSegments(wal_dir_);
+  ASSERT_TRUE(segments.ok());
+  for (const auto& name : *segments) {
+    EXPECT_GE(WalSegmentIndex(name), 0) << "junk listed as segment: " << name;
+  }
+  Database db;
+  RecoveryStats stats;
+  ASSERT_TRUE(exec::RecoverWithWal(&db, data_dir_, wal_dir_, &stats).ok());
+  EXPECT_EQ(Scan(&db, "t"), "1=10;");
+}
+
+TEST_F(RecoveryTest, SyncModeNoneCleanShutdownRecoversEverything) {
+  {
+    Database db;
+    RecoveryStats stats;
+    ASSERT_TRUE(exec::RecoverWithWal(&db, data_dir_, wal_dir_, &stats).ok());
+    WalOptions options;
+    options.sync_mode = WalSyncMode::kNone;
+    auto wal = Wal::Open(wal_dir_, options, stats.next_lsn);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    net::EngineHandle engine(&db);
+    net::EngineDurabilityOptions durability;
+    durability.data_dir = data_dir_;
+    engine.AttachWal(std::move(*wal), durability);
+    ASSERT_TRUE(Run(&engine, "CREATE TABLE t (id INT, v INT)").ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(Run(&engine, "INSERT INTO t VALUES (" + std::to_string(i) +
+                                   ", " + std::to_string(i * 10) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE(engine.FlushWal().ok());
+  }
+  // sync-mode=none trades power-failure durability for speed, but a clean
+  // shutdown must still lose nothing: every commit was written, just not
+  // fsynced.
+  Database db;
+  RecoveryStats stats;
+  ASSERT_TRUE(exec::RecoverWithWal(&db, data_dir_, wal_dir_, &stats).ok());
+  EXPECT_EQ(stats.txns_applied, 21);
+  std::string expect;
+  for (int i = 0; i < 20; ++i) {
+    expect += std::to_string(i) + "=" + std::to_string(i * 10) + ";";
+  }
+  EXPECT_EQ(Scan(&db, "t"), expect);
+}
+
 TEST_F(RecoveryTest, SyncModeParses) {
   EXPECT_TRUE(ParseWalSyncMode("fsync").ok());
   EXPECT_TRUE(ParseWalSyncMode("fdatasync").ok());

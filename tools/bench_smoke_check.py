@@ -41,6 +41,15 @@ same SELECT as literal SQL. On smaller/noisier boxes the 2x bound is
 SKIPPED (loudly) and only a no-regression floor is enforced: EXECUTE must
 keep >= 0.9x the literal QPS (the cache lookup must never cost more than
 the parse/plan it saves).
+
+Given a seventh argument (the BENCH_REPL.json summary bench_repl emits),
+asserts the replication bounds (DESIGN.md §14): with >= 4 hardware
+threads, failover (primary death -> promoted standby serving a write
+through the multi-endpoint client) must complete within 2 s, and the hot
+standby must serve reads at >= 0.8x the primary's QPS. On smaller boxes
+the read-ratio bound is SKIPPED (loudly) with a relaxed 0.5x floor, and
+the failover ceiling is relaxed to 10 s — a replica that takes tens of
+seconds to take over is broken on any hardware.
 """
 import json
 import sys
@@ -59,6 +68,12 @@ CONCURRENT_MIN_HW = 4
 PREPARED_SPEEDUP = 2.0
 PREPARED_NO_REGRESSION = 0.9
 PREPARED_MIN_HW = 4
+# Replication: failover ceiling, standby-read floor (vs primary reads).
+REPL_FAILOVER_MS = 2000.0
+REPL_FAILOVER_RELAXED_MS = 10000.0
+REPL_READ_RATIO = 0.8
+REPL_READ_RATIO_RELAXED = 0.5
+REPL_MIN_HW = 4
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -226,12 +241,61 @@ def check_prepared(path):
                 f" (floor {PREPARED_NO_REGRESSION}x)")
 
 
+def check_repl(path):
+    with open(path) as f:
+        summary = json.load(f)
+    hw = summary.get("hardware_threads", 1)
+    for field in ("write_qps", "steady_lag_mean_lsn", "steady_lag_max_lsn",
+                  "failover_ms", "primary_read_qps", "standby_read_qps"):
+        if field not in summary:
+            raise SystemExit(
+                f"bench_smoke_check: {field} missing from {path}")
+    failover = summary["failover_ms"]
+    primary = summary["primary_read_qps"]
+    standby = summary["standby_read_qps"]
+    if primary <= 0 or standby <= 0:
+        raise SystemExit(
+            "bench_smoke_check: a replication read side ran zero queries")
+    ratio = standby / primary
+    print(f"bench_smoke_check: repl {summary['write_qps']:.0f} semi-sync"
+          f" writes/s (lag mean {summary['steady_lag_mean_lsn']:.2f} max"
+          f" {summary['steady_lag_max_lsn']} lsn), standby reads"
+          f" {ratio:.2f}x primary, failover {failover:.1f}ms")
+    if hw >= REPL_MIN_HW:
+        if failover > REPL_FAILOVER_MS:
+            raise SystemExit(
+                f"bench_smoke_check: failover took {failover:.0f}ms"
+                f" (ceiling {REPL_FAILOVER_MS:.0f}ms on {hw} cores)")
+        if ratio < REPL_READ_RATIO:
+            raise SystemExit(
+                f"bench_smoke_check: standby served only {ratio:.2f}x the"
+                f" primary's read QPS (floor {REPL_READ_RATIO}x on"
+                f" {hw} cores)")
+        print(f"bench_smoke_check: replication bounds"
+              f" (failover <= {REPL_FAILOVER_MS:.0f}ms, standby reads"
+              f" >= {REPL_READ_RATIO}x) met on {hw} cores")
+    else:
+        print(f"bench_smoke_check: SKIPPING the strict replication bounds:"
+              f" only {hw} hardware thread(s) available"
+              f" (needs >= {REPL_MIN_HW}); enforcing relaxed floors only")
+        if failover > REPL_FAILOVER_RELAXED_MS:
+            raise SystemExit(
+                f"bench_smoke_check: failover took {failover:.0f}ms even"
+                f" against the relaxed {REPL_FAILOVER_RELAXED_MS:.0f}ms"
+                f" ceiling — promotion is broken on any hardware")
+        if ratio < REPL_READ_RATIO_RELAXED:
+            raise SystemExit(
+                f"bench_smoke_check: standby served only {ratio:.2f}x the"
+                f" primary's read QPS on a {hw}-core box"
+                f" (relaxed floor {REPL_READ_RATIO_RELAXED}x)")
+
+
 def main():
-    if len(sys.argv) not in (3, 4, 5, 6, 7):
+    if len(sys.argv) not in (3, 4, 5, 6, 7, 8):
         raise SystemExit(
             "usage: bench_smoke_check.py BENCH_JSON METRICS_JSON"
             " [PARALLEL_JSON [GOVERNANCE_JSON [CONCURRENT_JSON"
-            " [PREPARED_JSON]]]]")
+            " [PREPARED_JSON [REPL_JSON]]]]]")
     with open(sys.argv[1]) as f:
         benchmarks = json.load(f)["benchmarks"]
     span_ns = real_ns(benchmarks, "BM_ObsSpanDisabled")
@@ -276,6 +340,8 @@ def main():
         check_concurrent(sys.argv[5])
     if len(sys.argv) >= 7:
         check_prepared(sys.argv[6])
+    if len(sys.argv) >= 8:
+        check_repl(sys.argv[7])
     print("bench_smoke_check: ok")
 
 

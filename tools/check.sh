@@ -25,26 +25,40 @@
 #
 # --torture N runs N seeded kill-at-faultpoint iterations of crash_torture
 # (on top of the short smoke pass ctest already includes).
+#
+# --repl-torture N runs N seeded iterations of the replication chaos
+# campaign (crash_torture --repl): kill the streaming primary at WAL/net
+# fault points, sever the stream mid-load, promote the hot standby, and
+# verify zero committed-data loss plus bit-identical standby restart.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
 TSAN=0
 TORTURE_ITERS=0
+REPL_TORTURE_ITERS=0
 expect_torture=0
+expect_repl_torture=0
 for arg in "$@"; do
   if [[ "$expect_torture" == 1 ]]; then
     TORTURE_ITERS="$arg"; expect_torture=0; continue
+  fi
+  if [[ "$expect_repl_torture" == 1 ]]; then
+    REPL_TORTURE_ITERS="$arg"; expect_repl_torture=0; continue
   fi
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
     --tsan) TSAN=1 ;;
     --torture) expect_torture=1 ;;
+    --repl-torture) expect_repl_torture=1 ;;
     *) echo "check.sh: unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 if [[ "$expect_torture" == 1 ]]; then
   echo "check.sh: --torture needs an iteration count" >&2; exit 2
+fi
+if [[ "$expect_repl_torture" == 1 ]]; then
+  echo "check.sh: --repl-torture needs an iteration count" >&2; exit 2
 fi
 
 echo "== tracked build artifacts =="
@@ -72,22 +86,30 @@ if [[ "$BENCH_SMOKE" == 1 ]]; then
     --benchmark_out=build/bench_smoke.json --benchmark_out_format=json
   ./build/bench/bench_concurrent build/bench_concurrent.json
   ./build/bench/bench_prepared build/bench_prepared.json
+  ./build/bench/bench_repl build/bench_repl.json
   python3 tools/bench_smoke_check.py build/bench_smoke.json \
     build/metrics_smoke.json build/bench_parallel.json \
     build/bench_governance.json build/bench_concurrent.json \
-    build/bench_prepared.json
+    build/bench_prepared.json build/bench_repl.json
   # Repo-root artifacts so a gate run leaves an inspectable record.
   cp build/bench_smoke.json BENCH_SMOKE.json
   cp build/bench_parallel.json BENCH_PARALLEL.json
   cp build/bench_governance.json BENCH_GOVERNANCE.json
   cp build/bench_concurrent.json BENCH_CONCURRENT.json
   cp build/bench_prepared.json BENCH_PREPARED.json
+  cp build/bench_repl.json BENCH_REPL.json
 fi
 
 if [[ "$TORTURE_ITERS" -gt 0 ]]; then
   echo "== crash torture ($TORTURE_ITERS iterations) =="
   ./build/tools/crash_torture --iters "$TORTURE_ITERS" --threads 4 \
     --units 30 --seed "${TORTURE_SEED:-42}"
+fi
+
+if [[ "$REPL_TORTURE_ITERS" -gt 0 ]]; then
+  echo "== replication chaos torture ($REPL_TORTURE_ITERS iterations) =="
+  ./build/tools/crash_torture --repl --iters "$REPL_TORTURE_ITERS" \
+    --threads 3 --units 25 --seed "${TORTURE_SEED:-42}"
 fi
 
 echo "== asan+ubsan build =="
@@ -101,11 +123,11 @@ if [[ "$TSAN" == 1 ]]; then
   cmake --build build-tsan -j --target \
     thread_pool_test parallel_exec_test exec_select_test exec_features_test \
     net_test txn_test governance_test mvcc_test prepared_statement_test \
-    prepared_fuzz_test
+    prepared_fuzz_test repl_test
   # -R must precede the bare -j: ctest would otherwise swallow it as the
   # job count and silently run the whole (mostly unbuilt) suite.
   (cd build-tsan && ctest --output-on-failure --timeout 240 \
-    -R 'ThreadPool|Parallel|ExecSelect|ExecFeatures|Net|Txn|Governance|Mvcc|SharedMutex|SnapshotManager|Prepared|Normalize' -j)
+    -R 'ThreadPool|Parallel|ExecSelect|ExecFeatures|Net|Txn|Governance|Mvcc|SharedMutex|SnapshotManager|Prepared|Normalize|Repl' -j)
 fi
 
 echo "check.sh: plain and sanitizer suites both passed"

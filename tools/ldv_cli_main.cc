@@ -78,7 +78,12 @@ int Usage() {
       "               or omitted targets every statement of the process)\n"
       "  ldv stats   --db-socket PATH\n"
       "              (print a live server's metrics snapshot as JSON:\n"
-      "               counters, in-flight statements, snapshot/lock state)\n"
+      "               counters, in-flight statements, snapshot/lock state,\n"
+      "               plus a replication summary — role, applied LSN,\n"
+      "               per-standby lag — when the server has a WAL)\n"
+      "  ldv promote --db-socket PATH\n"
+      "              (failover: flip a hot standby into a writable primary\n"
+      "               after its apply queue drains; idempotent)\n"
       "global: --threads N   query degree of parallelism (default: hardware\n"
       "                      concurrency; 1 disables parallel execution)\n"
       "        --plan-cache-entries N   bound on the shared prepared-\n"
@@ -421,6 +426,49 @@ int CmdStats(const Flags& flags) {
   ldv::Result<ldv::Json> stats = ldv::net::FetchServerStats(client->get());
   if (!stats.ok()) return Fail(stats.status());
   std::printf("%s\n", stats->Dump(/*pretty=*/true).c_str());
+  // Replication at a glance (servers without a WAL have no such section).
+  const ldv::Json* repl = stats->Find("replication");
+  if (repl != nullptr && repl->is_object()) {
+    std::printf("replication: role=%s",
+                repl->GetString("role", "?").c_str());
+    if (const ldv::Json* applied = repl->Find("applied_lsn")) {
+      std::printf(" applied_lsn=%lld lag_lsn=%lld",
+                  static_cast<long long>(applied->AsInt()),
+                  static_cast<long long>(repl->GetInt("lag_lsn", 0)));
+      const std::string error = repl->GetString("last_error", "");
+      if (!error.empty()) std::printf(" last_error=\"%s\"", error.c_str());
+    } else {
+      std::printf(" last_appended_lsn=%lld",
+                  static_cast<long long>(repl->GetInt("last_appended_lsn", 0)));
+    }
+    std::printf("\n");
+    const ldv::Json* standbys = repl->Find("standbys");
+    if (standbys != nullptr && standbys->is_array()) {
+      for (const ldv::Json& standby : standbys->AsArray()) {
+        std::printf("  standby %s: acked_lsn=%lld lag_lsn=%lld "
+                    "last_seen=%lldms ago\n",
+                    standby.GetString("standby", "?").c_str(),
+                    static_cast<long long>(standby.GetInt("acked_lsn", 0)),
+                    static_cast<long long>(standby.GetInt("lag_lsn", 0)),
+                    static_cast<long long>(
+                        standby.GetInt("last_seen_ms_ago", 0)));
+      }
+    }
+  }
+  return 0;
+}
+
+/// `ldv promote`: flips a hot standby into a writable primary (kPromote).
+/// Safe to re-issue; an already-primary server answers idempotently.
+int CmdPromote(const Flags& flags) {
+  if (!flags.named.count("db-socket")) return Usage();
+  auto client =
+      ldv::net::SocketDbClient::Connect(flags.named.at("db-socket"));
+  if (!client.ok()) return Fail(client.status());
+  ldv::Result<uint64_t> applied = ldv::net::PromoteServer(client->get());
+  if (!applied.ok()) return Fail(applied.status());
+  std::printf("ldv: promoted; server is primary at lsn %llu\n",
+              static_cast<unsigned long long>(*applied));
   return 0;
 }
 
@@ -439,8 +487,16 @@ int main(int argc, char** argv) {
   if (flags.named.count("plan-cache-entries")) {
     // Bound on the shared prepared-statement plan cache; 0 disables
     // caching, every EXECUTE then replans (DESIGN.md §13).
-    ldv::exec::PlanCache::Global().set_capacity(static_cast<size_t>(
-        std::atoll(flags.named.at("plan-cache-entries").c_str())));
+    const int64_t entries =
+        std::atoll(flags.named.at("plan-cache-entries").c_str());
+    if (entries < 0) {
+      std::fprintf(stderr,
+                   "ldv: --plan-cache-entries must be >= 0 (got %lld); 0 "
+                   "disables caching\n",
+                   static_cast<long long>(entries));
+      return 2;
+    }
+    ldv::exec::PlanCache::Global().set_capacity(static_cast<size_t>(entries));
   }
   if (command == "audit") return CmdAudit(flags);
   if (command == "replay") return CmdReplay(flags);
@@ -450,5 +506,6 @@ int main(int argc, char** argv) {
   if (command == "ptrace") return CmdPtrace(flags);
   if (command == "cancel") return CmdCancel(flags);
   if (command == "stats") return CmdStats(flags);
+  if (command == "promote") return CmdPromote(flags);
   return Usage();
 }

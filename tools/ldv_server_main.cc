@@ -26,7 +26,8 @@
 //                     with a statement in flight (idle sessions are skipped;
 //                     an idle server does not poll at all)
 //   --dedup-ttl-ms N  idle lifetime of response-dedup cache entries
-//                     (0 = no TTL; capacity still bounds the cache)
+//                     (omit the flag for no TTL; capacity still bounds the
+//                     cache)
 //   --fault SPEC      arm the fault injector, e.g. "net.send=p:0.1;net.recv=p:0.1"
 //   --fault-seed N    seed of the injector's deterministic streams
 //   --metrics-out F   write a metrics snapshot (JSON) to F on shutdown
@@ -46,6 +47,14 @@
 //   --plan-cache-entries N  bound on the shared prepared-statement plan
 //                     cache (statements; default 256, 0 disables caching so
 //                     every EXECUTE replans)
+//   --replicate-from SOCKET  run as a hot standby of the primary listening
+//                     on SOCKET: stream its WAL, apply it continuously,
+//                     serve reads, reject writes until promoted
+//                     (`ldv promote`). Requires --wal-dir.
+//   --standby-name NAME  name this standby registers under on the primary
+//
+// The duration flags (--io-timeout-ms, --disconnect-poll-ms, --dedup-ttl-ms)
+// require positive values; zero or negative is a usage error (exit 2).
 
 #include <signal.h>
 
@@ -61,6 +70,8 @@
 #include "exec/wal_redo.h"
 #include "net/db_server.h"
 #include "obs/metrics.h"
+#include "repl/primary.h"
+#include "repl/standby.h"
 #include "obs/span.h"
 #include "storage/persistence.h"
 #include "storage/recovery.h"
@@ -80,6 +91,13 @@ int Fail(const ldv::Status& status) {
   return 1;
 }
 
+int FailUsage(const char* flag, int64_t value) {
+  std::fprintf(stderr,
+               "ldv_server: %s requires a positive value (got %lld)\n", flag,
+               static_cast<long long>(value));
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,6 +106,8 @@ int main(int argc, char** argv) {
   std::string wal_dir;
   std::string sync_mode = "fsync";
   int64_t checkpoint_every = 0;
+  std::string replicate_from;
+  std::string standby_name = "standby";
   std::string fault_spec;
   std::string metrics_out;
   std::string trace_out;
@@ -119,11 +139,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-conns") {
       server_options.max_connections = std::atoi(next());
     } else if (arg == "--io-timeout-ms") {
-      server_options.io_timeout_micros = std::atoll(next()) * 1000;
+      const int64_t millis = std::atoll(next());
+      if (millis <= 0) return FailUsage("--io-timeout-ms", millis);
+      server_options.io_timeout_micros = millis * 1000;
     } else if (arg == "--disconnect-poll-ms") {
-      server_options.disconnect_poll_millis = std::atoll(next());
+      const int64_t millis = std::atoll(next());
+      if (millis <= 0) return FailUsage("--disconnect-poll-ms", millis);
+      server_options.disconnect_poll_millis = millis;
     } else if (arg == "--dedup-ttl-ms") {
-      server_options.dedup_ttl_millis = std::atoll(next());
+      const int64_t millis = std::atoll(next());
+      if (millis <= 0) return FailUsage("--dedup-ttl-ms", millis);
+      server_options.dedup_ttl_millis = millis;
+    } else if (arg == "--replicate-from") {
+      replicate_from = next();
+    } else if (arg == "--standby-name") {
+      standby_name = next();
     } else if (arg == "--fault") {
       fault_spec = next();
     } else if (arg == "--fault-seed") {
@@ -139,8 +169,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--mem-limit-mb") {
       mem_limit_mb = std::atoll(next());
     } else if (arg == "--plan-cache-entries") {
+      const int64_t entries = std::atoll(next());
+      if (entries < 0) {
+        std::fprintf(stderr,
+                     "ldv_server: --plan-cache-entries must be >= 0 (got "
+                     "%lld); 0 disables caching\n",
+                     static_cast<long long>(entries));
+        return 2;
+      }
       ldv::exec::PlanCache::Global().set_capacity(
-          static_cast<size_t>(std::atoll(next())));
+          static_cast<size_t>(entries));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: ldv_server --socket PATH [--data DIR] [--tpch SF] "
@@ -150,7 +188,8 @@ int main(int argc, char** argv) {
           "[--fault SPEC] [--fault-seed N] "
           "[--metrics-out FILE] [--trace-out FILE] [--threads N] "
           "[--statement-timeout-ms N] [--mem-limit-mb N] "
-          "[--plan-cache-entries N]\n");
+          "[--plan-cache-entries N] "
+          "[--replicate-from SOCKET] [--standby-name NAME]\n");
       return 0;
     } else {
       std::fprintf(stderr, "ldv_server: unknown flag %s\n", arg.c_str());
@@ -245,23 +284,81 @@ int main(int argc, char** argv) {
                 static_cast<long long>(checkpoint_every));
   }
 
+  // Replication (DESIGN.md §14). Any server with a WAL can feed standbys;
+  // --replicate-from additionally makes this server a hot standby of the
+  // named primary (read-only until promoted).
+  std::unique_ptr<ldv::repl::ReplicationManager> repl_manager;
+  std::unique_ptr<ldv::repl::StandbyReplicator> replicator;
+  if (!replicate_from.empty() && wal_dir.empty()) {
+    std::fprintf(stderr,
+                 "ldv_server: --replicate-from requires --wal-dir (the "
+                 "standby streams into its own durable log)\n");
+    return 2;
+  }
+  if (engine.wal() != nullptr) {
+    repl_manager =
+        std::make_unique<ldv::repl::ReplicationManager>(engine.wal());
+    engine.set_commit_ack_barrier([&repl_manager](uint64_t lsn) {
+      return repl_manager->WaitDurable(lsn);
+    });
+    engine.set_wal_retire_floor(
+        [&repl_manager] { return repl_manager->RetireFloor(); });
+  }
+  if (!replicate_from.empty()) {
+    ldv::repl::StandbyReplicator::Options standby_options;
+    standby_options.standby_name = standby_name;
+    replicator = std::make_unique<ldv::repl::StandbyReplicator>(
+        &engine, replicate_from, standby_options);
+    repl_manager->set_role("standby");
+  }
+
   // Handlers go in before the listener opens: a SIGTERM racing startup must
   // still drain instead of killing a half-started server.
   signal(SIGINT, HandleSignal);
   signal(SIGTERM, HandleSignal);
 
   ldv::net::DbServer server(&engine, socket_path, server_options);
+  if (repl_manager != nullptr) {
+    server.set_repl_handler(
+        [&repl_manager, &replicator](const ldv::net::DbRequest& request)
+            -> ldv::Result<ldv::exec::ResultSet> {
+          if (request.kind == ldv::net::RequestKind::kPromote &&
+              replicator != nullptr) {
+            // Drain the apply loop, flip writable; idempotent on repeat.
+            const uint64_t applied = replicator->Promote();
+            repl_manager->set_role("primary");
+            return ldv::repl::MakePromoteResult("primary", applied);
+          }
+          return repl_manager->HandleRequest(request);
+        });
+    server.set_stats_augmenter([&repl_manager, &replicator](ldv::Json* stats) {
+      if (replicator != nullptr && !replicator->promoted()) {
+        replicator->AugmentStats(stats);
+      } else {
+        repl_manager->AugmentStats(stats);
+      }
+    });
+  }
   ldv::Status started = server.Start();
   if (!started.ok()) return Fail(started);
   std::printf("ldv_server: listening on %s\n", socket_path.c_str());
+  if (replicator != nullptr) {
+    replicator->Start();
+    std::printf("ldv_server: hot standby of %s (read-only until promoted)\n",
+                replicate_from.c_str());
+  }
 
   while (!g_stop.load()) {
     struct timespec ts = {0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
   }
   // Graceful drain: stop accepting, finish in-flight requests, then make
-  // the log durable before any snapshotting.
+  // the log durable before any snapshotting. The replication manager shuts
+  // down first so committers blocked on standby acks wake up instead of
+  // pinning the drain.
+  if (repl_manager != nullptr) repl_manager->Shutdown();
   server.Stop();
+  if (replicator != nullptr) replicator->Stop();
   ldv::Status flushed = engine.FlushWal();
   if (!flushed.ok()) return Fail(flushed);
   // Saves must not be sabotaged by an armed injector: the data files and
