@@ -1,0 +1,400 @@
+#include "exec/column_batch.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ldv::exec {
+
+using storage::Value;
+using storage::ValueType;
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      i64.reserve(n);
+      break;
+    case ValueType::kDouble:
+      f64.reserve(n);
+      break;
+    case ValueType::kString:
+      str.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::ResizeZero(size_t n) {
+  length = n;
+  nulls.assign(n, 0);
+  switch (type) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      i64.assign(n, 0);
+      break;
+    case ValueType::kDouble:
+      f64.assign(n, 0);
+      break;
+    case ValueType::kString:
+      str.assign(n, std::string_view());
+      break;
+  }
+}
+
+void ColumnVector::AppendNull() {
+  if (type == ValueType::kNull) {
+    ++length;
+    return;
+  }
+  if (nulls.empty()) nulls.assign(length, 0);
+  nulls.push_back(1);
+  switch (type) {
+    case ValueType::kInt64:
+      i64.push_back(0);
+      break;
+    case ValueType::kDouble:
+      f64.push_back(0);
+      break;
+    case ValueType::kString:
+      str.push_back(std::string_view());
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  ++length;
+}
+
+void ColumnVector::AppendInt(int64_t v) {
+  LDV_CHECK(type == ValueType::kInt64);
+  if (!nulls.empty()) nulls.push_back(0);
+  i64.push_back(v);
+  ++length;
+}
+
+void ColumnVector::AppendDouble(double v) {
+  LDV_CHECK(type == ValueType::kDouble);
+  if (!nulls.empty()) nulls.push_back(0);
+  f64.push_back(v);
+  ++length;
+}
+
+void ColumnVector::AppendStr(std::string_view v) {
+  LDV_CHECK(type == ValueType::kString);
+  if (!nulls.empty()) nulls.push_back(0);
+  str.push_back(v);
+  ++length;
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t i) {
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (type) {
+    case ValueType::kInt64:
+      AppendInt(src.i64[i]);
+      break;
+    case ValueType::kDouble:
+      AppendDouble(src.f64[i]);
+      break;
+    case ValueType::kString:
+      AppendStr(src.str[i]);
+      break;
+    case ValueType::kNull:
+      AppendNull();
+      break;
+  }
+}
+
+void ColumnVector::AppendColumn(const ColumnVector& src) {
+  if (src.length == 0) return;
+  if (type == ValueType::kNull) {
+    // Every cell is NULL by type; no payload or null map to maintain.
+    length += src.length;
+    return;
+  }
+  const size_t new_length = length + src.length;
+  if (src.type == ValueType::kNull) {
+    // All-NULL stretch of a typed column: zero payload, null bytes set.
+    if (nulls.empty()) nulls.assign(length, 0);
+    nulls.resize(new_length, 1);
+    switch (type) {
+      case ValueType::kInt64:
+        i64.resize(new_length, 0);
+        break;
+      case ValueType::kDouble:
+        f64.resize(new_length, 0);
+        break;
+      case ValueType::kString:
+        str.resize(new_length);
+        break;
+      case ValueType::kNull:
+        break;
+    }
+    length = new_length;
+    return;
+  }
+  LDV_CHECK(src.type == type);
+  if (!src.nulls.empty()) {
+    if (nulls.empty()) nulls.assign(length, 0);
+    nulls.insert(nulls.end(), src.nulls.begin(), src.nulls.end());
+  } else if (!nulls.empty()) {
+    nulls.resize(new_length, 0);
+  }
+  switch (type) {
+    case ValueType::kInt64:
+      i64.insert(i64.end(), src.i64.begin(), src.i64.end());
+      break;
+    case ValueType::kDouble:
+      f64.insert(f64.end(), src.f64.begin(), src.f64.end());
+      break;
+    case ValueType::kString:
+      str.insert(str.end(), src.str.begin(), src.str.end());
+      break;
+    case ValueType::kNull:
+      break;
+  }
+  length = new_length;
+}
+
+void ColumnVector::SetFrom(size_t dst, const ColumnVector& src, size_t i) {
+  if (type == ValueType::kNull) return;  // stays NULL
+  if (src.IsNull(i)) {
+    nulls[dst] = 1;
+    return;
+  }
+  switch (type) {
+    case ValueType::kInt64:
+      i64[dst] = src.i64[i];
+      break;
+    case ValueType::kDouble:
+      f64[dst] = src.f64[i];
+      break;
+    case ValueType::kString:
+      str[dst] = src.str[i];
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64:
+      return Value::Int(i64[i]);
+    case ValueType::kDouble:
+      return Value::Real(f64[i]);
+    case ValueType::kString:
+      return Value::Str(std::string(str[i]));
+    case ValueType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+bool CellsEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
+                size_t j) {
+  const bool an = a.IsNull(i);
+  const bool bn = b.IsNull(j);
+  if (an || bn) return an && bn;
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case ValueType::kInt64:
+      return a.i64[i] == b.i64[j];
+    case ValueType::kDouble:
+      return a.f64[i] == b.f64[j];
+    case ValueType::kString:
+      return a.str[i] == b.str[j];
+    case ValueType::kNull:
+      return true;
+  }
+  return false;
+}
+
+bool CellEqualsValue(const ColumnVector& a, size_t i, const Value& v) {
+  if (a.IsNull(i)) return v.is_null();
+  if (v.type() != a.type) return false;
+  switch (a.type) {
+    case ValueType::kInt64:
+      return a.i64[i] == v.AsInt();
+    case ValueType::kDouble:
+      return a.f64[i] == v.AsDouble();
+    case ValueType::kString:
+      return a.str[i] == v.AsString();
+    case ValueType::kNull:
+      return true;
+  }
+  return false;
+}
+
+bool JoinKeyCellsEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
+                       size_t j) {
+  if (a.IsNull(i) || b.IsNull(j)) return false;
+  const bool a_str = a.type == ValueType::kString;
+  const bool b_str = b.type == ValueType::kString;
+  if (a_str != b_str) return false;  // Compare error => not equal
+  if (a_str) return a.str[i] == b.str[j];
+  if (a.type == ValueType::kInt64 && b.type == ValueType::kInt64) {
+    return a.i64[i] == b.i64[j];
+  }
+  // Mixed/double keys go through the same three-way comparison the row
+  // engine uses, so NaN (neither < nor >) still counts as "equal".
+  const double x = a.AsF64(i);
+  const double y = b.AsF64(j);
+  return !(x < y) && !(x > y);
+}
+
+int CompareCells(const ColumnVector& a, size_t i, const ColumnVector& b,
+                 size_t j) {
+  if (a.type == ValueType::kString) {
+    const int cmp = a.str[i].compare(b.str[j]);
+    return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  if (a.type == ValueType::kInt64 && b.type == ValueType::kInt64) {
+    if (a.i64[i] < b.i64[j]) return -1;
+    if (a.i64[i] > b.i64[j]) return 1;
+    return 0;
+  }
+  const double x = a.AsF64(i);
+  const double y = b.AsF64(j);
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+void GatherColumnRange(const ColumnVector& src, const size_t* sel,
+                       size_t count, size_t dst_begin, ColumnVector* dst) {
+  // NULL payload slots hold a zero default, so payloads copy unconditionally.
+  switch (src.type) {
+    case ValueType::kInt64:
+      for (size_t k = 0; k < count; ++k) {
+        dst->i64[dst_begin + k] = src.i64[sel[k]];
+      }
+      break;
+    case ValueType::kDouble:
+      for (size_t k = 0; k < count; ++k) {
+        dst->f64[dst_begin + k] = src.f64[sel[k]];
+      }
+      break;
+    case ValueType::kString:
+      for (size_t k = 0; k < count; ++k) {
+        dst->str[dst_begin + k] = src.str[sel[k]];
+      }
+      break;
+    case ValueType::kNull:
+      return;  // dst is all-NULL by type
+  }
+  if (!src.nulls.empty()) {
+    for (size_t k = 0; k < count; ++k) {
+      dst->nulls[dst_begin + k] = src.nulls[sel[k]];
+    }
+  }
+}
+
+void HashColumnCombine(const ColumnVector& col, size_t begin, size_t count,
+                       uint64_t* hashes) {
+  using storage::CombineValueHash;
+  const uint8_t* nulls = col.nulls.empty() ? nullptr : col.nulls.data();
+  switch (col.type) {
+    case ValueType::kInt64:
+      for (size_t k = 0; k < count; ++k) {
+        const size_t i = begin + k;
+        hashes[k] = CombineValueHash(
+            hashes[k], nulls != nullptr && nulls[i] != 0
+                           ? storage::kNullValueHash
+                           : storage::HashInt64Value(col.i64[i]));
+      }
+      return;
+    case ValueType::kDouble:
+      for (size_t k = 0; k < count; ++k) {
+        const size_t i = begin + k;
+        hashes[k] = CombineValueHash(
+            hashes[k], nulls != nullptr && nulls[i] != 0
+                           ? storage::kNullValueHash
+                           : storage::HashDoubleValue(col.f64[i]));
+      }
+      return;
+    case ValueType::kString:
+      for (size_t k = 0; k < count; ++k) {
+        const size_t i = begin + k;
+        hashes[k] = CombineValueHash(
+            hashes[k], nulls != nullptr && nulls[i] != 0
+                           ? storage::kNullValueHash
+                           : storage::HashStringValue(col.str[i]));
+      }
+      return;
+    case ValueType::kNull:
+      for (size_t k = 0; k < count; ++k) {
+        hashes[k] = CombineValueHash(hashes[k], storage::kNullValueHash);
+      }
+      return;
+  }
+}
+
+ColumnBatch ConcatColumnBatches(std::vector<ColumnBatch>&& parts) {
+  ColumnBatch out;
+  size_t total = 0;
+  size_t first_nonempty = parts.size();
+  for (size_t p = 0; p < parts.size(); ++p) {
+    total += parts[p].num_rows;
+    if (first_nonempty == parts.size() && !parts[p].cols.empty()) {
+      first_nonempty = p;
+    }
+  }
+  if (first_nonempty == parts.size()) return out;
+  if (parts.size() == 1) return std::move(parts[0]);
+
+  const size_t ncols = parts[first_nonempty].cols.size();
+  out.num_rows = total;
+  out.cols.resize(ncols);
+  bool any_lineage = false;
+  for (const ColumnBatch& part : parts) {
+    if (!part.lineage.empty()) any_lineage = true;
+  }
+  if (any_lineage) out.lineage.reserve(total);
+  for (size_t c = 0; c < ncols; ++c) {
+    ColumnVector& dst = out.cols[c];
+    // Result type: first non-kNull part wins (an all-NULL morsel of an
+    // otherwise typed column is typed kNull locally).
+    dst.type = ValueType::kNull;
+    bool any_null_cell = false;
+    for (const ColumnBatch& part : parts) {
+      if (part.cols.empty()) continue;
+      const ColumnVector& src = part.cols[c];
+      if (dst.type == ValueType::kNull && src.type != ValueType::kNull) {
+        dst.type = src.type;
+      }
+      if (src.type == ValueType::kNull || !src.nulls.empty()) {
+        any_null_cell = any_null_cell || src.length > 0;
+      }
+    }
+    dst.Reserve(total);
+    if (any_null_cell && dst.type != ValueType::kNull) dst.nulls.reserve(total);
+    for (const ColumnBatch& part : parts) {
+      if (part.cols.empty()) continue;
+      dst.AppendColumn(part.cols[c]);
+    }
+  }
+  if (any_lineage) {
+    for (ColumnBatch& part : parts) {
+      for (LineageSet& ls : part.lineage) out.lineage.push_back(std::move(ls));
+    }
+  }
+  return out;
+}
+
+size_t ApproxColumnRowBytes(const ColumnBatch& batch, size_t row) {
+  size_t bytes =
+      sizeof(storage::Tuple) + batch.cols.size() * sizeof(Value);
+  for (const ColumnVector& col : batch.cols) {
+    if (col.type == ValueType::kString && !col.IsNull(row)) {
+      bytes += col.str[row].size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace ldv::exec

@@ -1,0 +1,172 @@
+#ifndef LDV_EXEC_COLUMN_BATCH_H_
+#define LDV_EXEC_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace ldv::exec {
+
+/// Rows per morsel — the unit of work parallel operators fan out over.
+/// Morsel boundaries depend only on input size, never on thread count, so
+/// every decomposition-sensitive result (floating-point aggregate partials,
+/// group emission order) is reproducible at any degree of parallelism.
+inline constexpr size_t kMorselRows = 2048;
+
+/// Lineage of one output row: the set of input tuple versions it was derived
+/// from (paper Definition 7, the P_Lin dependency set).
+using LineageSet = std::vector<storage::TupleVid>;
+
+/// Materialized row-at-a-time intermediate result. `lineage` is parallel to
+/// `rows` when lineage tracking is on, otherwise empty.
+struct Batch {
+  std::vector<storage::Tuple> rows;
+  std::vector<LineageSet> lineage;
+};
+
+/// One column of a ColumnBatch: a contiguous typed array plus an optional
+/// null bitmap (byte-per-row; empty means "no NULLs in this column").
+///
+/// Exactly one payload vector — the one matching `type` — holds `length`
+/// entries; null slots hold a zero default so reads are always initialized.
+/// A column of type kNull carries no payload at all: every row is NULL.
+///
+/// String cells are std::string_view into storage owned elsewhere for the
+/// whole statement: table row versions (scans hold the table read-locked),
+/// plan-tree literals, or the caller's bound parameter tuple. The vectorized
+/// engine never materializes intermediate strings (the operators that would
+/// — CONCAT, UPPER, ... — fall back to the row engine), so no arena or
+/// keep-alive bookkeeping is needed.
+struct ColumnVector {
+  storage::ValueType type = storage::ValueType::kNull;
+  size_t length = 0;
+  std::vector<uint8_t> nulls;  // empty = dense; else length bytes, 1 = NULL
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string_view> str;
+
+  size_t size() const { return length; }
+
+  bool IsNull(size_t i) const {
+    return type == storage::ValueType::kNull ||
+           (!nulls.empty() && nulls[i] != 0);
+  }
+
+  /// Widening numeric read (kInt64 or kDouble cell).
+  double AsF64(size_t i) const {
+    return type == storage::ValueType::kInt64 ? static_cast<double>(i64[i])
+                                              : f64[i];
+  }
+
+  void Reserve(size_t n);
+
+  /// Sizes the column to `n` zero-initialized, nullable slots (the null map
+  /// is always allocated so disjoint ranges can be written concurrently).
+  void ResizeZero(size_t n);
+
+  void AppendNull();
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendStr(std::string_view v);
+  /// Appends cell `i` of `src`; src.type must equal type or the cell be NULL.
+  void AppendFrom(const ColumnVector& src, size_t i);
+  /// Bulk-appends all of `src` (same type, or one side kNull for an all-NULL
+  /// stretch of a typed column) — equivalent to AppendFrom over every cell
+  /// with the per-cell type dispatch hoisted out of the loop.
+  void AppendColumn(const ColumnVector& src);
+  /// Writes cell `i` of `src` into preallocated (ResizeZero) slot `dst`.
+  /// Safe to call concurrently for disjoint `dst` ranges.
+  void SetFrom(size_t dst, const ColumnVector& src, size_t i);
+
+  /// Materializes cell `i` as a Value (strings are copied out).
+  storage::Value GetValue(size_t i) const;
+
+  /// Hash of cell `i`, bit-identical to GetValue(i).Hash() — both are built
+  /// on the shared per-type primitives in storage/value.h.
+  uint64_t CellHash(size_t i) const {
+    if (IsNull(i)) return storage::kNullValueHash;
+    switch (type) {
+      case storage::ValueType::kInt64:
+        return storage::HashInt64Value(i64[i]);
+      case storage::ValueType::kDouble:
+        return storage::HashDoubleValue(f64[i]);
+      case storage::ValueType::kString:
+        return storage::HashStringValue(str[i]);
+      case storage::ValueType::kNull:
+        break;
+    }
+    return storage::kNullValueHash;
+  }
+};
+
+/// Structural cell equality replicating Value::operator== exactly: NULL ==
+/// NULL, matching types compare payloads (doubles via ==, so int 1 != double
+/// 1.0 and NaN != NaN), mismatched types are unequal.
+bool CellsEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
+                size_t j);
+bool CellEqualsValue(const ColumnVector& a, size_t i,
+                     const storage::Value& v);
+
+/// Join-key cell equality replicating the row engine's probe check
+/// (Compare()-based, with int<->double coercion; a NULL on either side or a
+/// string/number mix — a Compare error in the row engine — is "not equal").
+/// Note the Compare quirk survives: a NaN double key "equals" any numeric.
+bool JoinKeyCellsEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
+                       size_t j);
+
+/// Three-way comparison of two non-NULL cells whose types are statically
+/// comparable (both numeric or both string) — Value::Compare minus the error
+/// path the static kernel checks already ruled out.
+int CompareCells(const ColumnVector& a, size_t i, const ColumnVector& b,
+                 size_t j);
+
+/// Gathers `count` cells: dst[dst_begin + k] = src[sel[k]]. `dst` must be
+/// pre-sized (ResizeZero) with src's type; the type dispatch runs once per
+/// call, not per cell. Safe to call concurrently for disjoint dst ranges.
+void GatherColumnRange(const ColumnVector& src, const size_t* sel,
+                       size_t count, size_t dst_begin, ColumnVector* dst);
+
+/// Folds cell hashes into the accumulators: hashes[k] =
+/// CombineValueHash(hashes[k], col.CellHash(begin + k)) for k in [0, count),
+/// bit-identical to the per-cell form with the type dispatch hoisted.
+void HashColumnCombine(const ColumnVector& col, size_t begin, size_t count,
+                       uint64_t* hashes);
+
+/// Columnar intermediate result: per-column typed arrays, all `num_rows`
+/// long, plus the lineage annotation column (parallel per-row LineageSets,
+/// populated only when the statement tracks lineage).
+struct ColumnBatch {
+  size_t num_rows = 0;
+  std::vector<ColumnVector> cols;
+  std::vector<LineageSet> lineage;
+};
+
+/// Concatenates per-morsel batches in morsel order (columns must agree in
+/// type). Lineage columns concatenate alongside.
+ColumnBatch ConcatColumnBatches(std::vector<ColumnBatch>&& parts);
+
+/// Approximate retained bytes of one row of `batch`, mirroring the row
+/// engine's ApproxTupleBytes closely enough that memory-budget charges stay
+/// comparable across the two engines.
+size_t ApproxColumnRowBytes(const ColumnBatch& batch, size_t row);
+
+/// What one operator hands the next: either a columnar payload (`columnar`
+/// set) or a row-at-a-time Batch from a fallback operator. `batches` counts
+/// the morsel batches the producing operator's vectorized kernel processed.
+struct ColumnarResult {
+  bool columnar = false;
+  ColumnBatch columns;
+  Batch rows;
+  int64_t batches = 0;
+
+  size_t NumRows() const {
+    return columnar ? columns.num_rows : rows.rows.size();
+  }
+};
+
+}  // namespace ldv::exec
+
+#endif  // LDV_EXEC_COLUMN_BATCH_H_

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/clock.h"
+#include "exec/exec_internal.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/strings.h"
@@ -78,13 +79,12 @@ const ParallelMetrics& GetParallelMetrics() {
   return metrics;
 }
 
+}  // namespace
+
+namespace internal {
+
 size_t NumMorsels(size_t n) { return (n + kMorselRows - 1) / kMorselRows; }
 
-/// Runs `fn(begin, end, morsel)` over fixed kMorselRows chunks of [0, n) —
-/// on the pool when the context allows it and there is more than one
-/// morsel, inline (in morsel order) otherwise. The decomposition is
-/// identical either way, so per-morsel results never depend on the degree
-/// of parallelism. Records fan-out stats into `stats` when non-null.
 Status RunMorsels(ExecContext* ctx, OpStats* stats, size_t n,
                   const std::function<Status(size_t, size_t, size_t)>& fn) {
   const size_t num_morsels = NumMorsels(n);
@@ -128,7 +128,6 @@ Status RunMorsels(ExecContext* ctx, OpStats* stats, size_t n,
   return status;
 }
 
-/// Appends `src` to `dst`, moving rows (and lineage when tracked).
 void AppendBatch(Batch* dst, Batch&& src) {
   if (dst->rows.empty() && dst->lineage.empty()) {
     *dst = std::move(src);
@@ -142,7 +141,6 @@ void AppendBatch(Batch* dst, Batch&& src) {
                       std::make_move_iterator(src.lineage.end()));
 }
 
-/// Approximate retained bytes of rows[begin, end) (memory-budget charges).
 size_t ApproxRowsBytes(const std::vector<Tuple>& rows, size_t begin,
                        size_t end) {
   size_t bytes = 0;
@@ -150,8 +148,6 @@ size_t ApproxRowsBytes(const std::vector<Tuple>& rows, size_t begin,
   return bytes;
 }
 
-/// Concatenates per-morsel batches in morsel order — the parallel
-/// operators' emission order is therefore exactly the serial one.
 Batch ConcatBatches(std::vector<Batch>&& parts) {
   size_t rows = 0;
   size_t lineage = 0;
@@ -166,7 +162,13 @@ Batch ConcatBatches(std::vector<Batch>&& parts) {
   return out;
 }
 
-}  // namespace
+}  // namespace internal
+
+using internal::AppendBatch;
+using internal::ApproxRowsBytes;
+using internal::ConcatBatches;
+using internal::NumMorsels;
+using internal::RunMorsels;
 
 // ---------------------------------------------------------------------------
 // ScanNode
@@ -265,7 +267,26 @@ Result<Batch> ScanNode::ExecuteImpl(ExecContext* ctx) {
       }
       return EmitRow(ctx, row, batch, records);
     };
-    if (!ctx->parallel() || NumMorsels(n) <= 1) {
+    // LIMIT pushdown (no ORDER BY above): stop at the first morsel boundary
+    // where the limit is reached. Runs serially — the rows wanted are a
+    // prefix, so fanning the tail out would be wasted work — and emits
+    // exactly the whole-morsel prefix a limit-aware parallel decomposition
+    // would, keeping results identical to the unhinted scan's first rows.
+    // Lineage-tracked scans ignore the hint: they stamp every row they read.
+    const int64_t limit =
+        limit_hint_ >= 0 && !ctx->track_lineage ? limit_hint_ : -1;
+    if (limit >= 0) {
+      const size_t num_morsels = NumMorsels(n);
+      for (size_t m = 0; m < num_morsels; ++m) {
+        if (out.rows.size() >= static_cast<size_t>(limit)) break;
+        LDV_RETURN_IF_ERROR(ctx->CheckGovernor());
+        const size_t begin = m * kMorselRows;
+        const size_t end = std::min(n, begin + kMorselRows);
+        for (size_t i = begin; i < end; ++i) {
+          LDV_RETURN_IF_ERROR(emit_visible(i, &out, &prov));
+        }
+      }
+    } else if (!ctx->parallel() || NumMorsels(n) <= 1) {
       out.rows.reserve(n);
       if (ctx->track_lineage) out.lineage.reserve(n);
       for (size_t i = 0; i < n; ++i) {
@@ -331,6 +352,11 @@ std::string JoinNode::detail() const {
 Result<Batch> JoinNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch left, left_->Execute(ctx));
   LDV_ASSIGN_OR_RETURN(Batch right, right_->Execute(ctx));
+  return ProcessRows(ctx, std::move(left), std::move(right));
+}
+
+Result<Batch> JoinNode::ProcessRows(ExecContext* ctx, Batch&& left,
+                                    Batch&& right) {
   const bool lineage = ctx->track_lineage;
   const bool timing = ctx->profile;
   const size_t right_width =
@@ -523,6 +549,10 @@ FilterNode::FilterNode(std::unique_ptr<PlanNode> child,
 
 Result<Batch> FilterNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  return ProcessRows(ctx, std::move(in));
+}
+
+Result<Batch> FilterNode::ProcessRows(ExecContext* ctx, Batch&& in) {
   std::vector<Batch> parts(NumMorsels(in.rows.size()));
   LDV_RETURN_IF_ERROR(RunMorsels(
       ctx, &stats_, in.rows.size(),
@@ -557,6 +587,10 @@ ProjectNode::ProjectNode(std::unique_ptr<PlanNode> child,
 
 Result<Batch> ProjectNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  return ProcessRows(ctx, std::move(in));
+}
+
+Result<Batch> ProjectNode::ProcessRows(ExecContext* ctx, Batch&& in) {
   Batch out;
   out.rows.resize(in.rows.size());
   LDV_RETURN_IF_ERROR(RunMorsels(
@@ -597,47 +631,23 @@ AggregateNode::AggregateNode(std::unique_ptr<PlanNode> child,
   }
 }
 
-namespace {
+namespace internal {
 
-/// Running state for one aggregate within one group.
-struct AggState {
-  int64_t count = 0;
-  bool any = false;
-  int64_t sum_int = 0;
-  double sum_double = 0;
-  bool sum_is_double = false;
-  Value extreme;  // min/max
-};
-
-struct GroupState {
-  Tuple keys;
-  std::vector<AggState> aggs;
-  LineageSet lineage;
-};
-
-/// Hash table of groups in first-appearance order — built per morsel in
-/// phase 1, merged (in morsel order) into the global table in phase 2.
-struct GroupTable {
-  std::vector<GroupState> groups;
-  std::vector<uint64_t> hashes;  // parallel to groups
-  std::unordered_multimap<uint64_t, size_t> index;
-
-  /// Index of the group with `keys`, creating it if needed.
-  size_t FindOrCreate(uint64_t hash, Tuple&& keys, size_t num_aggs) {
-    auto [begin, end] = index.equal_range(hash);
-    for (auto it = begin; it != end; ++it) {
-      if (groups[it->second].keys == keys) return it->second;
-    }
-    size_t id = groups.size();
-    GroupState g;
-    g.keys = std::move(keys);
-    g.aggs.resize(num_aggs);
-    groups.push_back(std::move(g));
-    hashes.push_back(hash);
-    index.emplace(hash, id);
-    return id;
+size_t GroupTable::FindOrCreate(uint64_t hash, Tuple&& keys,
+                                size_t num_aggs) {
+  auto [begin, end] = index.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (groups[it->second].keys == keys) return it->second;
   }
-};
+  size_t id = groups.size();
+  GroupState g;
+  g.keys = std::move(keys);
+  g.aggs.resize(num_aggs);
+  groups.push_back(std::move(g));
+  hashes.push_back(hash);
+  index.emplace(hash, id);
+  return id;
+}
 
 Status Accumulate(AggState* state, AggregateSpec::Fn fn, const Value& v) {
   switch (fn) {
@@ -681,9 +691,6 @@ Status Accumulate(AggState* state, AggregateSpec::Fn fn, const Value& v) {
   return Status::Internal("unreachable aggregate fn");
 }
 
-/// Folds a morsel-local partial into the global state. Partials are merged
-/// in morsel order, so the (floating-point sensitive) accumulation order is
-/// a pure function of the input — never of the thread count.
 Status MergeAggState(AggState* into, const AggState& from,
                      AggregateSpec::Fn fn) {
   switch (fn) {
@@ -726,7 +733,7 @@ Status MergeAggState(AggState* into, const AggState& from,
   return Status::Internal("unreachable aggregate fn");
 }
 
-Value Finalize(const AggState& state, const AggregateSpec& spec) {
+Value FinalizeAgg(const AggState& state, const AggregateSpec& spec) {
   switch (spec.fn) {
     case AggregateSpec::Fn::kCountStar:
     case AggregateSpec::Fn::kCount:
@@ -748,7 +755,79 @@ Value Finalize(const AggState& state, const AggregateSpec& spec) {
   return Value::Null();
 }
 
-}  // namespace
+Result<Batch> MergeAndFinalizeGroups(std::vector<GroupTable>&& partials,
+                                     const std::vector<AggregateSpec>& aggs,
+                                     bool group_by, bool lineage) {
+  // Phase 2: deterministic merge in morsel order. A group's global position
+  // is its first appearance over the input — exactly the serial order.
+  GroupTable global;
+  for (GroupTable& partial : partials) {
+    for (size_t g = 0; g < partial.groups.size(); ++g) {
+      GroupState& local_group = partial.groups[g];
+      const uint64_t h = partial.hashes[g];
+      auto [begin, end] = global.index.equal_range(h);
+      size_t id = SIZE_MAX;
+      for (auto it = begin; it != end; ++it) {
+        if (global.groups[it->second].keys == local_group.keys) {
+          id = it->second;
+          break;
+        }
+      }
+      if (id == SIZE_MAX) {
+        global.hashes.push_back(h);
+        global.index.emplace(h, global.groups.size());
+        global.groups.push_back(std::move(local_group));
+        continue;
+      }
+      GroupState& into = global.groups[id];
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        LDV_RETURN_IF_ERROR(
+            MergeAggState(&into.aggs[a], local_group.aggs[a], aggs[a].fn));
+      }
+      if (lineage) {
+        into.lineage.insert(
+            into.lineage.end(),
+            std::make_move_iterator(local_group.lineage.begin()),
+            std::make_move_iterator(local_group.lineage.end()));
+      }
+    }
+  }
+  std::vector<GroupState>& groups = global.groups;
+
+  // A global aggregate (no GROUP BY) over empty input yields one row.
+  if (groups.empty() && !group_by) {
+    GroupState g;
+    g.aggs.resize(aggs.size());
+    groups.push_back(std::move(g));
+  }
+
+  Batch out;
+  out.rows.reserve(groups.size());
+  if (lineage) out.lineage.reserve(groups.size());
+  for (GroupState& g : groups) {
+    Tuple row = std::move(g.keys);
+    row.reserve(row.size() + aggs.size());
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(FinalizeAgg(g.aggs[a], aggs[a]));
+    }
+    out.rows.push_back(std::move(row));
+    if (lineage) {
+      std::sort(g.lineage.begin(), g.lineage.end());
+      g.lineage.erase(std::unique(g.lineage.begin(), g.lineage.end()),
+                      g.lineage.end());
+      out.lineage.push_back(std::move(g.lineage));
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+using internal::Accumulate;
+using internal::AggState;
+using internal::GroupState;
+using internal::GroupTable;
+using internal::MergeAndFinalizeGroups;
 
 std::string AggregateNode::detail() const {
   return std::to_string(group_exprs_.size()) + " group keys, " +
@@ -757,6 +836,10 @@ std::string AggregateNode::detail() const {
 
 Result<Batch> AggregateNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  return ProcessRows(ctx, std::move(in));
+}
+
+Result<Batch> AggregateNode::ProcessRows(ExecContext* ctx, Batch&& in) {
   const bool lineage = ctx->track_lineage;
 
   // Phase 1: thread-local partial group tables, one per morsel. The
@@ -805,66 +888,8 @@ Result<Batch> AggregateNode::ExecuteImpl(ExecContext* ctx) {
         return ctx->ChargeMemory(partial_bytes);
       }));
 
-  // Phase 2: deterministic merge in morsel order. A group's global position
-  // is its first appearance over the input — exactly the serial order.
-  GroupTable global;
-  for (GroupTable& partial : partials) {
-    for (size_t g = 0; g < partial.groups.size(); ++g) {
-      GroupState& local_group = partial.groups[g];
-      const uint64_t h = partial.hashes[g];
-      auto [begin, end] = global.index.equal_range(h);
-      size_t id = SIZE_MAX;
-      for (auto it = begin; it != end; ++it) {
-        if (global.groups[it->second].keys == local_group.keys) {
-          id = it->second;
-          break;
-        }
-      }
-      if (id == SIZE_MAX) {
-        global.hashes.push_back(h);
-        global.index.emplace(h, global.groups.size());
-        global.groups.push_back(std::move(local_group));
-        continue;
-      }
-      GroupState& into = global.groups[id];
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        LDV_RETURN_IF_ERROR(
-            MergeAggState(&into.aggs[a], local_group.aggs[a], aggs_[a].fn));
-      }
-      if (lineage) {
-        into.lineage.insert(into.lineage.end(),
-                            std::make_move_iterator(local_group.lineage.begin()),
-                            std::make_move_iterator(local_group.lineage.end()));
-      }
-    }
-  }
-  std::vector<GroupState>& groups = global.groups;
-
-  // A global aggregate (no GROUP BY) over empty input yields one row.
-  if (groups.empty() && group_exprs_.empty()) {
-    GroupState g;
-    g.aggs.resize(aggs_.size());
-    groups.push_back(std::move(g));
-  }
-
-  Batch out;
-  out.rows.reserve(groups.size());
-  if (lineage) out.lineage.reserve(groups.size());
-  for (GroupState& g : groups) {
-    Tuple row = std::move(g.keys);
-    row.reserve(row.size() + aggs_.size());
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      row.push_back(Finalize(g.aggs[a], aggs_[a]));
-    }
-    out.rows.push_back(std::move(row));
-    if (lineage) {
-      std::sort(g.lineage.begin(), g.lineage.end());
-      g.lineage.erase(std::unique(g.lineage.begin(), g.lineage.end()),
-                      g.lineage.end());
-      out.lineage.push_back(std::move(g.lineage));
-    }
-  }
-  return out;
+  return MergeAndFinalizeGroups(std::move(partials), aggs_,
+                                !group_exprs_.empty(), lineage);
 }
 
 // ---------------------------------------------------------------------------
@@ -878,6 +903,10 @@ DistinctNode::DistinctNode(std::unique_ptr<PlanNode> child)
 
 Result<Batch> DistinctNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  return ProcessRows(ctx, std::move(in));
+}
+
+Result<Batch> DistinctNode::ProcessRows(ExecContext* ctx, Batch&& in) {
   const bool lineage = ctx->track_lineage;
 
   // Phase 1: dedup within each morsel (first appearance kept, duplicate
@@ -963,6 +992,10 @@ std::string SortLimitNode::detail() const {
 
 Result<Batch> SortLimitNode::ExecuteImpl(ExecContext* ctx) {
   LDV_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  return ProcessRows(ctx, std::move(in));
+}
+
+Result<Batch> SortLimitNode::ProcessRows(ExecContext* ctx, Batch&& in) {
   const size_t n = in.rows.size();
   std::vector<size_t> order(n);
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;

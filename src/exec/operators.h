@@ -8,29 +8,13 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/column_batch.h"
 #include "exec/expression.h"
 #include "exec/governor.h"
 #include "storage/database.h"
 #include "util/thread_pool.h"
 
 namespace ldv::exec {
-
-/// Rows per morsel — the unit of work parallel operators fan out over.
-/// Morsel boundaries depend only on input size, never on thread count, so
-/// every decomposition-sensitive result (floating-point aggregate partials,
-/// group emission order) is reproducible at any degree of parallelism.
-inline constexpr size_t kMorselRows = 2048;
-
-/// Lineage of one output row: the set of input tuple versions it was derived
-/// from (paper Definition 7, the P_Lin dependency set).
-using LineageSet = std::vector<storage::TupleVid>;
-
-/// Materialized intermediate result. `lineage` is parallel to `rows` when
-/// lineage tracking is on, otherwise empty.
-struct Batch {
-  std::vector<storage::Tuple> rows;
-  std::vector<LineageSet> lineage;
-};
 
 /// Shared state for one statement execution.
 struct ExecContext {
@@ -115,6 +99,12 @@ struct OpStats {
   /// CPU time summed across workers for the parallel sections; compared
   /// against wall_nanos this shows the wall/CPU split in EXPLAIN ANALYZE.
   int64_t cpu_nanos = 0;
+  /// Columnar morsel batches this operator's vectorized kernel produced
+  /// (0 when it never ran vectorized).
+  int64_t vector_batches = 0;
+  /// Times the operator ran in a vectorized execution but fell back to the
+  /// row-at-a-time path (cold expression, non-columnar input, ...).
+  int64_t row_fallbacks = 0;
 };
 
 /// Base class of the materialized operator tree. Execute() returns the full
@@ -128,6 +118,13 @@ class PlanNode {
   /// front of the operator logic; otherwise it times the call, accumulates
   /// `stats()` and emits an "exec" trace span.
   Result<Batch> Execute(ExecContext* ctx);
+
+  /// Vectorized entry point: like Execute(), but hot operators return a
+  /// columnar ColumnBatch and cold operators a row-carrier fallback (the
+  /// base implementation wraps ExecuteImpl). Results are bit-identical to
+  /// Execute() — rows, order and lineage — at any DOP; which representation
+  /// carries them is the only difference.
+  Result<ColumnarResult> ExecuteColumnar(ExecContext* ctx);
 
   const Scope& scope() const { return scope_; }
 
@@ -145,12 +142,24 @@ class PlanNode {
   /// The operator logic; subclasses implement this instead of Execute().
   virtual Result<Batch> ExecuteImpl(ExecContext* ctx) = 0;
 
+  /// Columnar operator logic. The default runs the row path and wraps it as
+  /// a row-carrier result; hot operators override it with batch kernels and
+  /// fall back to the row path themselves when the plan shape (cold
+  /// expressions, non-columnar input) demands it.
+  virtual Result<ColumnarResult> ExecuteColumnarImpl(ExecContext* ctx);
+
   Scope scope_;
   OpStats stats_;
 
  private:
   Result<Batch> ExecuteInstrumented(ExecContext* ctx);
+  Result<ColumnarResult> ExecuteColumnarInstrumented(ExecContext* ctx);
 };
+
+/// Materializes a columnar result as rows (parallel over morsels); a
+/// row-carrier result passes through unchanged. `stats` may be null.
+Result<Batch> ColumnarToRows(ExecContext* ctx, OpStats* stats,
+                             ColumnarResult&& in);
 
 /// Sequential scan with optional pushed-down filter. When lineage tracking
 /// is on, every emitted row carries its TupleVid and has its usedby/process
@@ -177,6 +186,14 @@ class ScanNode final : public PlanNode {
   }
   bool has_index_probe() const { return probe_column_ >= 0; }
 
+  /// Planner hint: the query takes at most `limit` rows of this scan in
+  /// emission order (LIMIT with no ORDER BY / aggregation / join above), so
+  /// the scan may stop at the first morsel boundary where the limit is
+  /// reached instead of materializing the full table. Ignored for
+  /// lineage-tracked statements (they stamp every row they read).
+  void set_limit_hint(int64_t limit) { limit_hint_ = limit; }
+  int64_t limit_hint() const { return limit_hint_; }
+
   bool exposes_prov_columns() const { return expose_prov_columns_; }
   const storage::Table* table() const { return table_; }
 
@@ -185,6 +202,7 @@ class ScanNode final : public PlanNode {
 
  protected:
   Result<Batch> ExecuteImpl(ExecContext* ctx) override;
+  Result<ColumnarResult> ExecuteColumnarImpl(ExecContext* ctx) override;
 
  private:
   /// Tuple versions a morsel's rows contributed to lineage; merged into
@@ -200,6 +218,7 @@ class ScanNode final : public PlanNode {
   std::unique_ptr<BoundExpr> filter_;
   int probe_column_ = -1;
   storage::Value probe_value_;
+  int64_t limit_hint_ = -1;
 };
 
 /// Hash join (equi keys) with optional residual predicate; falls back to a
@@ -225,8 +244,13 @@ class JoinNode final : public PlanNode {
 
  protected:
   Result<Batch> ExecuteImpl(ExecContext* ctx) override;
+  Result<ColumnarResult> ExecuteColumnarImpl(ExecContext* ctx) override;
 
  private:
+  /// Row-at-a-time join over already-materialized inputs (ExecuteImpl and
+  /// the columnar fallback both land here).
+  Result<Batch> ProcessRows(ExecContext* ctx, Batch&& left, Batch&& right);
+
   std::unique_ptr<PlanNode> left_;
   std::unique_ptr<PlanNode> right_;
   /// Pairs of (left scope index, right scope index) equi-join keys.
@@ -248,8 +272,11 @@ class FilterNode final : public PlanNode {
 
  protected:
   Result<Batch> ExecuteImpl(ExecContext* ctx) override;
+  Result<ColumnarResult> ExecuteColumnarImpl(ExecContext* ctx) override;
 
  private:
+  Result<Batch> ProcessRows(ExecContext* ctx, Batch&& in);
+
   std::unique_ptr<PlanNode> child_;
   std::unique_ptr<BoundExpr> predicate_;
 };
@@ -268,8 +295,11 @@ class ProjectNode final : public PlanNode {
 
  protected:
   Result<Batch> ExecuteImpl(ExecContext* ctx) override;
+  Result<ColumnarResult> ExecuteColumnarImpl(ExecContext* ctx) override;
 
  private:
+  Result<Batch> ProcessRows(ExecContext* ctx, Batch&& in);
+
   std::unique_ptr<PlanNode> child_;
   std::vector<std::unique_ptr<BoundExpr>> exprs_;
 };
@@ -301,8 +331,11 @@ class AggregateNode final : public PlanNode {
 
  protected:
   Result<Batch> ExecuteImpl(ExecContext* ctx) override;
+  Result<ColumnarResult> ExecuteColumnarImpl(ExecContext* ctx) override;
 
  private:
+  Result<Batch> ProcessRows(ExecContext* ctx, Batch&& in);
+
   std::unique_ptr<PlanNode> child_;
   std::vector<std::unique_ptr<BoundExpr>> group_exprs_;
   std::vector<AggregateSpec> aggs_;
@@ -321,8 +354,11 @@ class DistinctNode final : public PlanNode {
 
  protected:
   Result<Batch> ExecuteImpl(ExecContext* ctx) override;
+  Result<ColumnarResult> ExecuteColumnarImpl(ExecContext* ctx) override;
 
  private:
+  Result<Batch> ProcessRows(ExecContext* ctx, Batch&& in);
+
   std::unique_ptr<PlanNode> child_;
 };
 
@@ -344,8 +380,13 @@ class SortLimitNode final : public PlanNode {
 
  protected:
   Result<Batch> ExecuteImpl(ExecContext* ctx) override;
+  /// No columnar sort kernel: the child executes vectorized and the sort
+  /// itself runs on the converted rows.
+  Result<ColumnarResult> ExecuteColumnarImpl(ExecContext* ctx) override;
 
  private:
+  Result<Batch> ProcessRows(ExecContext* ctx, Batch&& in);
+
   std::unique_ptr<PlanNode> child_;
   std::vector<SortKey> keys_;
   std::optional<int64_t> limit_;

@@ -220,6 +220,11 @@ Result<SelectPlan> PlanSelect(storage::Database* db,
 
   // ---- Scans with predicate pushdown, then left-deep joins. ----
   std::unique_ptr<PlanNode> current;
+  // Non-null while the plan is a single scan whose output rows map 1:1 to
+  // the query's result rows (possibly projected); a LIMIT without ORDER BY
+  // can then stop the scan early (ScanNode::set_limit_hint). Any operator
+  // that drops, merges, or reorders rows above the scan invalidates it.
+  ScanNode* sole_scan = nullptr;
   if (select.from.empty()) {
     current = std::make_unique<SingleRowNode>();
   }
@@ -268,9 +273,11 @@ Result<SelectPlan> PlanSelect(storage::Database* db,
         return Status::InvalidArgument(
             "the first FROM entry cannot carry an ON condition");
       }
+      sole_scan = scan.get();
       current = std::move(scan);
       continue;
     }
+    sole_scan = nullptr;  // a join multiplies/drops rows
 
     // Equi-join keys: from the ON condition, plus (inner joins only) from
     // WHERE conjuncts.
@@ -326,6 +333,7 @@ Result<SelectPlan> PlanSelect(storage::Database* db,
                            BindConjunction(leftover, current->scope()));
       current = std::make_unique<FilterNode>(std::move(current),
                                              std::move(bound));
+      sole_scan = nullptr;  // rows dropped above the scan
     }
   }
 
@@ -420,6 +428,7 @@ Result<SelectPlan> PlanSelect(storage::Database* db,
     }
     current = std::make_unique<AggregateNode>(
         std::move(current), std::move(group_bound), std::move(specs));
+    sole_scan = nullptr;  // aggregation merges rows
     if (rewritten_having != nullptr) {
       LDV_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bound,
                            BindExpr(*rewritten_having, current->scope()));
@@ -452,6 +461,7 @@ Result<SelectPlan> PlanSelect(storage::Database* db,
 
   if (select.distinct) {
     current = std::make_unique<DistinctNode>(std::move(current));
+    sole_scan = nullptr;  // dedup merges rows
   }
 
   // ---- ORDER BY / LIMIT over the projected output. ----
@@ -488,6 +498,13 @@ Result<SelectPlan> PlanSelect(storage::Database* db,
         key.expr = std::move(bound).value();
       }
       keys.push_back(std::move(key));
+    }
+    // LIMIT pushdown: with no ORDER BY the SortLimit is a pure truncation
+    // of rows the sole scan produced 1:1, so the scan may stop early at a
+    // morsel boundary instead of materializing the whole table.
+    if (keys.empty() && sole_scan != nullptr && select.limit.has_value() &&
+        *select.limit >= 0) {
+      sole_scan->set_limit_hint(*select.limit);
     }
     current = std::make_unique<SortLimitNode>(std::move(current),
                                               std::move(keys), select.limit);

@@ -1,0 +1,37 @@
+#ifndef LDV_EXEC_VECTOR_EXPR_H_
+#define LDV_EXEC_VECTOR_EXPR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/column_batch.h"
+#include "exec/expression.h"
+
+namespace ldv::exec {
+
+/// True when `expr` can be evaluated by the columnar kernels with results
+/// bit-identical to EvalExpr. The test is static (expression shape + bound
+/// result types + actual parameter types), chosen so that a vectorizable
+/// tree can NEVER raise a runtime error — which is what licenses the kernels
+/// to evaluate AND/OR/BETWEEN operands eagerly instead of short-circuiting:
+/// with no error path, eager evaluation is observationally identical.
+///
+/// Out of scope (row-engine fallback): CONCAT and function calls (would
+/// materialize strings), subqueries, string negation/arithmetic/mixed
+/// comparisons (runtime type errors), and parameters whose bound value's
+/// type differs from the plan-stamped type.
+bool CanVectorizeExpr(const BoundExpr& expr, const storage::Tuple* params);
+
+/// Evaluates `expr` over rows [begin, end) of `batch` into `out` (dense,
+/// length end-begin). Must only be called when CanVectorizeExpr held for the
+/// same params; kernels are total functions under that precondition.
+void EvalVector(const BoundExpr& expr, const ColumnBatch& batch, size_t begin,
+                size_t end, const storage::Tuple* params, ColumnVector* out);
+
+/// SQL truthiness per cell (NULL -> 0; numeric != 0; non-empty string),
+/// matching Value::IsTruthy. `out` is resized to v.length.
+void VectorTruthy(const ColumnVector& v, std::vector<uint8_t>* out);
+
+}  // namespace ldv::exec
+
+#endif  // LDV_EXEC_VECTOR_EXPR_H_

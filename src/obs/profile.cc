@@ -13,6 +13,21 @@ std::string FormatMillis(int64_t nanos) {
   return buf;
 }
 
+/// rows_out over wall time as a human row rate ("1.2M rows/s").
+std::string FormatRate(int64_t rows, int64_t nanos) {
+  const double per_sec =
+      static_cast<double>(rows) * 1e9 / static_cast<double>(nanos);
+  char buf[32];
+  if (per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", per_sec / 1e6);
+  } else if (per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", per_sec);
+  }
+  return std::string(buf) + " rows/s";
+}
+
 Json OperatorToJson(const OperatorProfile& op) {
   Json node = Json::MakeObject();
   node.Set("operator", Json::MakeString(op.label));
@@ -28,6 +43,10 @@ Json OperatorToJson(const OperatorProfile& op) {
     node.Set("parallel_morsels", Json::MakeInt(op.parallel_morsels));
     node.Set("parallel_workers", Json::MakeInt(op.parallel_workers));
     node.Set("cpu_nanos", Json::MakeInt(op.cpu_nanos));
+  }
+  if (op.vector_batches > 0 || op.row_fallbacks > 0) {
+    node.Set("vector_batches", Json::MakeInt(op.vector_batches));
+    node.Set("row_fallbacks", Json::MakeInt(op.row_fallbacks));
   }
   if (!op.children.empty()) {
     Json children = Json::MakeArray();
@@ -55,6 +74,15 @@ void RenderOperator(const OperatorProfile& op, bool analyze, int depth,
       line += " workers=" + std::to_string(op.parallel_workers);
       line += " morsels=" + std::to_string(op.parallel_morsels);
       line += " cpu=" + FormatMillis(op.cpu_nanos);
+    }
+    if (op.rows_out > 0 && op.wall_nanos > 0) {
+      line += " rate=" + FormatRate(op.rows_out, op.wall_nanos);
+    }
+    if (op.vector_batches > 0) {
+      line += " batches=" + std::to_string(op.vector_batches) +
+              " [vectorized]";
+    } else if (op.row_fallbacks > 0) {
+      line += " [row-fallback]";
     }
   }
   out->push_back(std::move(line));

@@ -28,6 +28,12 @@ struct OperatorProfile {
   int64_t parallel_morsels = 0;
   int64_t parallel_workers = 0;
   int64_t cpu_nanos = 0;
+  // Vectorized columnar execution (DESIGN.md §15): batches this operator
+  // processed through its kernels, and the times it produced rows without
+  // running any kernel (visible in EXPLAIN ANALYZE as [vectorized] vs
+  // [row-fallback]).
+  int64_t vector_batches = 0;
+  int64_t row_fallbacks = 0;
   std::vector<OperatorProfile> children;
 };
 

@@ -207,28 +207,36 @@ Result<Value> Value::Deserialize(BufferReader* r) {
   return Status::IOError("bad value tag");
 }
 
+uint64_t HashInt64Value(int64_t v) {
+  return Fnv1a(
+      std::string_view(reinterpret_cast<const char*>(&v), sizeof(v)));
+}
+
+uint64_t HashDoubleValue(double v) {
+  double d = v == 0 ? 0 : v;  // normalize -0.0
+  return Fnv1a(std::string_view(reinterpret_cast<const char*>(&d), sizeof(d)));
+}
+
+uint64_t HashStringValue(std::string_view v) { return Fnv1a(v); }
+
 uint64_t Value::Hash() const {
   switch (type_) {
     case ValueType::kNull:
-      return 0x9E3779B97F4A7C15ULL;
+      return kNullValueHash;
     case ValueType::kInt64:
-      return Fnv1a(std::string_view(reinterpret_cast<const char*>(&int_),
-                                    sizeof(int_)));
-    case ValueType::kDouble: {
-      double d = double_ == 0 ? 0 : double_;  // normalize -0.0
-      return Fnv1a(
-          std::string_view(reinterpret_cast<const char*>(&d), sizeof(d)));
-    }
+      return HashInt64Value(int_);
+    case ValueType::kDouble:
+      return HashDoubleValue(double_);
     case ValueType::kString:
-      return Fnv1a(string_);
+      return HashStringValue(string_);
   }
   return 0;
 }
 
 uint64_t HashTuple(const Tuple& t) {
-  uint64_t h = 14695981039346656037ULL;
+  uint64_t h = kTupleHashSeed;
   for (const Value& v : t) {
-    h ^= v.Hash() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h = CombineValueHash(h, v.Hash());
   }
   return h;
 }

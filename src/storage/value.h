@@ -80,6 +80,23 @@ class Value {
 /// A row of values.
 using Tuple = std::vector<Value>;
 
+/// Per-type hash primitives. `Value::Hash()` and the vectorized kernels are
+/// both built on these so a columnar cell hashes to exactly the same bits as
+/// the equivalent `Value` — hash-join/aggregate/distinct tables built from
+/// either representation agree. Kept `inline` so the hot kernels pay no call.
+inline constexpr uint64_t kNullValueHash = 0x9E3779B97F4A7C15ULL;
+inline constexpr uint64_t kTupleHashSeed = 14695981039346656037ULL;
+
+uint64_t HashInt64Value(int64_t v);
+uint64_t HashDoubleValue(double v);
+uint64_t HashStringValue(std::string_view v);
+
+/// Folds one value hash into a running tuple hash (order-sensitive); start
+/// from kTupleHashSeed. Matches HashTuple exactly.
+inline uint64_t CombineValueHash(uint64_t h, uint64_t value_hash) {
+  return h ^ (value_hash + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2));
+}
+
 /// Hash of a whole tuple (order-sensitive).
 uint64_t HashTuple(const Tuple& t);
 

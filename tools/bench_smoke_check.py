@@ -50,6 +50,14 @@ standby must serve reads at >= 0.8x the primary's QPS. On smaller boxes
 the read-ratio bound is SKIPPED (loudly) with a relaxed 0.5x floor, and
 the failover ceiling is relaxed to 10 s — a replica that takes tens of
 seconds to take over is broken on any hardware.
+
+Given an eighth argument (the BENCH_VECTOR.json comparison bench_vector
+emits), asserts the vectorized-execution bound (DESIGN.md §15): with >= 4
+hardware threads, the columnar kernels must run the single-threaded
+scan-filter-agg pipeline at >= 2x the row engine's rows/s. On smaller or
+noisier boxes the 2x bound is SKIPPED (loudly) and only a no-regression
+floor is enforced: every measured kernel must keep >= 0.9x the row
+engine's throughput (batching must never cost more than it saves).
 """
 import json
 import sys
@@ -74,6 +82,10 @@ REPL_FAILOVER_RELAXED_MS = 10000.0
 REPL_READ_RATIO = 0.8
 REPL_READ_RATIO_RELAXED = 0.5
 REPL_MIN_HW = 4
+# Vectorized execution: columnar-vs-row rows/s multiple on scan-filter-agg.
+VECTOR_SPEEDUP = 2.0
+VECTOR_NO_REGRESSION = 0.9
+VECTOR_MIN_HW = 4
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -290,12 +302,46 @@ def check_repl(path):
                 f" (relaxed floor {REPL_READ_RATIO_RELAXED}x)")
 
 
+def check_vector(path):
+    with open(path) as f:
+        comparison = json.load(f)
+    hw = comparison.get("hardware_threads", 1)
+    kernels = comparison.get("kernels", {})
+    if "scan_filter_agg" not in kernels:
+        raise SystemExit(
+            f"bench_smoke_check: scan_filter_agg kernel missing from {path}")
+    for name, kernel in sorted(kernels.items()):
+        print(f"bench_smoke_check: vector {name}:"
+              f" {kernel['vectorized_rps']:.0f} vectorized rows/s vs"
+              f" {kernel['row_rps']:.0f} row = {kernel['ratio']:.2f}x")
+    ratio = kernels["scan_filter_agg"]["ratio"]
+    if hw >= VECTOR_MIN_HW:
+        if ratio < VECTOR_SPEEDUP:
+            raise SystemExit(
+                f"bench_smoke_check: vectorized scan-filter-agg reached only"
+                f" {ratio:.2f}x the row engine (need >= {VECTOR_SPEEDUP}x"
+                f" on {hw} cores)")
+        print(f"bench_smoke_check: vectorized-execution bound"
+              f" ({VECTOR_SPEEDUP}x scan-filter-agg) met on {hw} cores")
+    else:
+        print(f"bench_smoke_check: SKIPPING the {VECTOR_SPEEDUP}x vectorized"
+              f" scan-filter-agg bound: only {hw} hardware thread(s)"
+              f" available (needs >= {VECTOR_MIN_HW}); enforcing"
+              f" no-regression only")
+        for name, kernel in sorted(kernels.items()):
+            if kernel["ratio"] < VECTOR_NO_REGRESSION:
+                raise SystemExit(
+                    f"bench_smoke_check: vectorized {name} regressed to"
+                    f" {kernel['ratio']:.2f}x of the row engine on a"
+                    f" {hw}-core box (floor {VECTOR_NO_REGRESSION}x)")
+
+
 def main():
-    if len(sys.argv) not in (3, 4, 5, 6, 7, 8):
+    if len(sys.argv) not in (3, 4, 5, 6, 7, 8, 9):
         raise SystemExit(
             "usage: bench_smoke_check.py BENCH_JSON METRICS_JSON"
             " [PARALLEL_JSON [GOVERNANCE_JSON [CONCURRENT_JSON"
-            " [PREPARED_JSON [REPL_JSON]]]]]")
+            " [PREPARED_JSON [REPL_JSON [VECTOR_JSON]]]]]]")
     with open(sys.argv[1]) as f:
         benchmarks = json.load(f)["benchmarks"]
     span_ns = real_ns(benchmarks, "BM_ObsSpanDisabled")
@@ -342,6 +388,8 @@ def main():
         check_prepared(sys.argv[6])
     if len(sys.argv) >= 8:
         check_repl(sys.argv[7])
+    if len(sys.argv) >= 9:
+        check_vector(sys.argv[8])
     print("bench_smoke_check: ok")
 
 

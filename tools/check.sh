@@ -11,17 +11,19 @@
 # resource-governance responsiveness bound (cancel/deadline kills land
 # within 100 ms mid-scan at 1 and 8 threads, DESIGN.md §11), the
 # inter-query parallelism bound (>= 3x read-only QPS at 8 clients vs 1 with
-# enough cores, no-regression otherwise, DESIGN.md §12) and the
+# enough cores, no-regression otherwise, DESIGN.md §12), the
 # repeated-statement bound (>= 2x QPS for EXECUTE through the plan cache vs
-# re-sent literal SQL, DESIGN.md §13). The artifacts (benchmark results,
-# metrics snapshot, scaling curve, governance probe, concurrency curve,
-# prepared-statement comparison) are left in build/ and mirrored to
-# BENCH_*.json in the repo root.
+# re-sent literal SQL, DESIGN.md §13) and the vectorized-execution bound
+# (>= 2x single-threaded scan-filter-agg rows/s for the columnar kernels vs
+# the row engine, DESIGN.md §15). The artifacts (benchmark results, metrics
+# snapshot, scaling curve, governance probe, concurrency curve,
+# prepared-statement comparison, vectorized comparison) are left in build/
+# and mirrored to BENCH_*.json in the repo root.
 #
 # --tsan additionally builds with ThreadSanitizer (LDV_SANITIZE=thread) and
 # runs the concurrency-sensitive suites (thread pool, parallel execution,
-# exec, net, txn/governance, mvcc, prepared-statement differential fuzzer)
-# under it.
+# vectorized differential, exec, net, txn/governance, mvcc,
+# prepared-statement differential fuzzer) under it.
 #
 # --torture N runs N seeded kill-at-faultpoint iterations of crash_torture
 # (on top of the short smoke pass ctest already includes).
@@ -87,10 +89,12 @@ if [[ "$BENCH_SMOKE" == 1 ]]; then
   ./build/bench/bench_concurrent build/bench_concurrent.json
   ./build/bench/bench_prepared build/bench_prepared.json
   ./build/bench/bench_repl build/bench_repl.json
+  ./build/bench/bench_vector build/bench_vector.json
   python3 tools/bench_smoke_check.py build/bench_smoke.json \
     build/metrics_smoke.json build/bench_parallel.json \
     build/bench_governance.json build/bench_concurrent.json \
-    build/bench_prepared.json build/bench_repl.json
+    build/bench_prepared.json build/bench_repl.json \
+    build/bench_vector.json
   # Repo-root artifacts so a gate run leaves an inspectable record.
   cp build/bench_smoke.json BENCH_SMOKE.json
   cp build/bench_parallel.json BENCH_PARALLEL.json
@@ -98,6 +102,7 @@ if [[ "$BENCH_SMOKE" == 1 ]]; then
   cp build/bench_concurrent.json BENCH_CONCURRENT.json
   cp build/bench_prepared.json BENCH_PREPARED.json
   cp build/bench_repl.json BENCH_REPL.json
+  cp build/bench_vector.json BENCH_VECTOR.json
 fi
 
 if [[ "$TORTURE_ITERS" -gt 0 ]]; then
@@ -121,13 +126,13 @@ if [[ "$TSAN" == 1 ]]; then
   echo "== tsan build (concurrency suites) =="
   cmake -B build-tsan -S . -DLDV_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target \
-    thread_pool_test parallel_exec_test exec_select_test exec_features_test \
-    net_test txn_test governance_test mvcc_test prepared_statement_test \
-    prepared_fuzz_test repl_test
+    thread_pool_test parallel_exec_test vectorized_exec_test exec_select_test \
+    exec_features_test net_test txn_test governance_test mvcc_test \
+    prepared_statement_test prepared_fuzz_test repl_test
   # -R must precede the bare -j: ctest would otherwise swallow it as the
   # job count and silently run the whole (mostly unbuilt) suite.
   (cd build-tsan && ctest --output-on-failure --timeout 240 \
-    -R 'ThreadPool|Parallel|ExecSelect|ExecFeatures|Net|Txn|Governance|Mvcc|SharedMutex|SnapshotManager|Prepared|Normalize|Repl' -j)
+    -R 'ThreadPool|Parallel|Vectorized|ExecSelect|ExecFeatures|Net|Txn|Governance|Mvcc|SharedMutex|SnapshotManager|Prepared|Normalize|Repl' -j)
 fi
 
 echo "check.sh: plain and sanitizer suites both passed"

@@ -66,6 +66,7 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "exec/executor.h"
 #include "exec/plan_cache.h"
 #include "exec/wal_redo.h"
 #include "net/db_server.h"
@@ -162,6 +163,10 @@ int main(int argc, char** argv) {
       metrics_out = next();
     } else if (arg == "--trace-out") {
       trace_out = next();
+    } else if (arg == "--no-vectorize") {
+      // Row-at-a-time execution only; results are bit-identical to the
+      // vectorized default (DESIGN.md §15).
+      ldv::exec::SetDefaultVectorize(false);
     } else if (arg == "--threads") {
       ldv::ThreadPool::SetDefaultDop(std::atoi(next()));
     } else if (arg == "--statement-timeout-ms") {
@@ -187,6 +192,7 @@ int main(int argc, char** argv) {
           "[--io-timeout-ms N] [--disconnect-poll-ms N] [--dedup-ttl-ms N] "
           "[--fault SPEC] [--fault-seed N] "
           "[--metrics-out FILE] [--trace-out FILE] [--threads N] "
+          "[--no-vectorize] "
           "[--statement-timeout-ms N] [--mem-limit-mb N] "
           "[--plan-cache-entries N] "
           "[--replicate-from SOCKET] [--standby-name NAME]\n");
